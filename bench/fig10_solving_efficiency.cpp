@@ -1,0 +1,145 @@
+// Reproduces paper Fig. 10 / Sec. 4.3: QKP solving efficiency of HyCiM vs
+// the D-QUBO implementation.
+//
+// Paper protocol: 40 instances x 1000 Monte Carlo initial configurations x
+// 100 SA runs x 1000 iterations; success = reaching 95% of the optimum.
+// That is ~4M SA runs — this harness runs the identical pipeline with
+// scaled-down defaults (CLI-overridable) and reports the same statistics:
+// per-instance success rates, the overall averages, and the normalized-
+// value scatter (CSV) that Fig. 10 plots.
+#include <iostream>
+
+#include "core/dqubo_solver.hpp"
+#include "core/hycim_solver.hpp"
+#include "core/metrics.hpp"
+#include "core/reference.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hycim;
+  util::Cli cli("fig10_solving_efficiency",
+                "Fig. 10: success rate of HyCiM vs D-QUBO on the QKP suite");
+  cli.add_int("instances", 40, "QKP instances (paper: 40)");
+  cli.add_int("items", 100, "items per instance (paper: 100)");
+  cli.add_int("inits", 10, "MC initial configurations (paper: 1000)");
+  cli.add_int("runs", 100, "SA runs per initial configuration (paper: 100)");
+  cli.add_int("iterations", 1000, "SA iterations per run (paper: 1000)");
+  cli.add_bool("hardware_filter", true,
+               "use the FeFET filter (false = exact software predicate)");
+  cli.add_int("seed", 2024, "suite base seed");
+  cli.add_string("csv", "fig10_normalized_values.csv", "scatter CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto suite = cop::generate_paper_suite(
+      static_cast<std::size_t>(cli.get_int("items")),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto count = static_cast<std::size_t>(cli.get_int("instances"));
+  if (suite.size() > count) suite.resize(count);
+
+  const auto inits = static_cast<std::size_t>(cli.get_int("inits"));
+  const auto runs = static_cast<std::size_t>(cli.get_int("runs"));
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+
+  std::cout << "Fig. 10 reproduction: " << suite.size() << " instances x "
+            << inits << " inits x " << runs << " runs x " << iterations
+            << " iterations (paper: 40 x 1000 x 100 x 1000)\n"
+            << "Protocol (paper Sec. 4.3): per initial configuration, the "
+               "recorded QKP value\nis the best over the SA runs; success = "
+               "reaching " << core::kSuccessFraction * 100
+            << "% of the best-known value.\n\n";
+
+  util::CsvWriter csv(cli.get_string("csv"),
+                      {"instance", "solver", "init", "run",
+                       "normalized_value", "feasible"});
+  util::Table table({"instance", "reference", "HyCiM succ %", "D-QUBO succ %",
+                     "HyCiM trapped %", "D-QUBO trapped %"});
+
+  util::OnlineStats hycim_rates, dqubo_rates;
+  util::OnlineStats hycim_norm, dqubo_norm;
+  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+    const auto& inst = suite[idx];
+    core::ReferenceParams ref_params;
+    ref_params.seed = 5000 + idx;
+    const auto reference = core::reference_solution(inst, ref_params);
+
+    core::HyCimConfig hconfig;
+    hconfig.sa.iterations = iterations;
+    hconfig.fidelity = cim::VmvMode::kQuantized;
+    hconfig.filter_mode = cli.get_bool("hardware_filter")
+                              ? core::FilterMode::kHardware
+                              : core::FilterMode::kSoftware;
+    hconfig.filter.fab_seed = 33 + idx;
+    core::HyCimSolver hycim(inst, hconfig);
+
+    core::DquboConfig dconfig;
+    dconfig.sa.iterations = iterations;
+    dconfig.fidelity = cim::VmvMode::kQuantized;
+    core::DquboSolver dqubo(inst, dconfig);
+
+    // Per initial configuration: best value over the SA runs (the paper
+    // records "the QKP values they can obtain" from 100 runs per init).
+    std::vector<long long> hycim_values, dqubo_values;
+    std::size_t hycim_infeasible = 0, dqubo_infeasible = 0;
+    util::Rng init_rng(7000 + idx);
+    for (std::size_t init = 0; init < inits; ++init) {
+      const auto x0 = cop::random_feasible(inst, init_rng);
+      util::Rng dq_rng(init_rng.next_u64());
+      const auto xy0 = dqubo.random_initial(dq_rng);
+      long long h_best = 0, d_best = 0;
+      bool h_any_feasible = false, d_any_feasible = false;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const std::uint64_t run_seed =
+            (idx * 1000 + init) * 1000 + run + 1;
+        const auto hr = hycim.solve(x0, run_seed);
+        const auto dr = dqubo.solve(xy0, run_seed);
+        h_best = std::max(h_best, hr.profit);
+        d_best = std::max(d_best, dr.profit);
+        h_any_feasible |= hr.feasible;
+        d_any_feasible |= dr.feasible;
+      }
+      hycim_values.push_back(h_best);
+      dqubo_values.push_back(d_best);
+      if (!h_any_feasible) ++hycim_infeasible;
+      if (!d_any_feasible) ++dqubo_infeasible;
+      const double hn = core::normalized_value(h_best, reference.profit);
+      const double dn = core::normalized_value(d_best, reference.profit);
+      hycim_norm.add(hn);
+      dqubo_norm.add(dn);
+      csv.row({static_cast<double>(idx), 0.0, static_cast<double>(init), 0.0,
+               hn, h_any_feasible ? 1.0 : 0.0});
+      csv.row({static_cast<double>(idx), 1.0, static_cast<double>(init), 0.0,
+               dn, d_any_feasible ? 1.0 : 0.0});
+    }
+    const double h_rate =
+        core::success_rate_percent(hycim_values, reference.profit);
+    const double d_rate =
+        core::success_rate_percent(dqubo_values, reference.profit);
+    hycim_rates.add(h_rate);
+    dqubo_rates.add(d_rate);
+    const auto total = static_cast<double>(hycim_values.size());
+    table.add_row({inst.name, util::Table::num(reference.profit),
+                   util::Table::num(h_rate, 1), util::Table::num(d_rate, 1),
+                   util::Table::num(100.0 * hycim_infeasible / total, 1),
+                   util::Table::num(100.0 * dqubo_infeasible / total, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSummary vs. paper Sec. 4.3:\n";
+  util::Table summary({"metric", "this run", "paper"});
+  summary.add_row({"HyCiM avg success %",
+                   util::Table::num(hycim_rates.mean(), 2), "98.54"});
+  summary.add_row({"D-QUBO avg success %",
+                   util::Table::num(dqubo_rates.mean(), 2), "10.75"});
+  summary.add_row({"HyCiM mean normalized value",
+                   util::Table::num(hycim_norm.mean(), 3), "~1.0"});
+  summary.add_row({"D-QUBO mean normalized value",
+                   util::Table::num(dqubo_norm.mean(), 3),
+                   "low (trapped infeasible)"});
+  summary.print(std::cout);
+  std::cout << "\nScatter data in " << cli.get_string("csv") << ".\n";
+  // Shape check: HyCiM must dominate D-QUBO decisively.
+  return hycim_rates.mean() > dqubo_rates.mean() + 30.0 ? 0 : 1;
+}

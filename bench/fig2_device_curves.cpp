@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 2(b): multi-level ID-VG characteristics of FeFETs,
+// measured across a population of devices (60 in the paper).
+//
+// Prints, per programmed level, the median and spread of the drain current
+// over the VG sweep, and writes the full per-device curves to CSV.
+#include <cstdio>
+#include <iostream>
+
+#include "device/fefet.hpp"
+#include "device/variation.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hycim;
+  util::Cli cli("fig2_device_curves",
+                "Fig. 2(b): multi-level ID-VG curves of a FeFET population");
+  cli.add_int("devices", 60, "devices per level (paper: 60 total)");
+  cli.add_int("levels", 4, "programmed states q0..q(levels-1)");
+  cli.add_double("vds", 0.05, "drain bias [V] (paper: 50 mV)");
+  cli.add_int("seed", 1, "fabrication seed");
+  cli.add_string("csv", "fig2_device_curves.csv", "output CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto devices = static_cast<std::size_t>(cli.get_int("devices"));
+  const int levels = static_cast<int>(cli.get_int("levels"));
+  const double vds = cli.get_double("vds");
+
+  device::FeFetParams fefet;
+  fefet.num_levels = levels;
+  device::VariationParams var;  // realistic D2D + C2C corners
+  device::VariationModel fab(var, static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  std::cout << "Fig. 2(b) reproduction: " << devices << " devices x "
+            << levels << " levels, VDS = " << vds * 1000 << " mV\n\n";
+
+  util::CsvWriter csv(cli.get_string("csv"), {"level", "device", "vg", "id"});
+
+  util::Table table({"level", "Vth mean [V]", "Vth sigma [mV]",
+                     "ID @ VG=2V median [uA]", "ID min [uA]", "ID max [uA]"});
+  for (int level = 0; level < levels; ++level) {
+    auto population = fab.fabricate(fefet, devices);
+    util::OnlineStats vth_stats;
+    std::vector<double> id_at_2v;
+    for (std::size_t d = 0; d < population.size(); ++d) {
+      population[d].program_level(level, fab.rng());
+      vth_stats.add(population[d].vth());
+      for (double vg = 0.0; vg <= 2.001; vg += 0.05) {
+        csv.row({static_cast<double>(level), static_cast<double>(d), vg,
+                 population[d].drain_current(vg, vds)});
+      }
+      id_at_2v.push_back(population[d].drain_current(2.0, vds) * 1e6);
+    }
+    const auto summary = util::summarize(id_at_2v);
+    table.add_row({"q" + std::to_string(level),
+                   util::Table::num(vth_stats.mean(), 3),
+                   util::Table::num(vth_stats.stddev() * 1000, 1),
+                   util::Table::num(summary.median, 2),
+                   util::Table::num(summary.min, 2),
+                   util::Table::num(summary.max, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nFull curves written to " << cli.get_string("csv")
+            << " (paper shape: ~5 decades of separation between erased and\n"
+               "programmed states, fan-out from device-to-device variation).\n";
+  return 0;
+}

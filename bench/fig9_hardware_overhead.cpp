@@ -1,0 +1,103 @@
+// Reproduces paper Fig. 9(a)(b)(c): per-instance comparison of D-QUBO vs
+// HyCiM on the 40-instance QKP suite —
+//   (a) largest QUBO coefficient and the implied quantization bits,
+//   (b) QUBO dimension / search-space size,
+//   (c) hardware size saving of HyCiM (crossbar + filter) over D-QUBO.
+#include <iostream>
+
+#include "core/dqubo_onehot.hpp"
+#include "core/inequality_qubo.hpp"
+#include "cop/qkp.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/search_space.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hycim;
+  util::Cli cli("fig9_hardware_overhead",
+                "Fig. 9: coefficient blowup, dimensions, hardware saving");
+  cli.add_int("instances", 40, "QKP instances (paper: 40)");
+  cli.add_int("items", 100, "items per instance (paper: 100)");
+  cli.add_int("seed", 2024, "suite base seed");
+  cli.add_string("csv", "fig9_overhead.csv", "per-instance CSV path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  auto suite = cop::generate_paper_suite(
+      static_cast<std::size_t>(cli.get_int("items")),
+      static_cast<std::uint64_t>(cli.get_int("seed")));
+  const auto count = static_cast<std::size_t>(cli.get_int("instances"));
+  if (suite.size() > count) suite.resize(count);
+
+  util::CsvWriter csv(cli.get_string("csv"),
+                      {"instance", "capacity", "dqubo_dim", "dqubo_maxq",
+                       "dqubo_bits", "hycim_maxq", "hycim_bits",
+                       "saving_percent", "search_space_reduction_log2"});
+  util::Table table({"instance", "C", "D-QUBO dim", "(Qij)MAX D-QUBO",
+                     "bits D", "bits H", "bit red. %", "HW saving %",
+                     "space red."});
+
+  util::OnlineStats savings, dqubo_dims, dqubo_maxqs, bit_reductions;
+  for (const auto& inst : suite) {
+    const auto ineq = core::to_inequality_qubo(inst);
+    const auto dqubo = core::to_dqubo_onehot(inst);  // alpha = beta = 2
+
+    const double hycim_maxq = ineq.q.max_abs_coefficient();
+    const double dqubo_maxq = dqubo.q.max_abs_coefficient();
+    const int hycim_bits = ineq.q.quantization_bits();
+    const int dqubo_bits = dqubo.q.quantization_bits();
+    const double bit_reduction =
+        100.0 * (1.0 - static_cast<double>(hycim_bits) / dqubo_bits);
+
+    const auto hycim_hw = hw::hycim_cost(inst.n, hycim_bits);
+    const auto dqubo_hw = hw::dqubo_cost(dqubo.size(), dqubo_bits);
+    const double saving = hw::size_saving_percent(hycim_hw, dqubo_hw);
+    const auto space = hw::compare_search_space(inst.n, inst.capacity);
+
+    savings.add(saving);
+    dqubo_dims.add(static_cast<double>(dqubo.size()));
+    dqubo_maxqs.add(dqubo_maxq);
+    bit_reductions.add(bit_reduction);
+
+    table.add_row({inst.name, util::Table::num(inst.capacity),
+                   util::Table::num(static_cast<long long>(dqubo.size())),
+                   util::Table::num(dqubo_maxq, 0),
+                   util::Table::num(static_cast<long long>(dqubo_bits)),
+                   util::Table::num(static_cast<long long>(hycim_bits)),
+                   util::Table::num(bit_reduction, 1),
+                   util::Table::num(saving, 2),
+                   util::Table::pow2(space.reduction_log2)});
+    csv.row({0.0, static_cast<double>(inst.capacity),
+             static_cast<double>(dqubo.size()), dqubo_maxq,
+             static_cast<double>(dqubo_bits), hycim_maxq,
+             static_cast<double>(hycim_bits), saving,
+             space.reduction_log2});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nSummary vs. paper Fig. 9:\n";
+  util::Table summary({"metric", "this run", "paper"});
+  summary.add_row({"(Qij)MAX D-QUBO",
+                   util::Table::num(dqubo_maxqs.min(), 0) + " - " +
+                       util::Table::num(dqubo_maxqs.max(), 0),
+                   "4.0e4 - 2.6e7"});
+  summary.add_row({"(Qij)MAX HyCiM", "<= 100", "100"});
+  summary.add_row({"D-QUBO dim",
+                   util::Table::num(dqubo_dims.min(), 0) + " - " +
+                       util::Table::num(dqubo_dims.max(), 0),
+                   "200 - 2636"});
+  summary.add_row({"HyCiM dim", std::to_string(cli.get_int("items")), "100"});
+  summary.add_row({"bit reduction %",
+                   util::Table::num(bit_reductions.min(), 1) + " - " +
+                       util::Table::num(bit_reductions.max(), 1),
+                   "56 - 72"});
+  summary.add_row({"HW size saving %",
+                   util::Table::num(savings.min(), 2) + " - " +
+                       util::Table::num(savings.max(), 2),
+                   "88.06 - 99.96"});
+  summary.print(std::cout);
+  std::cout << "\nPer-instance data in " << cli.get_string("csv") << ".\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: full vs
+// incremental QUBO energy, inequality-filter evaluation, crossbar column
+// currents, and the circuit-level VMV path.  These justify the fidelity-
+// mode choices documented in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "cim/crossbar/vmv_engine.hpp"
+#include "cim/filter/inequality_filter.hpp"
+#include "core/inequality_qubo.hpp"
+#include "cop/qkp.hpp"
+#include "qubo/energy.hpp"
+
+namespace {
+
+using namespace hycim;
+
+cop::QkpInstance instance(std::size_t n) {
+  cop::QkpGeneratorParams params;
+  params.n = n;
+  params.density_percent = 50;
+  return cop::generate_qkp(params, 42);
+}
+
+void BM_FullEnergy(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(1);
+  const auto x = rng.random_bits(inst.n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(form.q.energy(x));
+  }
+}
+BENCHMARK(BM_FullEnergy)->Arg(100)->Arg(400);
+
+void BM_IncrementalDelta(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(2);
+  qubo::IncrementalEvaluator eval(form.q, rng.random_bits(inst.n));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.delta(k));
+    k = (k + 1) % inst.n;
+  }
+}
+BENCHMARK(BM_IncrementalDelta)->Arg(100)->Arg(400);
+
+void BM_IncrementalFlip(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(3);
+  qubo::IncrementalEvaluator eval(form.q, rng.random_bits(inst.n));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    eval.flip(k);
+    k = (k + 1) % inst.n;
+  }
+}
+BENCHMARK(BM_IncrementalFlip)->Arg(100)->Arg(400);
+
+void BM_FilterEvaluate(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  cim::InequalityFilterParams params;
+  params.fab_seed = 5;
+  cim::InequalityFilter filter(params, inst.weights, inst.capacity);
+  util::Rng rng(4);
+  const auto x = rng.random_bits(inst.n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.is_feasible(x));
+  }
+}
+BENCHMARK(BM_FilterEvaluate)->Arg(100);
+
+void BM_CircuitVmvEnergy(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  cim::VmvEngineParams params;
+  params.mode = cim::VmvMode::kCircuit;
+  params.fab_seed = 6;
+  cim::VmvEngine engine(params, form.q);
+  util::Rng rng(5);
+  const auto x = rng.random_bits(inst.n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.energy(x));
+  }
+}
+BENCHMARK(BM_CircuitVmvEnergy)->Arg(32)->Arg(100);
+
+void BM_QuantizedEnergy(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  const auto quant = cim::quantize(form.q, 7);
+  util::Rng rng(6);
+  const auto x = rng.random_bits(inst.n, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant.energy(x));
+  }
+}
+BENCHMARK(BM_QuantizedEnergy)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

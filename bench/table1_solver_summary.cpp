@@ -1,0 +1,75 @@
+// Reproduces paper Table 1: summary of QUBO solvers.  Literature rows are
+// static (extracted from the cited papers, as in Table 1 itself); the
+// "This work" row's success rate is measured live on a scaled-down version
+// of the Sec. 4.3 protocol.
+#include <iostream>
+
+#include "core/hycim_solver.hpp"
+#include "core/metrics.hpp"
+#include "core/reference.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hycim;
+  util::Cli cli("table1_solver_summary", "Table 1: QUBO solver comparison");
+  cli.add_int("instances", 8, "instances for the live measurement");
+  cli.add_int("inits", 5, "initial configurations per instance");
+  cli.add_int("runs", 15, "SA runs per init (paper: 100; best is recorded)");
+  cli.add_int("iterations", 1000, "SA iterations per run");
+  cli.add_int("seed", 2024, "suite base seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Live measurement of this work's success rate.
+  auto suite = cop::generate_paper_suite(
+      100, static_cast<std::uint64_t>(cli.get_int("seed")));
+  suite.resize(static_cast<std::size_t>(cli.get_int("instances")));
+  util::OnlineStats rates;
+  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+    const auto& inst = suite[idx];
+    core::ReferenceParams ref_params;
+    ref_params.seed = 5000 + idx;
+    const auto reference = core::reference_solution(inst, ref_params);
+    core::HyCimConfig config;
+    config.sa.iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+    config.filter.fab_seed = 33 + idx;
+    core::HyCimSolver solver(inst, config);
+    std::vector<long long> values;
+    util::Rng rng(7000 + idx);
+    for (int init = 0; init < cli.get_int("inits"); ++init) {
+      const auto x0 = cop::random_feasible(inst, rng);
+      long long best = 0;  // paper protocol: best value per initial config
+      for (int run = 0; run < cli.get_int("runs"); ++run) {
+        best = std::max(best, solver.solve(x0, rng.next_u64()).profit);
+      }
+      values.push_back(best);
+    }
+    rates.add(core::success_rate_percent(values, reference.profit));
+  }
+
+  std::cout << "Table 1: Summary of QUBO Solvers\n\n";
+  util::Table table({"reference", "COP", "constraint", "search-space red.",
+                     "COP->QUBO", "crossbar HW", "problem size",
+                     "avg success %"});
+  table.add_row({"[29] Cai'20", "Max-Cut", "-", "no", "D-QUBO", "Memristor",
+                 "60 node", "65*"});
+  table.add_row({"[30] Shin'18", "Spin Glass", "-", "no", "D-QUBO", "RRAM",
+                 "15 node", "-"});
+  table.add_row({"[31] Hong'21", "TSP", "equality", "no", "D-QUBO", "RRAM",
+                 "100 node", "31*"});
+  table.add_row({"[3] Yin'24", "Graph Coloring", "equality", "no", "D-QUBO",
+                 "FeFET", "21 node", "-"});
+  table.add_row({"[32] Taoka'21", "Knapsack", "inequality", "no", "D-QUBO",
+                 "RRAM", "10 node", "92.4*"});
+  table.add_row({"This work (HyCiM)", "Quadratic Knapsack", "inequality",
+                 "yes", "Inequality-QUBO", "FeFET", "100 node",
+                 util::Table::num(rates.mean(), 2)});
+  table.print(std::cout);
+  std::cout << "\n*: extracted from the cited literature (as in the paper).\n"
+            << "This-work entry measured live: " << suite.size()
+            << " instances x " << cli.get_int("inits") << " inits x "
+            << cli.get_int("runs") << " runs (paper protocol scaled down; "
+               "paper reports 98.54%).\n";
+  return 0;
+}

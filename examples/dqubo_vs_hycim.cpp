@@ -1,0 +1,92 @@
+// Side-by-side comparison on one instance: the conventional D-QUBO
+// transformation vs HyCiM's inequality-QUBO, with the same SA budget —
+// a single-instance version of the paper's headline experiment, printing
+// the search-space, precision, and quality numbers next to each other.
+#include <iostream>
+
+#include "core/dqubo_solver.hpp"
+#include "core/hycim_solver.hpp"
+#include "core/metrics.hpp"
+#include "core/reference.hpp"
+#include "hw/cost_model.hpp"
+#include "hw/search_space.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hycim;
+
+  cop::QkpGeneratorParams gen;
+  gen.n = 100;
+  gen.density_percent = 50;
+  const auto inst = cop::generate_qkp(gen, /*seed=*/13);
+
+  std::cout << "Instance: " << inst.n << " items, capacity " << inst.capacity
+            << "\n\n";
+
+  // Reference optimum for normalization.
+  const auto reference = core::reference_solution(inst);
+
+  // --- Build both formulations. ---------------------------------------------
+  core::HyCimConfig hconfig;
+  hconfig.sa.iterations = 1000;
+  core::HyCimSolver hycim(inst, hconfig);
+
+  core::DquboConfig dconfig;
+  dconfig.sa.iterations = 1000;
+  core::DquboSolver dqubo(inst, dconfig);
+
+  // --- Static comparison (Fig. 9's axes). -----------------------------------
+  const auto space = hw::compare_search_space(inst.n, inst.capacity);
+  const auto hycim_hw = hw::hycim_cost(inst.n, 7);
+  const auto dqubo_hw = hw::dqubo_cost(dqubo.size(), dqubo.matrix_bits());
+
+  util::Table shape({"property", "D-QUBO", "HyCiM"});
+  shape.add_row({"QUBO dimension",
+                 util::Table::num(static_cast<long long>(dqubo.size())),
+                 util::Table::num(static_cast<long long>(inst.n))});
+  shape.add_row({"search space", util::Table::pow2(space.dqubo_log2),
+                 util::Table::pow2(space.hycim_log2)});
+  shape.add_row({"(Qij)MAX", util::Table::num(dqubo.max_abs_coefficient(), 0),
+                 "100"});
+  shape.add_row({"matrix bits",
+                 util::Table::num(static_cast<long long>(dqubo.matrix_bits())),
+                 "7"});
+  shape.add_row({"crossbar cells",
+                 util::Table::num(static_cast<long long>(
+                     dqubo_hw.total_cells())),
+                 util::Table::num(static_cast<long long>(
+                     hycim_hw.total_cells()))});
+  shape.add_row({"HW saving", "-",
+                 util::Table::num(hw::size_saving_percent(hycim_hw, dqubo_hw),
+                                  2) +
+                     " %"});
+  shape.print(std::cout);
+
+  // --- Dynamic comparison: same budget, 20 runs each. -----------------------
+  std::vector<long long> hycim_vals, dqubo_vals;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    hycim_vals.push_back(hycim.solve_from_random(seed).profit);
+    dqubo_vals.push_back(dqubo.solve_from_random(seed).profit);
+  }
+  util::Table quality({"solver", "success %", "best normalized value"});
+  auto best_norm = [&](const std::vector<long long>& vals) {
+    long long best = 0;
+    for (auto v : vals) best = std::max(best, v);
+    return core::normalized_value(best, reference.profit);
+  };
+  quality.add_row({"D-QUBO",
+                   util::Table::num(core::success_rate_percent(
+                                        dqubo_vals, reference.profit),
+                                    1),
+                   util::Table::num(best_norm(dqubo_vals), 3)});
+  quality.add_row({"HyCiM",
+                   util::Table::num(core::success_rate_percent(
+                                        hycim_vals, reference.profit),
+                                    1),
+                   util::Table::num(best_norm(hycim_vals), 3)});
+  std::cout << "\n";
+  quality.print(std::cout);
+  std::cout << "\n(paper averages over 40 instances: HyCiM 98.54% vs D-QUBO "
+               "10.75%)\n";
+  return 0;
+}

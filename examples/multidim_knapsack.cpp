@@ -1,0 +1,62 @@
+// Multi-dimensional quadratic knapsack on HyCiM: select shipments under
+// simultaneous weight, volume, and handling-time budgets, with pairwise
+// consolidation profits.  Each resource dimension gets its own inequality-
+// filter array (filter bank); the objective QUBO keeps its 7-bit
+// coefficients no matter how many dimensions are added — whereas D-QUBO
+// would need a slack vector per dimension.
+#include <iostream>
+
+#include "core/constrained.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hycim;
+
+  cop::MdkpGeneratorParams gen;
+  gen.n = 50;
+  gen.dimensions = 3;  // weight, volume, handling time
+  gen.density_percent = 40;
+  const auto inst = cop::generate_mdkp(gen, /*seed=*/21);
+  const char* dims[] = {"weight", "volume", "handling"};
+
+  std::cout << "Multi-dimensional knapsack: " << inst.n << " shipments, "
+            << inst.dimensions() << " resource budgets\n\n";
+
+  const auto form = core::to_constrained_form(inst);
+  std::cout << "Inequality-QUBO: " << form.size() << " variables, (Qij)MAX = "
+            << form.q.max_abs_coefficient() << " ("
+            << form.q.quantization_bits() << " bits), "
+            << form.constraints.size() << " filter arrays\n\n";
+
+  core::HyCimConfig config;
+  config.sa.iterations = 4000;
+  config.filter_mode = core::FilterMode::kHardware;
+  core::ConstrainedQuboSolver solver(form, config);
+
+  // Multi-start from random feasible configurations.
+  util::Rng rng(5);
+  core::ConstrainedSolveResult best;
+  best.best_energy = 1e18;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto r = solver.solve(cop::random_feasible(inst, rng), rng.next_u64());
+    if (r.feasible && r.best_energy < best.best_energy) best = std::move(r);
+  }
+
+  const long long profit = inst.total_profit(best.best_x);
+  util::Table table({"budget", "used", "capacity"});
+  for (std::size_t d = 0; d < inst.dimensions(); ++d) {
+    table.add_row({dims[d], util::Table::num(inst.usage(best.best_x, d)),
+                   util::Table::num(inst.capacities[d])});
+  }
+  table.print(std::cout);
+
+  std::size_t selected = 0;
+  for (auto b : best.best_x) selected += b;
+  const auto greedy = cop::greedy_solution(inst);
+  std::cout << "\nShipments selected: " << selected << " / " << inst.n
+            << "\nConsolidated profit: " << profit
+            << " (greedy heuristic: " << inst.total_profit(greedy) << ")\n"
+            << "All budgets respected: " << (best.feasible ? "yes" : "NO")
+            << "\n";
+  return best.feasible && profit >= inst.total_profit(greedy) * 9 / 10 ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#include "anneal/moves.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hycim::anneal {
+
+std::vector<std::size_t> MultiFlip::propose(util::Rng& rng,
+                                            std::size_t n) const {
+  if (flips_ == 0 || flips_ > n) {
+    throw std::invalid_argument("MultiFlip: flips out of range");
+  }
+  std::vector<std::size_t> picks;
+  picks.reserve(flips_);
+  while (picks.size() < flips_) {
+    const std::size_t k = rng.index(n);
+    if (std::find(picks.begin(), picks.end(), k) == picks.end()) {
+      picks.push_back(k);
+    }
+  }
+  return picks;
+}
+
+}  // namespace hycim::anneal

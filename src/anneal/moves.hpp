@@ -1,0 +1,37 @@
+// Move generation for simulated annealing.
+//
+// The SA logic "generates a new input variable configuration" each
+// iteration (paper Sec. 3.1); the baseline move is a uniform single-bit
+// flip.  A multi-flip generator is provided for the schedule ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hycim::anneal {
+
+/// Uniformly random single-bit flip proposal.
+class SingleFlip {
+ public:
+  /// Returns the index of the bit to flip for an n-bit state.
+  std::size_t propose(util::Rng& rng, std::size_t n) const {
+    return rng.index(n);
+  }
+};
+
+/// Proposes k distinct bit flips (k >= 1); used by the ablation bench to
+/// study larger neighborhoods.
+class MultiFlip {
+ public:
+  explicit MultiFlip(std::size_t flips) : flips_(flips) {}
+
+  /// Returns `flips` distinct indices in [0, n).
+  std::vector<std::size_t> propose(util::Rng& rng, std::size_t n) const;
+
+ private:
+  std::size_t flips_;
+};
+
+}  // namespace hycim::anneal

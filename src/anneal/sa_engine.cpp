@@ -1,0 +1,133 @@
+#include "anneal/sa_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hycim::anneal {
+
+bool SaProblem::flip_feasible(std::size_t /*k*/) { return true; }
+
+double SaProblem::delta_swap(std::size_t /*i*/, std::size_t /*j*/) {
+  throw std::logic_error("SaProblem: swap moves not supported");
+}
+
+bool SaProblem::swap_feasible(std::size_t /*i*/, std::size_t /*j*/) {
+  return true;
+}
+
+void SaProblem::commit_swap(std::size_t /*i*/, std::size_t /*j*/) {
+  throw std::logic_error("SaProblem: swap moves not supported");
+}
+
+namespace {
+
+/// Mean |ΔE| over a sample of proposed flips — the auto-T0 heuristic.
+double calibrate_t0(SaProblem& problem, util::Rng& rng) {
+  const std::size_t n = problem.num_bits();
+  const std::size_t samples = std::min<std::size_t>(64, n);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double d = std::abs(problem.delta(rng.index(n)));
+    if (d > 0) {
+      acc += d;
+      ++count;
+    }
+  }
+  if (count == 0) return 1.0;
+  return std::max(1e-9, acc / static_cast<double>(count));
+}
+
+}  // namespace
+
+SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
+                             const SaParams& params) {
+  if (x0.size() != problem.num_bits()) {
+    throw std::invalid_argument("simulated_annealing: x0 size mismatch");
+  }
+  util::Rng rng(params.seed);
+  double current = problem.reset(x0);
+
+  SaResult result;
+  result.best_x = x0;
+  result.best_energy = current;
+
+  double t0 = params.t0 > 0 ? params.t0 : calibrate_t0(problem, rng);
+  const double t_end = std::max(1e-12, t0 * params.t_end_frac);
+  const Schedule schedule(params.schedule, params.iterations, t0, t_end);
+
+  if (params.record_trace) result.trace.reserve(params.iterations);
+
+  const std::size_t n = problem.num_bits();
+  const bool swaps_enabled =
+      params.swap_probability > 0.0 && problem.supports_swaps();
+  const std::size_t proposal_cap =
+      params.max_proposals > 0 ? params.max_proposals
+                               : params.iterations * 100;
+  // Scratch index lists for swap proposals, reused across iterations.
+  std::vector<std::size_t> ones, zeros;
+  ones.reserve(n);
+  zeros.reserve(n);
+
+  // The iteration index (and hence the temperature) advances per QUBO
+  // computation; filtered configurations loop straight back to the move
+  // generator (paper Fig. 6(b)).
+  while (result.evaluated < params.iterations &&
+         result.proposed < proposal_cap) {
+    ++result.proposed;
+    const double temperature = schedule.temperature(result.evaluated);
+
+    // Choose a move: swap (one-in/one-out) or single-bit flip.
+    bool is_swap = false;
+    std::size_t bit = 0, bit_out = 0;
+    if (swaps_enabled && rng.uniform() < params.swap_probability) {
+      ones.clear();
+      zeros.clear();
+      const auto& x = problem.state();
+      for (std::size_t i = 0; i < n; ++i) {
+        (x[i] ? ones : zeros).push_back(i);
+      }
+      if (!ones.empty() && !zeros.empty()) {
+        is_swap = true;
+        bit_out = ones[rng.index(ones.size())];
+        bit = zeros[rng.index(zeros.size())];
+      }
+    }
+    if (!is_swap) bit = rng.index(n);
+
+    const bool feasible = is_swap ? problem.swap_feasible(bit_out, bit)
+                                  : problem.flip_feasible(bit);
+    if (!feasible) {
+      // Filtered out: no QUBO computation, no temperature update.
+      ++result.rejected_infeasible;
+      continue;
+    }
+    ++result.evaluated;
+    const double d =
+        is_swap ? problem.delta_swap(bit_out, bit) : problem.delta(bit);
+    const bool accept =
+        d <= 0.0 || rng.uniform() < std::exp(-d / temperature);
+    if (accept) {
+      if (is_swap) {
+        problem.commit_swap(bit_out, bit);
+      } else {
+        problem.commit(bit);
+      }
+      current += d;
+      ++result.accepted;
+      if (current < result.best_energy) {
+        result.best_energy = current;
+        result.best_x = problem.state();
+      }
+    } else {
+      ++result.rejected_metropolis;
+    }
+    if (params.record_trace) result.trace.push_back(current);
+  }
+  result.final_x = problem.state();
+  result.final_energy = current;
+  return result;
+}
+
+}  // namespace hycim::anneal

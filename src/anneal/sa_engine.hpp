@@ -1,0 +1,109 @@
+// Simulated annealing engine (paper Fig. 6(b)).
+//
+// The engine is the "SA logic" block: it proposes single-bit flips, asks
+// the problem for (i) hardware feasibility of the candidate configuration
+// (the inequality filter hook) and (ii) the energy change (the crossbar
+// QUBO computation), then applies the Metropolis acceptance rule under a
+// cooling schedule.  Infeasible candidates are rejected without any QUBO
+// computation and still consume an iteration — exactly the flow of Fig. 3:
+// "infeasible configurations are returned to SA logic to generate the next
+// input variable configuration".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "anneal/schedule.hpp"
+#include "qubo/qubo_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::anneal {
+
+/// The problem-side interface the SA logic drives.  Implementations wrap
+/// either ideal software evaluation or the CiM circuit models.
+class SaProblem {
+ public:
+  virtual ~SaProblem() = default;
+
+  /// Number of binary variables.
+  virtual std::size_t num_bits() const = 0;
+
+  /// (Re)initializes the internal state to `x` and returns its energy.
+  virtual double reset(const qubo::BitVector& x) = 0;
+
+  /// Energy change of flipping bit k of the current state (state unchanged).
+  virtual double delta(std::size_t k) = 0;
+
+  /// Whether the configuration obtained by flipping bit k is feasible.
+  /// The default (unconstrained QUBO / D-QUBO) accepts everything.
+  virtual bool flip_feasible(std::size_t k);
+
+  /// Commits the flip of bit k.
+  virtual void commit(std::size_t k) = 0;
+
+  /// Current state.
+  virtual const qubo::BitVector& state() const = 0;
+
+  // --- Optional swap (one-in/one-out) moves. ------------------------------
+  // The paper's SA logic only specifies that a *new input configuration* is
+  // generated each iteration (Fig. 6(b)); a swap of a selected and an
+  // unselected bit is the standard knapsack neighborhood — single flips
+  // alone cannot exchange items through a tight capacity constraint.
+  // Problems that can evaluate joint flips override these; the engine only
+  // proposes swaps when supports_swaps() is true.
+
+  /// Whether delta_swap/swap_feasible/commit_swap are implemented.
+  virtual bool supports_swaps() const { return false; }
+  /// Energy change of flipping both bits (i selected, j unselected).
+  virtual double delta_swap(std::size_t i, std::size_t j);
+  /// Feasibility of the configuration with both bits flipped.
+  virtual bool swap_feasible(std::size_t i, std::size_t j);
+  /// Commits the joint flip.
+  virtual void commit_swap(std::size_t i, std::size_t j);
+};
+
+/// SA hyper-parameters.
+///
+/// `iterations` counts *QUBO computations* (feasible proposals), matching
+/// paper Fig. 6(b): an infeasible configuration is bounced back by the
+/// inequality filter to the move generator without a QUBO computation and
+/// without advancing the temperature schedule — this is exactly the
+/// "preventing unnecessary QUBO computations" efficiency the paper claims
+/// for the filter.  `max_proposals` bounds the total work when feasible
+/// moves are scarce.
+struct SaParams {
+  std::size_t iterations = 1000;  ///< QUBO computations (paper Sec. 4.3)
+  std::size_t max_proposals = 0;  ///< total-proposal cap; 0 = 100·iterations
+  double t0 = 0.0;       ///< initial temperature; 0 = auto-calibrate
+  double t_end_frac = 1e-3;       ///< T_end = t_end_frac · T0
+  ScheduleKind schedule = ScheduleKind::kGeometric;
+  std::uint64_t seed = 1;
+  bool record_trace = false;      ///< store energy per QUBO computation
+  /// Probability of proposing a swap move instead of a single-bit flip
+  /// (only effective when the problem supports_swaps()).
+  double swap_probability = 0.5;
+};
+
+/// Outcome of one SA run.
+struct SaResult {
+  qubo::BitVector best_x;   ///< lowest-energy state visited
+  double best_energy = 0.0;
+  qubo::BitVector final_x;  ///< state after the last iteration
+  double final_energy = 0.0;
+  std::size_t proposed = 0;   ///< all generated configurations
+  std::size_t evaluated = 0;  ///< QUBO computations (feasible proposals)
+  std::size_t accepted = 0;
+  std::size_t rejected_infeasible = 0;  ///< filtered by the inequality filter
+  std::size_t rejected_metropolis = 0;
+  std::vector<double> trace;  ///< energy per QUBO computation (when recorded)
+};
+
+/// Runs simulated annealing on `problem` starting from `x0`.
+/// `x0.size()` must equal problem.num_bits().  When params.t0 == 0 the
+/// initial temperature is calibrated to the mean |ΔE| of a sample of
+/// single-bit flips from x0 (a standard heuristic), so callers need no
+/// per-instance tuning.
+SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
+                             const SaParams& params);
+
+}  // namespace hycim::anneal

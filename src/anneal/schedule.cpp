@@ -1,0 +1,35 @@
+#include "anneal/schedule.hpp"
+
+#include <cmath>
+
+namespace hycim::anneal {
+
+Schedule::Schedule(ScheduleKind kind, std::size_t iterations, double t0,
+                   double t_end)
+    : kind_(kind), iterations_(iterations), t0_(t0), t_end_(t_end) {
+  if (iterations == 0) throw std::invalid_argument("Schedule: 0 iterations");
+  if (t_end <= 0 || t0 < t_end) {
+    throw std::invalid_argument("Schedule: need t0 >= t_end > 0");
+  }
+  if (kind_ == ScheduleKind::kGeometric && iterations_ > 1) {
+    ratio_ = std::pow(t_end_ / t0_,
+                      1.0 / static_cast<double>(iterations_ - 1));
+  }
+}
+
+double Schedule::temperature(std::size_t k) const {
+  if (k >= iterations_) k = iterations_ - 1;
+  switch (kind_) {
+    case ScheduleKind::kGeometric:
+      return t0_ * std::pow(ratio_, static_cast<double>(k));
+    case ScheduleKind::kLinear:
+      if (iterations_ == 1) return t0_;
+      return t0_ + (t_end_ - t0_) * static_cast<double>(k) /
+                       static_cast<double>(iterations_ - 1);
+    case ScheduleKind::kConstant:
+      return t0_;
+  }
+  return t0_;  // unreachable
+}
+
+}  // namespace hycim::anneal

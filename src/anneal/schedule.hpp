@@ -1,0 +1,41 @@
+// Annealing temperature schedules.
+//
+// The SA logic of paper Fig. 6(b) "updates temperature" once per iteration;
+// the exact law is not specified, so the standard geometric schedule is the
+// default and linear/constant variants are provided for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace hycim::anneal {
+
+/// Supported cooling laws.
+enum class ScheduleKind {
+  kGeometric,  ///< T_k = T0 · r^k with r chosen to land on T_end
+  kLinear,     ///< T_k = T0 + (T_end − T0) · k/(K−1)
+  kConstant,   ///< T_k = T0 (Metropolis at fixed temperature)
+};
+
+/// Temperature as a function of the iteration index.
+class Schedule {
+ public:
+  /// `iterations` is the total SA length K; `t0` and `t_end` the initial
+  /// and final temperatures (t0 >= t_end > 0 required).
+  Schedule(ScheduleKind kind, std::size_t iterations, double t0, double t_end);
+
+  /// Temperature at iteration k in [0, iterations).
+  double temperature(std::size_t k) const;
+
+  std::size_t iterations() const { return iterations_; }
+  ScheduleKind kind() const { return kind_; }
+
+ private:
+  ScheduleKind kind_;
+  std::size_t iterations_;
+  double t0_;
+  double t_end_;
+  double ratio_ = 1.0;  // geometric decay per iteration
+};
+
+}  // namespace hycim::anneal

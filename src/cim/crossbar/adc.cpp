@@ -1,0 +1,30 @@
+#include "cim/crossbar/adc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hycim::cim {
+
+Adc::Adc(const AdcParams& params, std::uint64_t noise_seed)
+    : params_(params), rng_(noise_seed) {
+  if (params_.bits < 1 || params_.bits > 24) {
+    throw std::invalid_argument("Adc: bits out of range");
+  }
+  if (params_.i_lsb <= 0) throw std::invalid_argument("Adc: i_lsb <= 0");
+}
+
+long long Adc::convert(double current) {
+  double i = current;
+  if (params_.sigma_noise_a > 0) {
+    i += rng_.gaussian(0.0, params_.sigma_noise_a);
+  }
+  long long code = std::llround(i / params_.i_lsb);
+  if (code < 0) code = 0;
+  if (code > max_code()) {
+    code = max_code();
+    ++clips_;
+  }
+  return code;
+}
+
+}  // namespace hycim::cim

@@ -1,0 +1,46 @@
+// Behavioral column ADC with sample-and-accumulate front end
+// (paper Fig. 6(a): "ADC" + "Add Shift Sum" per column group).
+//
+// The ADC digitizes a column current into a cell count.  Its LSB is
+// calibrated to the nominal single-cell ON current, so in the ideal corner
+// the code equals the number of conducting cells exactly; quantization
+// error, input-referred noise, and full-scale clipping appear as code
+// errors that propagate into the accumulated QUBO value.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace hycim::cim {
+
+/// ADC configuration.
+struct AdcParams {
+  int bits = 8;                ///< resolution; codes 0 .. 2^bits - 1
+  double i_lsb = 1e-6;         ///< current per code (calibrated cell current)
+  double sigma_noise_a = 0.0;  ///< input-referred current noise [A]
+};
+
+/// One ADC instance with its own noise stream.
+class Adc {
+ public:
+  Adc(const AdcParams& params, std::uint64_t noise_seed);
+
+  /// Digitizes `current` [A] into a code in [0, 2^bits - 1].
+  long long convert(double current);
+
+  /// Largest representable code.
+  long long max_code() const { return (1LL << params_.bits) - 1; }
+
+  /// Number of conversions clipped at full scale so far.
+  std::size_t clip_count() const { return clips_; }
+
+  const AdcParams& params() const { return params_; }
+
+ private:
+  AdcParams params_;
+  util::Rng rng_;
+  std::size_t clips_ = 0;
+};
+
+}  // namespace hycim::cim

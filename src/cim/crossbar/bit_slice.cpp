@@ -1,0 +1,104 @@
+#include "cim/crossbar/bit_slice.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hycim::cim {
+
+long long QuantizedQubo::at(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  if (j >= n) throw std::out_of_range("QuantizedQubo::at");
+  return values[i * n - i * (i - 1) / 2 + (j - i)];
+}
+
+qubo::QuboMatrix QuantizedQubo::dequantize() const {
+  qubo::QuboMatrix q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      q.set(i, j, static_cast<double>(at(i, j)) * scale);
+    }
+  }
+  q.set_offset(offset);
+  return q;
+}
+
+double QuantizedQubo::energy(std::span<const std::uint8_t> x) const {
+  assert(x.size() == n);
+  long long acc = 0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!x[i]) {
+      idx += n - i;
+      continue;
+    }
+    for (std::size_t j = i; j < n; ++j, ++idx) {
+      if (x[j]) acc += values[idx];
+    }
+  }
+  return static_cast<double>(acc) * scale + offset;
+}
+
+QuantizedQubo quantize(const qubo::QuboMatrix& q, int max_bits) {
+  if (max_bits < 1 || max_bits > 62) {
+    throw std::invalid_argument("quantize: max_bits out of range");
+  }
+  QuantizedQubo out;
+  out.n = q.size();
+  out.offset = q.offset();
+  const auto packed = q.packed();
+  out.values.resize(packed.size());
+
+  const double max_abs = q.max_abs_coefficient();
+  const double range = static_cast<double>((1LL << max_bits) - 1);
+
+  // Detect exactly-representable integer matrices (the common case for the
+  // COP transformations, whose coefficients are integral).
+  bool integral = true;
+  for (double v : packed) {
+    if (v != std::floor(v) || std::abs(v) > range) {
+      integral = false;
+      break;
+    }
+  }
+  if (integral) {
+    out.scale = 1.0;
+    for (std::size_t k = 0; k < packed.size(); ++k) {
+      out.values[k] = static_cast<long long>(packed[k]);
+    }
+  } else {
+    out.scale = max_abs > 0 ? max_abs / range : 1.0;
+    for (std::size_t k = 0; k < packed.size(); ++k) {
+      out.values[k] = static_cast<long long>(std::llround(packed[k] / out.scale));
+    }
+  }
+
+  long long max_mag = 1;
+  for (long long v : out.values) max_mag = std::max(max_mag, std::llabs(v));
+  out.magnitude_bits = 1;
+  while ((1LL << out.magnitude_bits) - 1 < max_mag) ++out.magnitude_bits;
+  return out;
+}
+
+std::vector<std::uint8_t> bit_plane(const QuantizedQubo& q, int bit,
+                                    int sign) {
+  if (bit < 0 || bit >= q.magnitude_bits) {
+    throw std::invalid_argument("bit_plane: bit out of range");
+  }
+  if (sign != 1 && sign != -1) {
+    throw std::invalid_argument("bit_plane: sign must be +/-1");
+  }
+  std::vector<std::uint8_t> plane(q.n * q.n, 0);
+  for (std::size_t i = 0; i < q.n; ++i) {
+    for (std::size_t j = i; j < q.n; ++j) {
+      const long long v = q.at(i, j);
+      if ((sign > 0 && v <= 0) || (sign < 0 && v >= 0)) continue;
+      if ((std::llabs(v) >> bit) & 1LL) plane[i * q.n + j] = 1;
+    }
+  }
+  return plane;
+}
+
+}  // namespace hycim::cim

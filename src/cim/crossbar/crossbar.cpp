@@ -1,0 +1,101 @@
+#include "cim/crossbar/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hycim::cim {
+
+device::FeFetParams CrossbarParams::binary_fefet() {
+  device::FeFetParams p;
+  p.num_levels = 2;  // erased (bit 0) vs fully programmed (bit 1)
+  return p;
+}
+
+CrossbarArray::CrossbarArray(const CrossbarParams& params, std::size_t rows,
+                             std::size_t cols,
+                             std::span<const std::uint8_t> bits,
+                             device::VariationModel& fab)
+    : params_(params), rows_(rows), cols_(cols),
+      bits_(bits.begin(), bits.end()) {
+  if (bits.size() != rows * cols) {
+    throw std::invalid_argument("CrossbarArray: bits size mismatch");
+  }
+  if (params_.fefet.num_levels != 2) {
+    throw std::invalid_argument("CrossbarArray: needs a binary device corner");
+  }
+  v_read_ = device::FeFet::read_voltage(params_.fefet, 1);
+
+  device::CellParams cell_params;
+  cell_params.r_series = params_.r_series;
+  cell_params.v_dd = params_.v_dl;
+
+  auto devices = fab.fabricate(params_.fefet, rows * cols);
+  cells_.reserve(devices.size());
+  for (std::size_t k = 0; k < devices.size(); ++k) {
+    cells_.emplace_back(std::move(devices[k]), cell_params,
+                        fab.resistor_factor());
+    cells_.back().program(bits_[k] ? 1 : 0, fab.rng());
+  }
+  rebuild_cache();
+}
+
+void CrossbarArray::rebuild_cache() {
+  cell_current_.assign(cells_.size(), 0.0);
+  leak_current_.assign(cells_.size(), 0.0);
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    cell_current_[k] = cells_[k].current(v_read_, params_.v_dl);
+    leak_current_[k] = cells_[k].current(0.0, params_.v_dl);
+  }
+}
+
+double CrossbarArray::column_current(std::span<const std::uint8_t> x_rows,
+                                     std::size_t col) const {
+  assert(x_rows.size() == rows_);
+  assert(col < cols_);
+  double i = 0.0;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    const std::size_t k = row * cols_ + col;
+    i += x_rows[row] ? cell_current_[k] : leak_current_[k];
+  }
+  return i;
+}
+
+double CrossbarArray::activated_cells_current(std::size_t count) const {
+  double i = 0.0;
+  std::size_t activated = 0;
+  for (std::size_t k = 0; k < cells_.size() && activated < count; ++k) {
+    if (bits_[k]) {
+      i += cell_current_[k];
+      ++activated;
+    }
+  }
+  return i;
+}
+
+double CrossbarArray::nominal_cell_current() const {
+  // Nominal (variation-free) regulated ON current at the read overdrive.
+  const double overdrive =
+      v_read_ - device::FeFet::nominal_vth(params_.fefet, 1);
+  const double rch = params_.fefet.rch0 / (1.0 + params_.fefet.gm_lin *
+                                                     std::max(0.0, overdrive));
+  return params_.v_dl / (params_.r_series + rch);
+}
+
+void CrossbarArray::reprogram(util::Rng& rng) {
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    cells_[k].program(bits_[k] ? 1 : 0, rng);
+  }
+  rebuild_cache();
+}
+
+void CrossbarArray::age(double seconds) {
+  for (auto& cell : cells_) cell.age(seconds);
+  rebuild_cache();
+}
+
+std::uint8_t CrossbarArray::bit(std::size_t row, std::size_t col) const {
+  return bits_.at(row * cols_ + col);
+}
+
+}  // namespace hycim::cim

@@ -1,0 +1,85 @@
+// Physical FeFET CiM crossbar array (paper Fig. 6(a), Fig. 7).
+//
+// An R×C grid of binary 1FeFET1R cells.  A computation applies the input
+// vector to the word lines (gates) and drives the selected columns' drain
+// lines; the column current is the sum of the ON cells' regulated currents:
+//
+//   I_col(j) = Σ_i  x_i · bit_ij · I_cell(i,j)
+//
+// which is the single-transistor multiplication i = x · q · y of Fig. 2(c)
+// accumulated down a column.  Per-cell currents (with all device variation
+// baked in) are cached after programming, so column evaluation is a sparse
+// sum — equivalent to, but much faster than, re-evaluating device models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/cell_1f1r.hpp"
+#include "device/variation.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cim {
+
+/// Electrical configuration of a crossbar.
+struct CrossbarParams {
+  double v_dl = 0.5;        ///< drain-line drive voltage [V]
+  double r_series = 500e3;  ///< per-cell series resistor [ohm]
+  device::FeFetParams fefet = binary_fefet();
+
+  /// Binary device corner (2 levels) used by crossbar cells.
+  static device::FeFetParams binary_fefet();
+};
+
+/// A programmed binary crossbar.
+class CrossbarArray {
+ public:
+  /// Fabricates an R×C array and programs `bits` (row-major R*C, 0/1).
+  CrossbarArray(const CrossbarParams& params, std::size_t rows,
+                std::size_t cols, std::span<const std::uint8_t> bits,
+                device::VariationModel& fab);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Analog current of column `col` with row inputs `x_rows` applied to the
+  /// word lines and the column's drain line driven [A].
+  double column_current(std::span<const std::uint8_t> x_rows,
+                        std::size_t col) const;
+
+  /// Current with `count` arbitrary cells of column 0..cols-1 activated —
+  /// the Fig. 7(d) linearity experiment: activates the first `count`
+  /// programmed cells in row-major order and sums their currents.
+  double activated_cells_current(std::size_t count) const;
+
+  /// Nominal single-cell ON current used to calibrate the ADC LSB [A].
+  double nominal_cell_current() const;
+
+  /// Re-programs every cell with fresh cycle-to-cycle noise (the Fig. 7(f)
+  /// erase-and-reprogram experiment).
+  void reprogram(util::Rng& rng);
+
+  /// Ages every cell by `seconds` of retention time and refreshes caches.
+  void age(double seconds);
+
+  /// The stored bit at (row, col).
+  std::uint8_t bit(std::size_t row, std::size_t col) const;
+
+  /// Word-line read voltage applied to gates during compute.
+  double read_voltage() const { return v_read_; }
+
+ private:
+  void rebuild_cache();
+
+  CrossbarParams params_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> bits_;
+  std::vector<device::Cell1F1R> cells_;   // row-major
+  std::vector<double> cell_current_;      // cached ON current per cell [A]
+  std::vector<double> leak_current_;      // cached OFF leakage per cell [A]
+  double v_read_ = 0.0;
+};
+
+}  // namespace hycim::cim

@@ -1,0 +1,77 @@
+#include "cim/crossbar/vmv_engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hycim::cim {
+
+VmvEngine::VmvEngine(const VmvEngineParams& params, const qubo::QuboMatrix& q)
+    : params_(params),
+      n_(q.size()),
+      original_(q),
+      quantized_(quantize(q, params.matrix_bits)),
+      reprogram_rng_(params.fab_seed ^ 0x5bd1e995ULL) {
+  if (params_.mode != VmvMode::kCircuit) return;
+
+  fab_ = std::make_unique<device::VariationModel>(params_.variation,
+                                                  params_.fab_seed);
+  // Calibrate the ADC LSB to the nominal cell current once the corner is
+  // known; build one positive and one negative crossbar per magnitude bit.
+  AdcParams adc = params_.adc;
+  for (int b = 0; b < quantized_.magnitude_bits; ++b) {
+    pos_planes_.emplace_back(params_.crossbar, n_, n_,
+                             bit_plane(quantized_, b, +1), *fab_);
+    neg_planes_.emplace_back(params_.crossbar, n_, n_,
+                             bit_plane(quantized_, b, -1), *fab_);
+  }
+  if (!pos_planes_.empty()) {
+    adc.i_lsb = pos_planes_.front().nominal_cell_current();
+  }
+  adc_ = std::make_unique<Adc>(adc, params_.fab_seed * 0x2545F4914F6CDD1DULL);
+}
+
+VmvEngine::~VmvEngine() = default;
+VmvEngine::VmvEngine(VmvEngine&&) noexcept = default;
+VmvEngine& VmvEngine::operator=(VmvEngine&&) noexcept = default;
+
+double VmvEngine::energy(std::span<const std::uint8_t> x) {
+  if (x.size() != n_) throw std::invalid_argument("VmvEngine::energy: size");
+  switch (params_.mode) {
+    case VmvMode::kIdeal:
+      return original_.energy(x);
+    case VmvMode::kQuantized:
+      return quantized_.energy(x);
+    case VmvMode::kCircuit:
+      return circuit_energy(x);
+  }
+  return 0.0;  // unreachable
+}
+
+double VmvEngine::circuit_energy(std::span<const std::uint8_t> x) {
+  // For every selected column j (x_j = 1), the word lines carry x and the
+  // column current of each bit plane is digitized; codes are shift-added
+  // across planes and summed over columns, positive minus negative.
+  long long acc = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (!x[j]) continue;
+    for (int b = 0; b < quantized_.magnitude_bits; ++b) {
+      const long long pos_code =
+          adc_->convert(pos_planes_[static_cast<std::size_t>(b)].column_current(x, j));
+      const long long neg_code =
+          adc_->convert(neg_planes_[static_cast<std::size_t>(b)].column_current(x, j));
+      acc += (pos_code - neg_code) << b;
+    }
+  }
+  return static_cast<double>(acc) * quantized_.scale + quantized_.offset;
+}
+
+void VmvEngine::reprogram() {
+  for (auto& plane : pos_planes_) plane.reprogram(reprogram_rng_);
+  for (auto& plane : neg_planes_) plane.reprogram(reprogram_rng_);
+}
+
+std::size_t VmvEngine::adc_clips() const {
+  return adc_ ? adc_->clip_count() : 0;
+}
+
+}  // namespace hycim::cim

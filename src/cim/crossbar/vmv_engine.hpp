@@ -1,0 +1,95 @@
+// Vector-matrix-vector (VMV) QUBO computation engine (paper Sec. 3.4).
+//
+// Maps a quantized QUBO matrix onto bit-plane crossbars (one positive and
+// one negative plane set) and computes E(x) = xᵀQx through column currents:
+// the input x is applied to the word lines (xᵀ side) while the same x
+// selects/drives the columns (x side); each selected column's current is
+// digitized by an ADC and the codes are shift-added across bit planes
+// (Fig. 6(a): "Add Shift Sum").
+//
+// Three fidelity modes let callers trade accuracy modelling for speed:
+//   kIdeal      — exact double-precision energy of the *original* matrix;
+//   kQuantized  — exact energy of the *quantized* matrix (the dominant
+//                 hardware effect; fast enough for SA-in-the-loop);
+//   kCircuit    — full per-cell current + ADC path (used for validation
+//                 and the chip-level experiments of Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cim/crossbar/adc.hpp"
+#include "cim/crossbar/bit_slice.hpp"
+#include "cim/crossbar/crossbar.hpp"
+#include "device/variation.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::cim {
+
+/// Evaluation fidelity of the engine.
+enum class VmvMode {
+  kIdeal,
+  kQuantized,
+  kCircuit,
+};
+
+/// Engine configuration.
+struct VmvEngineParams {
+  VmvMode mode = VmvMode::kQuantized;
+  int matrix_bits = 7;  ///< quantization budget, ⌈log2 (Qij)MAX⌉ for exact
+  AdcParams adc{};      ///< per-column ADC corner (kCircuit only)
+  CrossbarParams crossbar{};            ///< cell corner (kCircuit only)
+  device::VariationParams variation{};  ///< fabrication corners
+  std::uint64_t fab_seed = 7;
+};
+
+/// A programmed VMV engine for one QUBO matrix.
+class VmvEngine {
+ public:
+  /// Quantizes `q` and, in kCircuit mode, fabricates and programs the
+  /// bit-plane crossbars.
+  VmvEngine(const VmvEngineParams& params, const qubo::QuboMatrix& q);
+
+  ~VmvEngine();
+  VmvEngine(VmvEngine&&) noexcept;
+  VmvEngine& operator=(VmvEngine&&) noexcept;
+
+  /// QUBO energy of configuration `x` at the configured fidelity
+  /// (original-matrix units; includes the matrix's constant offset).
+  double energy(std::span<const std::uint8_t> x);
+
+  /// Number of variables.
+  std::size_t size() const { return n_; }
+
+  /// The quantized matrix actually mapped to the hardware.
+  const QuantizedQubo& quantized() const { return quantized_; }
+
+  /// Magnitude bits per element stored in the crossbars.
+  int magnitude_bits() const { return quantized_.magnitude_bits; }
+
+  /// Re-programs all crossbars with fresh cycle-to-cycle noise
+  /// (kCircuit mode; the Fig. 7(f) erase/reprogram experiment).
+  void reprogram();
+
+  /// Total full-scale ADC clips across all conversions so far.
+  std::size_t adc_clips() const;
+
+  const VmvEngineParams& params() const { return params_; }
+
+ private:
+  double circuit_energy(std::span<const std::uint8_t> x);
+
+  VmvEngineParams params_;
+  std::size_t n_ = 0;
+  qubo::QuboMatrix original_;
+  QuantizedQubo quantized_;
+  std::vector<CrossbarArray> pos_planes_;  // one crossbar per magnitude bit
+  std::vector<CrossbarArray> neg_planes_;
+  std::unique_ptr<device::VariationModel> fab_;
+  std::unique_ptr<Adc> adc_;
+  util::Rng reprogram_rng_;
+};
+
+}  // namespace hycim::cim

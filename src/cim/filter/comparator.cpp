@@ -1,0 +1,20 @@
+#include "cim/filter/comparator.hpp"
+
+namespace hycim::cim {
+
+Comparator::Comparator(const ComparatorParams& params, util::Rng& fab_rng,
+                       std::uint64_t decision_seed)
+    : params_(params),
+      offset_(params.sigma_offset > 0
+                  ? fab_rng.gaussian(0.0, params.sigma_offset)
+                  : 0.0),
+      noise_rng_(decision_seed) {}
+
+bool Comparator::compare(double v_plus, double v_minus) {
+  const double noise = params_.sigma_noise > 0
+                           ? noise_rng_.gaussian(0.0, params_.sigma_noise)
+                           : 0.0;
+  return (v_plus - v_minus) >= (offset_ + noise);
+}
+
+}  // namespace hycim::cim

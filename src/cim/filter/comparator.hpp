@@ -1,0 +1,46 @@
+// 2-stage voltage comparator (paper Fig. 5(c)-(e), after ref [19]):
+// a differential pre-amplifier followed by a dynamic latched comparator.
+//
+// Behaviorally, the decision is  (IN+) − (IN−) >= offset + noise, where
+// `offset` is a fixed input-referred offset drawn at fabrication (stage-1
+// mismatch) and `noise` is re-drawn per comparison (latch thermal noise).
+// The pre-amplifier's finite gain also sets a metastability band: when the
+// amplified differential is below the latch's resolvable swing the outcome
+// is decided by noise, which the model reproduces naturally.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace hycim::cim {
+
+/// Noise/offset corners of the comparator.
+struct ComparatorParams {
+  double sigma_offset = 50e-6;  ///< fabrication offset spread [V]
+  double sigma_noise = 20e-6;   ///< per-decision input-referred noise [V]
+};
+
+/// One fabricated comparator instance.
+class Comparator {
+ public:
+  /// Draws the fixed offset from `fab_rng`; `decision_seed` seeds the
+  /// per-comparison noise stream.
+  Comparator(const ComparatorParams& params, util::Rng& fab_rng,
+             std::uint64_t decision_seed);
+
+  /// True when v_plus exceeds v_minus beyond offset + fresh noise.
+  bool compare(double v_plus, double v_minus);
+
+  /// The realized input-referred offset of this instance [V].
+  double offset() const { return offset_; }
+
+  const ComparatorParams& params() const { return params_; }
+
+ private:
+  ComparatorParams params_;
+  double offset_;
+  util::Rng noise_rng_;
+};
+
+}  // namespace hycim::cim

@@ -1,0 +1,107 @@
+#include "cim/filter/equality_filter.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "cim/filter/inequality_filter.hpp"
+
+namespace hycim::cim {
+
+namespace {
+
+std::vector<long long> replica_weights_for(long long target,
+                                           std::size_t columns,
+                                           long long column_max) {
+  if (target < 0) {
+    throw std::invalid_argument("EqualityFilter: negative target");
+  }
+  if (target > static_cast<long long>(columns) * column_max) {
+    throw std::invalid_argument("EqualityFilter: target beyond replica range");
+  }
+  std::vector<long long> w(columns, 0);
+  long long remaining = target;
+  for (std::size_t i = 0; i < columns && remaining > 0; ++i) {
+    w[i] = std::min(remaining, column_max);
+    remaining -= w[i];
+  }
+  return w;
+}
+
+}  // namespace
+
+EqualityFilter::EqualityFilter(const InequalityFilterParams& params,
+                               const std::vector<long long>& weights,
+                               long long target)
+    : weights_(weights),
+      target_(target),
+      reprogram_rng_(params.fab_seed ^ 0x0f0f1e1e2d2d3c3cULL) {
+  if (params.margin_units <= 0.0 || params.margin_units >= 1.0) {
+    throw std::invalid_argument(
+        "EqualityFilter: margin_units must be in (0, 1)");
+  }
+  margin_units_ = params.margin_units;
+  fab_ = std::make_unique<device::VariationModel>(params.variation,
+                                                  params.fab_seed);
+  const long long column_max = max_representable_weight(
+      params.array.rows, params.array.fefet.num_levels - 1);
+  for (long long w : weights_) {
+    if (w > column_max) {
+      throw std::invalid_argument("EqualityFilter: weight " +
+                                  std::to_string(w) + " exceeds column max");
+    }
+  }
+  working_ = std::make_unique<FilterArray>(params.array, weights_, *fab_);
+  replica_ = std::make_unique<FilterArray>(
+      params.array, replica_weights_for(target, weights_.size(), column_max),
+      *fab_);
+  replica_x_.assign(weights_.size(), 1);
+  upper_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
+                                        params.fab_seed * 0x9e3779b9ULL + 1);
+  lower_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
+                                        params.fab_seed * 0x9e3779b9ULL + 2);
+  refresh_thresholds();
+}
+
+EqualityFilter::~EqualityFilter() = default;
+EqualityFilter::EqualityFilter(EqualityFilter&&) noexcept = default;
+EqualityFilter& EqualityFilter::operator=(EqualityFilter&&) noexcept = default;
+
+void EqualityFilter::refresh_thresholds() {
+  replica_ml_ = replica_->evaluate(replica_x_);
+  window_v_ =
+      margin_units_ * replica_ml_ * working_->nominal_unit_drop_fraction();
+}
+
+bool EqualityFilter::is_satisfied(std::span<const std::uint8_t> x) {
+  const double ml = working_->evaluate(x);
+  // Window comparator: inside [Replica − window, Replica + window].
+  const bool not_above = upper_->compare(replica_ml_ + window_v_, ml);
+  const bool not_below = lower_->compare(ml + window_v_, replica_ml_);
+  return not_above && not_below;
+}
+
+bool EqualityFilter::exact_satisfied(std::span<const std::uint8_t> x) const {
+  long long total = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (x[i]) total += weights_[i];
+  }
+  return total == target_;
+}
+
+double EqualityFilter::ml_voltage(std::span<const std::uint8_t> x) const {
+  return working_->evaluate(x);
+}
+
+void EqualityFilter::reprogram() {
+  working_->reprogram(reprogram_rng_);
+  replica_->reprogram(reprogram_rng_);
+  refresh_thresholds();
+}
+
+void EqualityFilter::age(double seconds) {
+  working_->age(seconds);
+  replica_->age(seconds);
+  refresh_thresholds();
+}
+
+}  // namespace hycim::cim

@@ -1,0 +1,88 @@
+// FeFET-based CiM *equality* filter.
+//
+// Paper Sec. 3.2: "COPs without constraints or with equality constraints
+// can be considered as special cases of COPs with inequality".  A linear
+// equality ®w·®x = C is evaluated on the same matchline hardware as the
+// inequality filter by replacing the single skewed comparator with a
+// *window comparator*: two comparators check
+//
+//   ML >= ReplicaML − ½·unit   and   ML <= ReplicaML + ½·unit
+//
+// which for integer weights holds exactly when Σwᵢxᵢ = C.  This lets
+// one-hot / cardinality / assignment structure move out of the penalty
+// QUBO and into hardware, the same separation the inequality-QUBO
+// transformation performs for inequalities.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cim/filter/comparator.hpp"
+#include "cim/filter/filter_array.hpp"
+#include "device/variation.hpp"
+
+namespace hycim::cim {
+
+struct InequalityFilterParams;  // shares the same configuration shape
+
+/// Configuration of an equality filter (reuses the inequality filter's
+/// parameter struct: array geometry, comparator corners, variation,
+/// fab_seed, margin_units — the window half-width in weight units).
+/// margin_units must be in (0, 1) for integer weights.
+class EqualityFilter {
+ public:
+  /// Builds working + replica arrays for constraint ®w·®x = `target`.
+  EqualityFilter(const InequalityFilterParams& params,
+                 const std::vector<long long>& weights, long long target);
+
+  ~EqualityFilter();
+  EqualityFilter(EqualityFilter&&) noexcept;
+  EqualityFilter& operator=(EqualityFilter&&) noexcept;
+
+  /// Hardware verdict: true iff the ML lands inside the window.
+  bool is_satisfied(std::span<const std::uint8_t> x);
+
+  /// Ground-truth check (software).
+  bool exact_satisfied(std::span<const std::uint8_t> x) const;
+
+  /// Working-array ML voltage [V].
+  double ml_voltage(std::span<const std::uint8_t> x) const;
+
+  /// Cached replica ML voltage [V].
+  double replica_voltage() const { return replica_ml_; }
+
+  /// The window half-width [V].
+  double window_voltage() const { return window_v_; }
+
+  /// Re-programs both arrays (fresh cycle-to-cycle noise).
+  void reprogram();
+
+  /// Ages both arrays (retention drift; common-mode, like the inequality
+  /// filter's replica tracking).
+  void age(double seconds);
+
+  /// Number of variables.
+  std::size_t items() const { return weights_.size(); }
+  /// The equality target C.
+  long long target() const { return target_; }
+
+ private:
+  void refresh_thresholds();
+
+  std::vector<long long> weights_;
+  long long target_ = 0;
+  std::unique_ptr<FilterArray> working_;
+  std::unique_ptr<FilterArray> replica_;
+  std::vector<std::uint8_t> replica_x_;
+  std::unique_ptr<Comparator> upper_;  ///< ML <= Replica + window
+  std::unique_ptr<Comparator> lower_;  ///< ML >= Replica − window
+  std::unique_ptr<device::VariationModel> fab_;
+  util::Rng reprogram_rng_;
+  double replica_ml_ = 0.0;
+  double window_v_ = 0.0;
+  double margin_units_ = 0.5;
+};
+
+}  // namespace hycim::cim

@@ -1,0 +1,143 @@
+#include "cim/filter/filter_array.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hycim::cim {
+
+FilterArray::FilterArray(const FilterArrayParams& params,
+                         const std::vector<long long>& weights,
+                         device::VariationModel& fab)
+    : params_(params), columns_(weights.size()) {
+  const int k_max = params_.fefet.num_levels - 1;
+  const auto levels =
+      decompose_weights(weights, params_.rows, k_max, params_.decompose);
+
+  device::CellParams cell_params;
+  cell_params.r_series = params_.r_series;
+  cell_params.v_dd = params_.v_dd;
+
+  auto devices = fab.fabricate(params_.fefet, params_.rows * columns_);
+  cells_.reserve(devices.size());
+  for (std::size_t row = 0; row < params_.rows; ++row) {
+    for (std::size_t col = 0; col < columns_; ++col) {
+      const std::size_t flat = row * columns_ + col;
+      cells_.emplace_back(std::move(devices[flat]), cell_params,
+                          fab.resistor_factor());
+      cells_.back().program(levels[col][row], fab.rng());
+    }
+  }
+  // Ascending staircase: phase 0 applies Vread_(L-1) (lowest amplitude,
+  // only the highest level conducts), the last phase applies Vread_1.
+  for (int j = params_.fefet.num_levels - 1; j >= 1; --j) {
+    read_voltages_.push_back(device::FeFet::read_voltage(params_.fefet, j));
+  }
+  rebuild_cache();
+}
+
+void FilterArray::rebuild_cache() {
+  const std::size_t phases = read_voltages_.size();
+  g_cache_.assign(phases, std::vector<double>(columns_, 0.0));
+  isat_cache_.assign(phases, std::vector<double>(columns_, 0.0));
+  isat_idle_.assign(columns_, 0.0);
+  isat_idle_total_ = 0.0;
+  for (std::size_t col = 0; col < columns_; ++col) {
+    for (std::size_t row = 0; row < params_.rows; ++row) {
+      const auto& cell = cells_[row * columns_ + col];
+      for (std::size_t p = 0; p < phases; ++p) {
+        const double vg = read_voltages_[p];
+        g_cache_[p][col] += cell.conductance(vg);
+        isat_cache_[p][col] += cell.sat_current(vg);
+      }
+      isat_idle_[col] += cell.sat_current(0.0);
+    }
+    isat_idle_total_ += isat_idle_[col];
+  }
+}
+
+double FilterArray::evaluate(std::span<const std::uint8_t> x) const {
+  return run(x, nullptr, 1);
+}
+
+double FilterArray::evaluate_waveform(std::span<const std::uint8_t> x,
+                                      std::vector<MlSample>& waveform,
+                                      int samples_per_phase) const {
+  waveform.clear();
+  return run(x, &waveform, samples_per_phase);
+}
+
+double FilterArray::run(std::span<const std::uint8_t> x,
+                        std::vector<MlSample>* waveform,
+                        int samples_per_phase) const {
+  if (x.size() != columns_) {
+    throw std::invalid_argument("FilterArray::evaluate: input size mismatch");
+  }
+  if (samples_per_phase < 1) samples_per_phase = 1;
+
+  double v_ml = params_.v_dd;  // precharged
+  double t = 0.0;
+  if (waveform) waveform->push_back({t, v_ml});
+
+  for (std::size_t p = 0; p < g_cache_.size(); ++p) {
+    // Aggregate the phase's linear conductance and current-sink loads.
+    double g = 0.0;
+    double i_sink = isat_idle_total_;  // unselected columns leak at VG = 0
+    for (std::size_t col = 0; col < columns_; ++col) {
+      if (!x[col]) continue;
+      g += g_cache_[p][col];
+      i_sink += isat_cache_[p][col] - isat_idle_[col];
+    }
+    // Exact solution of C·dv/dt = −(g·v + i_sink) over the phase.
+    auto v_at = [&](double dt_local) {
+      if (g > 1e-18) {
+        const double v_inf = -i_sink / g;
+        return (v_ml - v_inf) * std::exp(-g * dt_local / params_.c_ml) + v_inf;
+      }
+      return v_ml - i_sink * dt_local / params_.c_ml;
+    };
+    if (waveform) {
+      for (int s = 1; s <= samples_per_phase; ++s) {
+        const double dt_local =
+            params_.t_phase * static_cast<double>(s) / samples_per_phase;
+        waveform->push_back({t + dt_local, std::max(0.0, v_at(dt_local))});
+      }
+    }
+    v_ml = std::max(0.0, v_at(params_.t_phase));
+    t += params_.t_phase;
+  }
+  return v_ml;
+}
+
+void FilterArray::reprogram(util::Rng& rng) {
+  for (auto& cell : cells_) {
+    cell.program(cell.level(), rng);
+  }
+  rebuild_cache();
+}
+
+void FilterArray::age(double seconds) {
+  for (auto& cell : cells_) cell.age(seconds);
+  rebuild_cache();
+}
+
+int FilterArray::cell_level(std::size_t row, std::size_t col) const {
+  return cells_.at(row * columns_ + col).level();
+}
+
+long long FilterArray::column_weight(std::size_t col) const {
+  long long sum = 0;
+  for (std::size_t row = 0; row < params_.rows; ++row) {
+    sum += cell_level(row, col);
+  }
+  return sum;
+}
+
+double FilterArray::nominal_unit_drop_fraction() const {
+  // Nominal ON conductance of a cell at the minimum read overdrive.
+  const double rch = params_.fefet.rch0;
+  const double g_on = 1.0 / (params_.r_series + rch);
+  return 1.0 - std::exp(-g_on * params_.t_phase / params_.c_ml);
+}
+
+}  // namespace hycim::cim

@@ -1,0 +1,118 @@
+// Matchline filter array (paper Fig. 4, Fig. 5(a)).
+//
+// An m×n array of 1FeFET1R cells.  Column i stores item weight w_i
+// decomposed over its m cells; all matchlines are tied into one node with
+// capacitance C_ML that is precharged to VDD and then discharged during a
+// (num_levels-1)-phase staircase read:
+//
+//   phase p applies Vread_(L-1-p) (ascending amplitude Vread4 → Vread1) to
+//   the gates of every column whose input bit x_i = 1; a cell storing level
+//   k conducts during exactly k of the phases, so the removed charge — and
+//   hence the final ML voltage drop — tracks Σ_i w_i·x_i (Eqs. (7)-(9)).
+//
+// Within a phase the circuit is linear (ON cells are conductances, OFF
+// cells are small saturated current sinks), so the RC discharge has the
+// closed form  v(t) = (v0 + I/G)·e^(−G·t/C) − I/G  which is evaluated
+// exactly.  The exponential shape *is* the compression the paper alludes to
+// ("∫I·dt/C_ML approximately constant" holds only near VDD); because it is
+// monotone in the discharged weight, feasibility decisions survive it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cim/filter/weight_decompose.hpp"
+#include "device/cell_1f1r.hpp"
+#include "device/variation.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cim {
+
+/// Electrical configuration of a filter array.
+struct FilterArrayParams {
+  std::size_t rows = 16;        ///< cells per column (m); 16 in the paper
+  double v_dd = 2.0;            ///< precharge voltage [V]
+  double c_ml = 100e-12;        ///< total matchline capacitance [F]
+  double r_series = 500e3;      ///< per-cell series resistor [ohm]
+  double t_phase = 11.2e-9;     ///< duration of each read phase [s]
+  // Sizing note: one conducting cell-phase removes a fraction
+  // g_on*t_phase/C_ML ~ 2.2e-4 of the ML voltage, so the full 16x100 array
+  // (max weight 6400) stays inside a 2.0 -> 0.5 V swing — the "choose C_ML
+  // and VDD appropriately" condition of paper Eq. (7).
+  DecomposeMode decompose = DecomposeMode::kGreedy;
+  device::FeFetParams fefet{};  ///< device corner (num_levels = 5)
+};
+
+/// One (time, voltage) sample of the ML transient, for waveform benches.
+struct MlSample {
+  double time_s = 0.0;
+  double v_ml = 0.0;
+};
+
+/// A programmed m×n filter array with a shared matchline.
+class FilterArray {
+ public:
+  /// Fabricates and programs the array for `weights` (one column per item).
+  /// Throws if any weight exceeds rows * (num_levels-1).
+  FilterArray(const FilterArrayParams& params,
+              const std::vector<long long>& weights,
+              device::VariationModel& fab);
+
+  /// Number of columns (items).
+  std::size_t columns() const { return columns_; }
+  /// Number of rows (cells per column).
+  std::size_t rows() const { return params_.rows; }
+
+  /// Runs one full evaluation: precharge + staircase phases with input `x`
+  /// applied to the column gates.  Returns the final ML voltage [V].
+  double evaluate(std::span<const std::uint8_t> x) const;
+
+  /// Same as evaluate() but records the ML waveform (including the
+  /// precharge sample at t=0).  `samples_per_phase` >= 1.
+  double evaluate_waveform(std::span<const std::uint8_t> x,
+                           std::vector<MlSample>& waveform,
+                           int samples_per_phase = 8) const;
+
+  /// Re-programs every cell (erase + write), drawing fresh cycle-to-cycle
+  /// noise — models the paper's Fig. 7(f) erase/reprogram experiments.
+  void reprogram(util::Rng& rng);
+
+  /// Ages every cell by `seconds` of retention time (Vth drift) and
+  /// refreshes the conductance caches.
+  void age(double seconds);
+
+  /// Stored level of the cell at (row, column) — for tests.
+  int cell_level(std::size_t row, std::size_t col) const;
+
+  /// Sum of stored levels in a column (equals the stored item weight).
+  long long column_weight(std::size_t col) const;
+
+  /// Fractional ML drop per unit of weight near VDD:
+  /// 1 − exp(−g_on·t_phase/C_ML) with g_on the nominal ON conductance.
+  /// Useful for sizing comparator thresholds in tests.
+  double nominal_unit_drop_fraction() const;
+
+  /// Number of staircase phases (= num_levels − 1).
+  std::size_t phases() const { return read_voltages_.size(); }
+
+  const FilterArrayParams& params() const { return params_; }
+
+ private:
+  double run(std::span<const std::uint8_t> x, std::vector<MlSample>* waveform,
+             int samples_per_phase) const;
+  void rebuild_cache();
+
+  FilterArrayParams params_;
+  std::size_t columns_ = 0;
+  std::vector<device::Cell1F1R> cells_;  // row-major [row * columns + col]
+  std::vector<double> read_voltages_;    // ascending phase amplitudes
+  // Per phase p and column c: summed ON conductance and OFF sink current of
+  // the column's cells at that phase's gate voltage.
+  std::vector<std::vector<double>> g_cache_;     // [phase][col]
+  std::vector<std::vector<double>> isat_cache_;  // [phase][col]
+  std::vector<double> isat_idle_;  // per-column sink current at VG = 0
+  double isat_idle_total_ = 0.0;
+};
+
+}  // namespace hycim::cim

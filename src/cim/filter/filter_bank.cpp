@@ -1,0 +1,56 @@
+#include "cim/filter/filter_bank.hpp"
+
+#include <stdexcept>
+
+namespace hycim::cim {
+
+FilterBank::FilterBank(const InequalityFilterParams& params,
+                       const std::vector<LinearConstraint>& constraints,
+                       std::size_t variables) {
+  if (constraints.empty()) {
+    throw std::invalid_argument("FilterBank: no constraints");
+  }
+  filters_.reserve(constraints.size());
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const auto& c = constraints[i];
+    if (c.weights.size() != variables) {
+      throw std::invalid_argument("FilterBank: constraint width mismatch");
+    }
+    InequalityFilterParams p = params;
+    p.fab_seed = params.fab_seed + i;  // independent fabrication per filter
+    filters_.emplace_back(p, c.weights, c.capacity);
+  }
+}
+
+bool FilterBank::is_feasible(std::span<const std::uint8_t> x) {
+  for (auto& f : filters_) {
+    if (!f.is_feasible(x)) return false;  // short-circuit like the AND gate
+  }
+  return true;
+}
+
+std::vector<bool> FilterBank::verdicts(std::span<const std::uint8_t> x) {
+  std::vector<bool> out;
+  out.reserve(filters_.size());
+  for (auto& f : filters_) out.push_back(f.is_feasible(x));
+  return out;
+}
+
+bool FilterBank::exact_feasible(std::span<const std::uint8_t> x) const {
+  for (const auto& f : filters_) {
+    if (!f.exact_feasible(x)) return false;
+  }
+  return true;
+}
+
+std::size_t FilterBank::total_evaluations() const {
+  std::size_t total = 0;
+  for (const auto& f : filters_) total += f.stats().evaluations;
+  return total;
+}
+
+void FilterBank::reprogram() {
+  for (auto& f : filters_) f.reprogram();
+}
+
+}  // namespace hycim::cim

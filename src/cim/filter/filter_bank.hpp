@@ -1,0 +1,62 @@
+// A bank of inequality filters evaluating several linear constraints
+// simultaneously (paper Sec. 3.2 notes that COPs with *multiple* inequality
+// constraints — bin packing being the canonical case — generalize the
+// single-knapsack setting; each constraint maps to its own working/replica
+// array pair, all sharing the input configuration broadcast).
+//
+// A configuration is feasible iff every filter in the bank accepts it.  In
+// hardware the filters evaluate in parallel and their comparator outputs
+// are AND-ed; behaviorally we evaluate sequentially but report per-filter
+// verdicts so benches can attribute rejections.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cim/filter/inequality_filter.hpp"
+
+namespace hycim::cim {
+
+/// One linear inequality ®w·®x <= c over the full variable vector (columns
+/// not involved in the constraint carry weight 0).
+struct LinearConstraint {
+  std::vector<long long> weights;
+  long long capacity = 0;
+};
+
+/// A parallel bank of inequality filters, one per constraint.
+class FilterBank {
+ public:
+  /// Builds one filter per constraint; all must have weights.size() ==
+  /// `variables`.  Filter i is fabricated with fab_seed + i.
+  FilterBank(const InequalityFilterParams& params,
+             const std::vector<LinearConstraint>& constraints,
+             std::size_t variables);
+
+  /// Hardware verdict: true iff every filter accepts `x`.
+  bool is_feasible(std::span<const std::uint8_t> x);
+
+  /// Per-filter hardware verdicts (same order as the constraints).
+  std::vector<bool> verdicts(std::span<const std::uint8_t> x);
+
+  /// Exact (software) feasibility of all constraints.
+  bool exact_feasible(std::span<const std::uint8_t> x) const;
+
+  /// Number of constraints / filters.
+  std::size_t size() const { return filters_.size(); }
+
+  /// Access to an individual filter.
+  InequalityFilter& filter(std::size_t i) { return filters_.at(i); }
+
+  /// Total filter evaluations across the bank.
+  std::size_t total_evaluations() const;
+
+  /// Re-programs every filter (fresh cycle-to-cycle noise).
+  void reprogram();
+
+ private:
+  std::vector<InequalityFilter> filters_;
+};
+
+}  // namespace hycim::cim

@@ -1,0 +1,116 @@
+#include "cim/filter/inequality_filter.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hycim::cim {
+
+namespace {
+
+/// Splits the capacity across the replica's columns (greedy fill, one
+/// column's maximum at a time) so that Σ w'_i x'_i = C with x' = all-ones.
+std::vector<long long> replica_weights(long long capacity, std::size_t columns,
+                                       long long column_max) {
+  if (capacity < 0) {
+    throw std::invalid_argument("InequalityFilter: negative capacity");
+  }
+  if (capacity > static_cast<long long>(columns) * column_max) {
+    throw std::invalid_argument(
+        "InequalityFilter: capacity " + std::to_string(capacity) +
+        " exceeds replica range " +
+        std::to_string(static_cast<long long>(columns) * column_max));
+  }
+  std::vector<long long> w(columns, 0);
+  long long remaining = capacity;
+  for (std::size_t i = 0; i < columns && remaining > 0; ++i) {
+    w[i] = std::min(remaining, column_max);
+    remaining -= w[i];
+  }
+  return w;
+}
+
+}  // namespace
+
+InequalityFilter::InequalityFilter(const InequalityFilterParams& params,
+                                   const std::vector<long long>& weights,
+                                   long long capacity)
+    : weights_(weights),
+      capacity_(capacity),
+      reprogram_rng_(params.fab_seed ^ 0xabcdef0123456789ULL) {
+  fab_ = std::make_unique<device::VariationModel>(params.variation,
+                                                  params.fab_seed);
+  const long long column_max =
+      max_representable_weight(params.array.rows,
+                               params.array.fefet.num_levels - 1);
+  for (long long w : weights_) {
+    if (w > column_max) {
+      throw std::invalid_argument("InequalityFilter: item weight " +
+                                  std::to_string(w) + " exceeds column max " +
+                                  std::to_string(column_max));
+    }
+  }
+  working_ = std::make_unique<FilterArray>(params.array, weights_, *fab_);
+  replica_ = std::make_unique<FilterArray>(
+      params.array, replica_weights(capacity, weights_.size(), column_max),
+      *fab_);
+  replica_x_.assign(weights_.size(), 1);
+  comparator_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
+                                             params.fab_seed * 0x9e3779b9ULL);
+  margin_units_ = params.margin_units;
+  replica_ml_ = replica_->evaluate(replica_x_);
+  margin_v_ = margin_units_ * replica_ml_ *
+              working_->nominal_unit_drop_fraction();
+}
+
+InequalityFilter::~InequalityFilter() = default;
+InequalityFilter::InequalityFilter(InequalityFilter&&) noexcept = default;
+InequalityFilter& InequalityFilter::operator=(InequalityFilter&&) noexcept =
+    default;
+
+bool InequalityFilter::is_feasible(std::span<const std::uint8_t> x) {
+  const double ml = working_->evaluate(x);
+  // The design margin skews the decision threshold by half a weight unit so
+  // the <= boundary (ML == ReplicaML) resolves to "feasible" robustly.
+  const bool feasible = comparator_->compare(ml + margin_v_, replica_ml_);
+  ++stats_.evaluations;
+  if (feasible) {
+    ++stats_.feasible;
+  } else {
+    ++stats_.infeasible;
+  }
+  return feasible;
+}
+
+double InequalityFilter::ml_voltage(std::span<const std::uint8_t> x) const {
+  return working_->evaluate(x);
+}
+
+double InequalityFilter::normalized_ml(std::span<const std::uint8_t> x) const {
+  return working_->evaluate(x) / replica_ml_;
+}
+
+bool InequalityFilter::exact_feasible(std::span<const std::uint8_t> x) const {
+  long long total = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (x[i]) total += weights_[i];
+  }
+  return total <= capacity_;
+}
+
+void InequalityFilter::reprogram() {
+  working_->reprogram(reprogram_rng_);
+  replica_->reprogram(reprogram_rng_);
+  replica_ml_ = replica_->evaluate(replica_x_);
+  margin_v_ = margin_units_ * replica_ml_ *
+              working_->nominal_unit_drop_fraction();
+}
+
+void InequalityFilter::age(double seconds) {
+  working_->age(seconds);
+  replica_->age(seconds);
+  replica_ml_ = replica_->evaluate(replica_x_);
+  margin_v_ = margin_units_ * replica_ml_ *
+              working_->nominal_unit_drop_fraction();
+}
+
+}  // namespace hycim::cim

@@ -1,0 +1,57 @@
+#include "cim/filter/weight_decompose.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hycim::cim {
+
+long long max_representable_weight(std::size_t cells, int k_max) {
+  return static_cast<long long>(cells) * k_max;
+}
+
+std::vector<int> decompose_weight(long long weight, std::size_t cells,
+                                  int k_max, DecomposeMode mode) {
+  if (k_max < 1) throw std::invalid_argument("decompose_weight: k_max < 1");
+  if (weight < 0) throw std::invalid_argument("decompose_weight: negative");
+  if (weight > max_representable_weight(cells, k_max)) {
+    throw std::invalid_argument("decompose_weight: weight " +
+                                std::to_string(weight) + " exceeds column max " +
+                                std::to_string(max_representable_weight(cells, k_max)));
+  }
+  std::vector<int> levels(cells, 0);
+  switch (mode) {
+    case DecomposeMode::kGreedy: {
+      long long remaining = weight;
+      for (std::size_t j = 0; j < cells && remaining > 0; ++j) {
+        const int take = static_cast<int>(
+            remaining >= k_max ? k_max : remaining);
+        levels[j] = take;
+        remaining -= take;
+      }
+      break;
+    }
+    case DecomposeMode::kBalanced: {
+      const long long base = weight / static_cast<long long>(cells);
+      long long extra = weight % static_cast<long long>(cells);
+      for (std::size_t j = 0; j < cells; ++j) {
+        levels[j] = static_cast<int>(base + (extra > 0 ? 1 : 0));
+        if (extra > 0) --extra;
+      }
+      break;
+    }
+  }
+  return levels;
+}
+
+std::vector<std::vector<int>> decompose_weights(
+    const std::vector<long long>& weights, std::size_t cells, int k_max,
+    DecomposeMode mode) {
+  std::vector<std::vector<int>> out;
+  out.reserve(weights.size());
+  for (long long w : weights) {
+    out.push_back(decompose_weight(w, cells, k_max, mode));
+  }
+  return out;
+}
+
+}  // namespace hycim::cim

@@ -1,0 +1,35 @@
+// Decomposition of item weights onto multi-level filter cells.
+//
+// Each inequality-filter column stores one item weight w_i as m cells, each
+// holding a level in {0..k_max} (k_max = num_levels-1 = 4 by default), such
+// that w_i = Σ_j w_ij (paper Sec. 3.3).  The 16×100 arrays of the paper's
+// evaluation store weights up to 16·4 = 64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hycim::cim {
+
+/// How a weight is spread across the column's cells.
+enum class DecomposeMode {
+  kGreedy,    ///< fill cells to k_max first: 4,4,...,r,0,...  (paper default)
+  kBalanced,  ///< spread evenly: levels differ by at most 1 across cells
+};
+
+/// Splits `weight` into `cells` levels in {0..k_max} summing to `weight`.
+/// Throws std::invalid_argument when weight < 0 or weight > cells * k_max.
+std::vector<int> decompose_weight(long long weight, std::size_t cells,
+                                  int k_max,
+                                  DecomposeMode mode = DecomposeMode::kGreedy);
+
+/// Maximum weight representable by a column (cells * k_max).
+long long max_representable_weight(std::size_t cells, int k_max);
+
+/// Decomposes a whole weight vector into an m×n level matrix, stored
+/// column-major per item: result[i] is the cell-level vector of item i.
+std::vector<std::vector<int>> decompose_weights(
+    const std::vector<long long>& weights, std::size_t cells, int k_max,
+    DecomposeMode mode = DecomposeMode::kGreedy);
+
+}  // namespace hycim::cim

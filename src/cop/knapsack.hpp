@@ -1,0 +1,53 @@
+// Linear (0/1) knapsack problem: the special case of QKP with no pairwise
+// profits.  Provides an exact dynamic-programming solver, used both as a
+// standalone COP (paper Table 1 cites knapsack solvers) and as a ground
+// truth when testing the transformations on linear instances.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cop/qkp.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cop {
+
+/// One linear knapsack instance.
+struct KnapsackInstance {
+  std::string name;
+  long long capacity = 0;
+  std::vector<long long> weights;  ///< w_i >= 1
+  std::vector<long long> values;   ///< v_i >= 0
+
+  std::size_t size() const { return weights.size(); }
+  /// Total weight of a selection.
+  long long total_weight(std::span<const std::uint8_t> x) const;
+  /// Total value of a selection.
+  long long total_value(std::span<const std::uint8_t> x) const;
+  /// True iff the selection fits in the knapsack.
+  bool feasible(std::span<const std::uint8_t> x) const;
+};
+
+/// Result of the exact DP solver.
+struct KnapsackSolution {
+  BitVector x;           ///< optimal selection
+  long long value = 0;   ///< optimal total value
+  long long weight = 0;  ///< weight of the optimal selection
+};
+
+/// Exact O(n·C) dynamic program over capacities; reconstructs the selection.
+/// Throws std::invalid_argument if n·C exceeds 10^9 table cells.
+KnapsackSolution solve_knapsack_dp(const KnapsackInstance& inst);
+
+/// Random instance: w ∈ U[1,w_max], v ∈ U[1,v_max], C ∈ U[c_min, Σw].
+KnapsackInstance generate_knapsack(std::size_t n, std::uint64_t seed,
+                                   long long w_max = 50, long long v_max = 100,
+                                   long long c_min = 50);
+
+/// Views a knapsack instance as a QKP with a zero off-diagonal profit matrix
+/// (so all QKP machinery — transformations, solvers — applies unchanged).
+QkpInstance to_qkp(const KnapsackInstance& inst);
+
+}  // namespace hycim::cop

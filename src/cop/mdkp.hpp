@@ -1,0 +1,73 @@
+// Multi-dimensional quadratic knapsack (MDQKP): the QKP objective under m
+// simultaneous resource constraints,
+//
+//   max Σ p_ij x_i x_j   s.t.  Σ_i w_{d,i} x_i <= c_d   for d = 1..m.
+//
+// This is the natural stress test of the paper's generality claim: every
+// constraint dimension maps onto its own inequality-filter array and the
+// objective QUBO is untouched, whereas D-QUBO would need a slack vector
+// *per dimension* (search space 2^(n + Σ c_d)).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qubo/qubo_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cop {
+
+/// One MDQKP instance.  Profits are stored like QkpInstance's (symmetric
+/// n×n, diagonal = individual profits); constraint d has weights
+/// `weights[d]` (size n) and bound `capacities[d]`.
+struct MdkpInstance {
+  std::string name;
+  std::size_t n = 0;
+  std::vector<long long> profits;  ///< row-major n*n symmetric
+  std::vector<std::vector<long long>> weights;  ///< [dimension][item]
+  std::vector<long long> capacities;            ///< [dimension]
+
+  std::size_t dimensions() const { return weights.size(); }
+  long long profit(std::size_t i, std::size_t j) const {
+    return profits[i * n + j];
+  }
+  void set_profit(std::size_t i, std::size_t j, long long v) {
+    profits[i * n + j] = v;
+    profits[j * n + i] = v;
+  }
+  /// Objective with each unordered pair counted once.
+  long long total_profit(std::span<const std::uint8_t> x) const;
+  /// Resource usage of dimension d.
+  long long usage(std::span<const std::uint8_t> x, std::size_t d) const;
+  /// True iff every dimension's constraint holds.
+  bool feasible(std::span<const std::uint8_t> x) const;
+  /// Validates sizes/symmetry/positivity; throws on violation.
+  void validate() const;
+};
+
+/// Generator parameters.
+struct MdkpGeneratorParams {
+  std::size_t n = 50;
+  std::size_t dimensions = 3;
+  int density_percent = 50;
+  long long profit_max = 100;
+  long long weight_max = 30;
+  /// c_d drawn uniformly in [tightness_lo, tightness_hi] × Σ_i w_{d,i}.
+  double tightness_lo = 0.3;
+  double tightness_hi = 0.7;
+};
+
+/// Generates one instance; fully determined by (params, seed).
+MdkpInstance generate_mdkp(const MdkpGeneratorParams& params,
+                           std::uint64_t seed);
+
+/// Random configuration satisfying all constraints (random insertion order,
+/// skip items that would violate any dimension).
+qubo::BitVector random_feasible(const MdkpInstance& inst, util::Rng& rng);
+
+/// Greedy construction by profit per aggregate normalized resource use.
+qubo::BitVector greedy_solution(const MdkpInstance& inst);
+
+}  // namespace hycim::cop

@@ -1,0 +1,93 @@
+// Quadratic Knapsack Problem (paper Eqs. (3)-(4)):
+//
+//   max  Σ_{i,j} p_ij x_i x_j   s.t.  Σ_i w_i x_i ≤ C,  x ∈ {0,1}ⁿ
+//
+// p_ii is the individual profit of item i, p_ij (i≠j) the pairwise profit
+// when both i and j are selected (p symmetric).  This module holds the
+// instance type, the Billionnet–Soutif style random generator used to stand
+// in for the CNAM benchmark set, and classical helpers (greedy construction,
+// feasibility repair, local search) used to establish reference optima.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qubo/qubo_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cop {
+
+using qubo::BitVector;
+
+/// One QKP instance.  Profits are stored as a symmetric dense matrix with
+/// the diagonal holding individual profits.
+struct QkpInstance {
+  std::string name;               ///< e.g. "gen_100_25_1"
+  std::size_t n = 0;              ///< number of items
+  long long capacity = 0;         ///< knapsack capacity C
+  std::vector<long long> weights; ///< w_i >= 1
+  std::vector<long long> profits; ///< row-major n*n symmetric, p[i*n+j]
+
+  /// Profit p_ij (symmetric access).
+  long long profit(std::size_t i, std::size_t j) const {
+    return profits[i * n + j];
+  }
+  /// Sets p_ij and p_ji.
+  void set_profit(std::size_t i, std::size_t j, long long v) {
+    profits[i * n + j] = v;
+    profits[j * n + i] = v;
+  }
+  /// Total weight of a selection.
+  long long total_weight(std::span<const std::uint8_t> x) const;
+  /// Objective Σ p_ij x_i x_j with each unordered pair counted once
+  /// (diagonal + i<j pairs), the natural reading of Eq. (3) with symmetric p.
+  long long total_profit(std::span<const std::uint8_t> x) const;
+  /// True iff total_weight(x) <= capacity.
+  bool feasible(std::span<const std::uint8_t> x) const;
+  /// Largest single item weight.
+  long long max_weight() const;
+  /// Sum of all item weights.
+  long long weight_sum() const;
+  /// Validates invariants (sizes, symmetry, positivity); throws on violation.
+  void validate() const;
+};
+
+/// Parameters of the random generator.  Defaults reproduce the published
+/// Billionnet–Soutif procedure behind the CNAM QKP benchmark
+/// (n=100, densities 25/50/75/100%, p ∈ U[1,100], w ∈ U[1,50], C ∈ U[50, Σw]).
+struct QkpGeneratorParams {
+  std::size_t n = 100;       ///< items
+  int density_percent = 25;  ///< probability (in %) that p_ij != 0 for i<j
+  long long profit_max = 100;
+  long long weight_max = 50;
+  long long capacity_min = 50;  ///< C drawn uniformly in [capacity_min, Σw]
+};
+
+/// Generates one instance; fully determined by (params, seed).
+QkpInstance generate_qkp(const QkpGeneratorParams& params, std::uint64_t seed);
+
+/// Generates the 40-instance evaluation suite used throughout the paper's
+/// Sec. 4: 10 seeds for each density in {25, 50, 75, 100}%, n items each.
+std::vector<QkpInstance> generate_paper_suite(std::size_t n = 100,
+                                              std::uint64_t base_seed = 2024);
+
+/// Greedy construction: inserts items by profit-density (marginal profit
+/// contribution divided by weight) while the capacity allows.  Always feasible.
+BitVector greedy_solution(const QkpInstance& inst);
+
+/// Repairs an infeasible selection by dropping the worst density items until
+/// the capacity constraint holds.  Feasible inputs are returned unchanged.
+BitVector repair(const QkpInstance& inst, BitVector x);
+
+/// 1-flip + 1-swap local search from `x0` (must be feasible); returns a local
+/// optimum with profit >= the starting profit.  `max_rounds` bounds work.
+BitVector local_search(const QkpInstance& inst, BitVector x0,
+                       int max_rounds = 50);
+
+/// Draws a random *feasible* selection: random permutation insertion until
+/// the next item would exceed capacity (used for SA initial states).
+BitVector random_feasible(const QkpInstance& inst, util::Rng& rng);
+
+}  // namespace hycim::cop

@@ -1,0 +1,85 @@
+#include "cop/qkp_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hycim::cop {
+
+namespace {
+
+long long next_ll(std::istream& in, const char* what) {
+  long long v;
+  if (!(in >> v)) {
+    throw std::runtime_error(std::string("read_qkp: missing ") + what);
+  }
+  return v;
+}
+
+}  // namespace
+
+QkpInstance read_qkp(std::istream& in) {
+  QkpInstance inst;
+  if (!std::getline(in, inst.name)) {
+    throw std::runtime_error("read_qkp: missing name line");
+  }
+  // Trim trailing whitespace/CR from the name line.
+  while (!inst.name.empty() &&
+         (inst.name.back() == '\r' || inst.name.back() == ' ')) {
+    inst.name.pop_back();
+  }
+  const long long n = next_ll(in, "n");
+  if (n <= 0 || n > 100000) throw std::runtime_error("read_qkp: bad n");
+  inst.n = static_cast<std::size_t>(n);
+  inst.profits.assign(inst.n * inst.n, 0);
+  inst.weights.assign(inst.n, 0);
+
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    inst.set_profit(i, i, next_ll(in, "diagonal profit"));
+  }
+  for (std::size_t i = 0; i + 1 < inst.n; ++i) {
+    for (std::size_t j = i + 1; j < inst.n; ++j) {
+      inst.set_profit(i, j, next_ll(in, "pairwise profit"));
+    }
+  }
+  const long long marker = next_ll(in, "constraint marker");
+  if (marker != 0) {
+    throw std::runtime_error("read_qkp: unsupported constraint type marker");
+  }
+  inst.capacity = next_ll(in, "capacity");
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    inst.weights[i] = next_ll(in, "weight");
+  }
+  inst.validate();
+  return inst;
+}
+
+QkpInstance read_qkp_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_qkp_file: cannot open " + path);
+  return read_qkp(in);
+}
+
+void write_qkp(std::ostream& out, const QkpInstance& inst) {
+  out << inst.name << "\n" << inst.n << "\n";
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    out << inst.profit(i, i) << (i + 1 == inst.n ? "\n" : " ");
+  }
+  for (std::size_t i = 0; i + 1 < inst.n; ++i) {
+    for (std::size_t j = i + 1; j < inst.n; ++j) {
+      out << inst.profit(i, j) << (j + 1 == inst.n ? "\n" : " ");
+    }
+  }
+  out << "\n0\n" << inst.capacity << "\n";
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    out << inst.weights[i] << (i + 1 == inst.n ? "\n" : " ");
+  }
+}
+
+void write_qkp_file(const std::string& path, const QkpInstance& inst) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_qkp_file: cannot open " + path);
+  write_qkp(out, inst);
+}
+
+}  // namespace hycim::cop

@@ -1,0 +1,36 @@
+// I/O for QKP instances in the CNAM benchmark text format
+// (http://cedric.cnam.fr/~soutif/QKP/), so the paper's exact instances can
+// be dropped into the harness when available:
+//
+//   line 1: reference/name
+//   line 2: n
+//   line 3: n diagonal (linear) profits
+//   lines 4..: strict upper triangle of pairwise profits, row r has n-1-r
+//              values (row-by-row)
+//   blank line
+//   next line: 0 (constraint type marker)
+//   next line: capacity
+//   next line: n weights
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cop/qkp.hpp"
+
+namespace hycim::cop {
+
+/// Parses one instance from a stream in the CNAM format.
+/// Throws std::runtime_error on malformed input.
+QkpInstance read_qkp(std::istream& in);
+
+/// Loads an instance from a file path.
+QkpInstance read_qkp_file(const std::string& path);
+
+/// Writes an instance in the CNAM format (inverse of read_qkp).
+void write_qkp(std::ostream& out, const QkpInstance& inst);
+
+/// Saves an instance to a file path.
+void write_qkp_file(const std::string& path, const QkpInstance& inst);
+
+}  // namespace hycim::cop

@@ -1,0 +1,32 @@
+#include "core/coloring_qubo.hpp"
+
+namespace hycim::core {
+
+qubo::QuboMatrix to_coloring_qubo(const cop::ColoringInstance& g,
+                                  const ColoringQuboParams& params) {
+  const std::size_t k = g.num_colors;
+  qubo::QuboMatrix q(g.num_variables());
+  const double a = params.one_hot_weight;
+  const double b = params.conflict_weight;
+
+  // A(1 − Σ_c x_vc)² = A − A Σ_c x_vc + 2A Σ_{c<d} x_vc x_vd  per vertex.
+  for (std::size_t v = 0; v < g.num_vertices; ++v) {
+    q.add_offset(a);
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::size_t vc = v * k + c;
+      q.add(vc, vc, -a);
+      for (std::size_t d = c + 1; d < k; ++d) {
+        q.add(vc, v * k + d, 2.0 * a);
+      }
+    }
+  }
+  // B per monochromatic edge.
+  for (const auto& [u, v] : g.edges) {
+    for (std::size_t c = 0; c < k; ++c) {
+      q.add(u * k + c, v * k + c, b);
+    }
+  }
+  return q;
+}
+
+}  // namespace hycim::core

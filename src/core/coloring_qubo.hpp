@@ -1,0 +1,28 @@
+// Graph coloring → QUBO transformation (equality-constrained path,
+// paper Table 1 row "Graph Coloring").
+//
+// One-hot encoding x_{v,c} with penalties
+//
+//   A · Σ_v (1 − Σ_c x_{v,c})²  +  B · Σ_(u,v)∈E Σ_c x_{u,c} x_{v,c}
+//
+// The minimum is 0 exactly for valid k-colorings; any positive energy
+// counts weighted violations.
+#pragma once
+
+#include "cop/graph_coloring.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::core {
+
+/// Penalty weights of the coloring QUBO.
+struct ColoringQuboParams {
+  double one_hot_weight = 2.0;   ///< A
+  double conflict_weight = 2.0;  ///< B
+};
+
+/// Builds the coloring QUBO over V×k one-hot variables; energy(x) == 0
+/// iff x encodes a valid coloring.
+qubo::QuboMatrix to_coloring_qubo(const cop::ColoringInstance& g,
+                                  const ColoringQuboParams& params = {});
+
+}  // namespace hycim::core

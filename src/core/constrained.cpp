@@ -1,0 +1,302 @@
+#include "core/constrained.hpp"
+
+#include <stdexcept>
+
+#include "cim/crossbar/bit_slice.hpp"
+#include "qubo/energy.hpp"
+
+namespace hycim::core {
+
+bool ConstrainedQuboForm::feasible(std::span<const std::uint8_t> x) const {
+  for (const auto& c : constraints) {
+    long long total = 0;
+    for (std::size_t i = 0; i < c.weights.size(); ++i) {
+      if (x[i]) total += c.weights[i];
+    }
+    if (total > c.capacity) return false;
+  }
+  for (const auto& c : equalities) {
+    long long total = 0;
+    for (std::size_t i = 0; i < c.weights.size(); ++i) {
+      if (x[i]) total += c.weights[i];
+    }
+    if (total != c.capacity) return false;
+  }
+  return true;
+}
+
+double ConstrainedQuboForm::energy(std::span<const std::uint8_t> x) const {
+  return feasible(x) ? q.energy(x) : 0.0;
+}
+
+qubo::BitVector BinPackingForm::decode_assignment(
+    std::span<const std::uint8_t> v) const {
+  return qubo::BitVector(v.begin(), v.begin() + static_cast<long>(items * bins));
+}
+
+std::size_t BinPackingForm::used_bins(std::span<const std::uint8_t> v) const {
+  std::size_t used = 0;
+  for (std::size_t b = 0; b < bins; ++b) used += v[y_index(b)];
+  return used;
+}
+
+BinPackingForm to_binpacking_form(const cop::BinPackingInstance& inst,
+                                  const BinPackingQuboParams& params) {
+  BinPackingForm out;
+  out.items = inst.num_items();
+  out.bins = inst.max_bins;
+  const std::size_t n_vars = out.items * out.bins + out.bins;
+  out.form.q = qubo::QuboMatrix(n_vars);
+  auto& q = out.form.q;
+  const double a = params.one_hot_weight;
+  const double a2 = params.usage_link_weight;
+
+  // Objective: Σ_b cost·y_b.
+  for (std::size_t b = 0; b < out.bins; ++b) {
+    q.add(out.y_index(b), out.y_index(b), params.bin_use_cost);
+  }
+  // Equality penalty: each item in exactly one bin,
+  // A(1 − Σ_b x_ib)² = A − A Σ_b x_ib + 2A Σ_{b<c} x_ib x_ic.
+  for (std::size_t i = 0; i < out.items; ++i) {
+    q.add_offset(a);
+    for (std::size_t b = 0; b < out.bins; ++b) {
+      q.add(out.x_index(i, b), out.x_index(i, b), -a);
+      for (std::size_t c = b + 1; c < out.bins; ++c) {
+        q.add(out.x_index(i, b), out.x_index(i, c), 2.0 * a);
+      }
+    }
+  }
+  // Usage link: x_ib without y_b costs A2 (A2·x_ib·(1 − y_b)).
+  for (std::size_t i = 0; i < out.items; ++i) {
+    for (std::size_t b = 0; b < out.bins; ++b) {
+      q.add(out.x_index(i, b), out.x_index(i, b), a2);
+      q.add(out.x_index(i, b), out.y_index(b), -a2);
+    }
+  }
+  // One inequality per bin: Σ_i size_i x_ib <= C (zeros elsewhere).
+  for (std::size_t b = 0; b < out.bins; ++b) {
+    cim::LinearConstraint c;
+    c.weights.assign(n_vars, 0);
+    for (std::size_t i = 0; i < out.items; ++i) {
+      c.weights[out.x_index(i, b)] = inst.item_sizes[i];
+    }
+    c.capacity = inst.bin_capacity;
+    out.form.constraints.push_back(std::move(c));
+  }
+  return out;
+}
+
+ConstrainedQuboForm to_constrained_form(const cop::MdkpInstance& inst) {
+  ConstrainedQuboForm form;
+  form.q = qubo::QuboMatrix(inst.n);
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    for (std::size_t j = i; j < inst.n; ++j) {
+      const long long p = inst.profit(i, j);
+      if (p != 0) form.q.set(i, j, -static_cast<double>(p));
+    }
+  }
+  for (std::size_t d = 0; d < inst.dimensions(); ++d) {
+    cim::LinearConstraint c;
+    c.weights = inst.weights[d];
+    c.capacity = inst.capacities[d];
+    form.constraints.push_back(std::move(c));
+  }
+  return form;
+}
+
+qubo::BitVector encode_assignment(const BinPackingForm& form,
+                                  const std::vector<std::size_t>& bins) {
+  if (bins.size() != form.items) {
+    throw std::invalid_argument("encode_assignment: size mismatch");
+  }
+  qubo::BitVector v(form.form.size(), 0);
+  for (std::size_t i = 0; i < form.items; ++i) {
+    if (bins[i] >= form.bins) {
+      throw std::invalid_argument("encode_assignment: bin index out of range");
+    }
+    v[form.x_index(i, bins[i])] = 1;
+    v[form.y_index(bins[i])] = 1;
+  }
+  return v;
+}
+
+/// SaProblem adapter: incremental QUBO energy + per-constraint incremental
+/// weight tracking; hardware mode routes candidates through the bank.
+class ConstrainedQuboSolver::Problem final : public anneal::SaProblem {
+ public:
+  explicit Problem(ConstrainedQuboSolver& owner)
+      : owner_(owner),
+        eval_(owner.eval_matrix_,
+              qubo::BitVector(owner.eval_matrix_.size(), 0)),
+        totals_(owner.form_.constraints.size(), 0),
+        eq_totals_(owner.form_.equalities.size(), 0) {}
+
+  std::size_t num_bits() const override { return eval_.state().size(); }
+
+  double reset(const qubo::BitVector& x) override {
+    eval_.reset(x);
+    const auto& cs = owner_.form_.constraints;
+    for (std::size_t c = 0; c < cs.size(); ++c) {
+      long long t = 0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i]) t += cs[c].weights[i];
+      }
+      totals_[c] = t;
+    }
+    const auto& es = owner_.form_.equalities;
+    for (std::size_t c = 0; c < es.size(); ++c) {
+      long long t = 0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i]) t += es[c].weights[i];
+      }
+      eq_totals_[c] = t;
+    }
+    return eval_.energy();
+  }
+
+  double delta(std::size_t k) override { return eval_.delta(k); }
+
+  bool flip_feasible(std::size_t k) override {
+    if (owner_.config_.filter_mode == FilterMode::kSoftware) {
+      const bool removing = eval_.state()[k];
+      const auto& cs = owner_.form_.constraints;
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        const long long w = cs[c].weights[k];
+        if ((removing ? totals_[c] - w : totals_[c] + w) > cs[c].capacity) {
+          return false;
+        }
+      }
+      const auto& es = owner_.form_.equalities;
+      for (std::size_t c = 0; c < es.size(); ++c) {
+        const long long w = es[c].weights[k];
+        if ((removing ? eq_totals_[c] - w : eq_totals_[c] + w) !=
+            es[c].capacity) {
+          return false;
+        }
+      }
+      return true;
+    }
+    qubo::BitVector candidate = eval_.state();
+    candidate[k] ^= 1;
+    return hardware_feasible(candidate);
+  }
+
+  void commit(std::size_t k) override {
+    apply_totals(k);
+    eval_.flip(k);
+  }
+
+  const qubo::BitVector& state() const override { return eval_.state(); }
+
+  bool supports_swaps() const override { return true; }
+
+  double delta_swap(std::size_t i, std::size_t j) override {
+    return eval_.delta_pair(i, j);
+  }
+
+  bool swap_feasible(std::size_t i, std::size_t j) override {
+    if (owner_.config_.filter_mode == FilterMode::kSoftware) {
+      const auto& x = eval_.state();
+      const auto& cs = owner_.form_.constraints;
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        long long t = totals_[c];
+        t += x[i] ? -cs[c].weights[i] : cs[c].weights[i];
+        t += x[j] ? -cs[c].weights[j] : cs[c].weights[j];
+        if (t > cs[c].capacity) return false;
+      }
+      const auto& es = owner_.form_.equalities;
+      for (std::size_t c = 0; c < es.size(); ++c) {
+        long long t = eq_totals_[c];
+        t += x[i] ? -es[c].weights[i] : es[c].weights[i];
+        t += x[j] ? -es[c].weights[j] : es[c].weights[j];
+        if (t != es[c].capacity) return false;
+      }
+      return true;
+    }
+    qubo::BitVector candidate = eval_.state();
+    candidate[i] ^= 1;
+    candidate[j] ^= 1;
+    return hardware_feasible(candidate);
+  }
+
+  void commit_swap(std::size_t i, std::size_t j) override {
+    apply_totals(i);
+    apply_totals(j);
+    eval_.flip_pair(i, j);
+  }
+
+ private:
+  bool hardware_feasible(const qubo::BitVector& candidate) {
+    if (owner_.bank_ && !owner_.bank_->is_feasible(candidate)) return false;
+    for (auto& eq : owner_.equality_filters_) {
+      if (!eq.is_satisfied(candidate)) return false;
+    }
+    return true;
+  }
+
+  void apply_totals(std::size_t k) {
+    const bool removing = eval_.state()[k];
+    const auto& cs = owner_.form_.constraints;
+    for (std::size_t c = 0; c < cs.size(); ++c) {
+      totals_[c] += removing ? -cs[c].weights[k] : cs[c].weights[k];
+    }
+    const auto& es = owner_.form_.equalities;
+    for (std::size_t c = 0; c < es.size(); ++c) {
+      eq_totals_[c] += removing ? -es[c].weights[k] : es[c].weights[k];
+    }
+  }
+
+  ConstrainedQuboSolver& owner_;
+  qubo::IncrementalEvaluator eval_;
+  std::vector<long long> totals_;
+  std::vector<long long> eq_totals_;
+};
+
+ConstrainedQuboSolver::ConstrainedQuboSolver(const ConstrainedQuboForm& form,
+                                             const HyCimConfig& config)
+    : form_(form), config_(config) {
+  if (config_.fidelity == cim::VmvMode::kCircuit) {
+    throw std::invalid_argument(
+        "ConstrainedQuboSolver: use kIdeal or kQuantized (the circuit path "
+        "is validated through HyCimSolver)");
+  }
+  eval_matrix_ = config_.fidelity == cim::VmvMode::kIdeal
+                     ? form_.q
+                     : cim::quantize(form_.q, config_.matrix_bits).dequantize();
+  if (config_.filter_mode == FilterMode::kHardware) {
+    if (!form_.constraints.empty()) {
+      bank_ = std::make_unique<cim::FilterBank>(
+          config_.filter, form_.constraints, form_.size());
+    }
+    for (std::size_t e = 0; e < form_.equalities.size(); ++e) {
+      cim::InequalityFilterParams p = config_.filter;
+      p.fab_seed = config_.filter.fab_seed + 1000 + e;
+      equality_filters_.emplace_back(p, form_.equalities[e].weights,
+                                     form_.equalities[e].capacity);
+    }
+  }
+}
+
+ConstrainedQuboSolver::~ConstrainedQuboSolver() = default;
+ConstrainedQuboSolver::ConstrainedQuboSolver(ConstrainedQuboSolver&&) noexcept =
+    default;
+ConstrainedQuboSolver& ConstrainedQuboSolver::operator=(
+    ConstrainedQuboSolver&&) noexcept = default;
+
+ConstrainedSolveResult ConstrainedQuboSolver::solve(const qubo::BitVector& x0,
+                                                    std::uint64_t run_seed) {
+  if (x0.size() != form_.size()) {
+    throw std::invalid_argument("ConstrainedQuboSolver::solve: x0 size");
+  }
+  Problem problem(*this);
+  anneal::SaParams sa = config_.sa;
+  sa.seed = run_seed;
+  ConstrainedSolveResult result;
+  result.sa = anneal::simulated_annealing(problem, x0, sa);
+  result.best_x = result.sa.best_x;
+  result.best_energy = result.sa.best_energy;
+  result.feasible = form_.feasible(result.best_x);
+  return result;
+}
+
+}  // namespace hycim::core

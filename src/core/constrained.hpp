@@ -1,0 +1,134 @@
+// General inequality-constrained QUBO — the multi-constraint extension of
+// the paper's Eq. (6):
+//
+//   min E = [ ®w₁·®x ≤ c₁ ] · [ ®w₂·®x ≤ c₂ ] · ... · xᵀQx
+//
+// Equality constraints (one-hot structure etc.) keep their cheap quadratic
+// penalties inside Q — their coefficients are O(A), not O(βC²) — while
+// every *inequality* is separated out to an inequality-filter array, one
+// per constraint (cim::FilterBank).  Bin packing is the worked example:
+// n items into m bins of capacity C, minimizing bins used.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "anneal/sa_engine.hpp"
+#include "cim/filter/equality_filter.hpp"
+#include "cim/filter/filter_bank.hpp"
+#include "cop/bin_packing.hpp"
+#include "cop/mdkp.hpp"
+#include "core/hycim_solver.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::core {
+
+/// A QUBO objective plus separated linear constraints: inequalities
+/// (®w·®x ≤ c, evaluated by inequality filters) and equalities
+/// (®w·®x = c, evaluated by window-comparator equality filters — paper
+/// Sec. 3.2's "equality constraints are special cases").
+struct ConstrainedQuboForm {
+  qubo::QuboMatrix q;
+  std::vector<cim::LinearConstraint> constraints;  ///< inequalities (≤)
+  std::vector<cim::LinearConstraint> equalities;   ///< equalities (=)
+
+  std::size_t size() const { return q.size(); }
+  /// True iff every constraint holds.
+  bool feasible(std::span<const std::uint8_t> x) const;
+  /// Eq. (6) generalized: xᵀQx when feasible, 0 otherwise.
+  double energy(std::span<const std::uint8_t> x) const;
+};
+
+/// Penalty weights of the bin-packing encoding.
+struct BinPackingQuboParams {
+  double bin_use_cost = 1.0;   ///< objective weight per used bin
+  double one_hot_weight = 6.0; ///< A: each item in exactly one bin
+  double usage_link_weight = 6.0;  ///< A2: x_ib = 1 implies y_b = 1
+};
+
+/// Bin packing → constrained QUBO.  Variables: x_{i,b} (item i in bin b,
+/// laid out item-major, matching cop::BinPackingInstance) followed by
+/// y_b (bin b used).  The QUBO carries the bin-use objective and the two
+/// equality penalties; one inequality constraint per bin carries the
+/// capacity:  Σ_i size_i·x_{i,b} ≤ C.
+struct BinPackingForm {
+  ConstrainedQuboForm form;
+  std::size_t items = 0;
+  std::size_t bins = 0;
+
+  /// Index of assignment variable x_{i,b}.
+  std::size_t x_index(std::size_t item, std::size_t bin) const {
+    return item * bins + bin;
+  }
+  /// Index of usage variable y_b.
+  std::size_t y_index(std::size_t bin) const { return items * bins + bin; }
+  /// Extracts the assignment part (items × bins bits).
+  qubo::BitVector decode_assignment(std::span<const std::uint8_t> v) const;
+  /// Number of used bins according to the y variables.
+  std::size_t used_bins(std::span<const std::uint8_t> v) const;
+};
+
+/// Builds the bin-packing form for `inst`.
+BinPackingForm to_binpacking_form(const cop::BinPackingInstance& inst,
+                                  const BinPackingQuboParams& params = {});
+
+/// Multi-dimensional QKP → constrained QUBO: Q = −P exactly as in the
+/// single-constraint transformation, one separated inequality per resource
+/// dimension.  The QUBO coefficient range is unchanged by the number of
+/// dimensions — the key scaling property of the inequality-QUBO approach.
+ConstrainedQuboForm to_constrained_form(const cop::MdkpInstance& inst);
+
+/// Encodes a per-item bin assignment (e.g. from first_fit_decreasing) into
+/// the form's variable vector, with consistent y bits.
+qubo::BitVector encode_assignment(const BinPackingForm& form,
+                                  const std::vector<std::size_t>& bins);
+
+/// Result of a constrained solve.
+struct ConstrainedSolveResult {
+  qubo::BitVector best_x;
+  double best_energy = 0.0;
+  bool feasible = false;  ///< exact feasibility of best_x
+  anneal::SaResult sa;
+};
+
+/// SA solver for a ConstrainedQuboForm with the HyCiM flow: every proposed
+/// configuration passes the filter bank (hardware) or the exact predicates
+/// (software) before any QUBO computation.
+class ConstrainedQuboSolver {
+ public:
+  /// `config.fidelity` supports kIdeal and kQuantized (the crossbar path is
+  /// identical to HyCimSolver's and is validated there).
+  ConstrainedQuboSolver(const ConstrainedQuboForm& form,
+                        const HyCimConfig& config);
+  ~ConstrainedQuboSolver();
+  ConstrainedQuboSolver(ConstrainedQuboSolver&&) noexcept;
+  ConstrainedQuboSolver& operator=(ConstrainedQuboSolver&&) noexcept;
+
+  /// Runs SA from `x0` (must satisfy all constraints).
+  ConstrainedSolveResult solve(const qubo::BitVector& x0,
+                               std::uint64_t run_seed);
+
+  /// The inequality filter bank (nullptr in software filter mode or when
+  /// the form has no inequality constraints).
+  cim::FilterBank* filter_bank() { return bank_.get(); }
+
+  /// The equality filters (empty in software mode / no equalities).
+  std::vector<cim::EqualityFilter>& equality_filters() {
+    return equality_filters_;
+  }
+
+  const ConstrainedQuboForm& form() const { return form_; }
+
+ private:
+  class Problem;
+
+  ConstrainedQuboForm form_;
+  HyCimConfig config_;
+  qubo::QuboMatrix eval_matrix_;
+  std::unique_ptr<cim::FilterBank> bank_;
+  std::vector<cim::EqualityFilter> equality_filters_;
+};
+
+}  // namespace hycim::core

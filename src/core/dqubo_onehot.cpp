@@ -1,0 +1,91 @@
+#include "core/dqubo_onehot.hpp"
+
+#include <stdexcept>
+
+namespace hycim::core {
+
+qubo::BitVector DquboOneHotForm::decode_items(
+    std::span<const std::uint8_t> xy) const {
+  return qubo::BitVector(xy.begin(), xy.begin() + static_cast<long>(n_items));
+}
+
+double DquboOneHotForm::penalty(std::span<const std::uint8_t> xy,
+                                const cop::QkpInstance& inst) const {
+  long long y_sum = 0;
+  long long slack = 0;
+  for (long long k = 1; k <= capacity; ++k) {
+    if (xy[n_items + static_cast<std::size_t>(k) - 1]) {
+      ++y_sum;
+      slack += k;
+    }
+  }
+  long long weight = 0;
+  for (std::size_t i = 0; i < n_items; ++i) {
+    if (xy[i]) weight += inst.weights[i];
+  }
+  const double one_hot = static_cast<double>(1 - y_sum);
+  const double match = static_cast<double>(weight - slack);
+  return params.alpha * one_hot * one_hot + params.beta * match * match;
+}
+
+DquboOneHotForm to_dqubo_onehot(const cop::QkpInstance& inst,
+                                const DquboParams& params) {
+  if (inst.capacity < 1) {
+    throw std::invalid_argument("to_dqubo_onehot: capacity < 1");
+  }
+  const std::size_t n = inst.n;
+  const auto cap = static_cast<std::size_t>(inst.capacity);
+  DquboOneHotForm form;
+  form.n_items = n;
+  form.capacity = inst.capacity;
+  form.params = params;
+  form.q = qubo::QuboMatrix(n + cap);
+  auto& q = form.q;
+  const double alpha = params.alpha;
+  const double beta = params.beta;
+
+  // Objective: −p_ij on the item block (each unordered pair once).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const long long p = inst.profit(i, j);
+      if (p != 0) q.add(i, j, -static_cast<double>(p));
+    }
+  }
+
+  // Penalty 1: α(1 − Σ_k y_k)² = α − α Σ_k y_k + 2α Σ_{k<l} y_k y_l.
+  q.add_offset(alpha);
+  for (std::size_t k = 0; k < cap; ++k) {
+    q.add(n + k, n + k, -alpha);
+    for (std::size_t l = k + 1; l < cap; ++l) {
+      q.add(n + k, n + l, 2.0 * alpha);
+    }
+  }
+
+  // Penalty 2: β(Σ_i w_i x_i − Σ_k k·y_k)²
+  //   = β Σ_i w_i² x_i + 2β Σ_{i<j} w_i w_j x_i x_j
+  //   + β Σ_k k² y_k + 2β Σ_{k<l} k·l·y_k y_l
+  //   − 2β Σ_i Σ_k w_i·k · x_i y_k.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto wi = static_cast<double>(inst.weights[i]);
+    q.add(i, i, beta * wi * wi);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      q.add(i, j, 2.0 * beta * wi * static_cast<double>(inst.weights[j]));
+    }
+  }
+  for (std::size_t k = 0; k < cap; ++k) {
+    const auto level_k = static_cast<double>(k + 1);
+    q.add(n + k, n + k, beta * level_k * level_k);
+    for (std::size_t l = k + 1; l < cap; ++l) {
+      q.add(n + k, n + l, 2.0 * beta * level_k * static_cast<double>(l + 1));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto wi = static_cast<double>(inst.weights[i]);
+    for (std::size_t k = 0; k < cap; ++k) {
+      q.add(i, n + k, -2.0 * beta * wi * static_cast<double>(k + 1));
+    }
+  }
+  return form;
+}
+
+}  // namespace hycim::core

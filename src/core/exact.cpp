@@ -1,0 +1,34 @@
+#include "core/exact.hpp"
+
+#include <stdexcept>
+
+namespace hycim::core {
+
+ExactQkpResult exact_qkp(const cop::QkpInstance& inst) {
+  if (inst.n > 26) {
+    throw std::invalid_argument("exact_qkp: n > 26 is intractable");
+  }
+  ExactQkpResult result;
+  result.best_x.assign(inst.n, 0);
+  result.best_profit = 0;  // the empty selection is always feasible
+
+  qubo::BitVector x(inst.n, 0);
+  const std::uint64_t total = std::uint64_t{1} << inst.n;
+  for (std::uint64_t code = 0; code < total; ++code) {
+    long long weight = 0;
+    for (std::size_t i = 0; i < inst.n; ++i) {
+      x[i] = (code >> i) & 1u;
+      if (x[i]) weight += inst.weights[i];
+    }
+    if (weight > inst.capacity) continue;
+    ++result.feasible_count;
+    const long long profit = inst.total_profit(x);
+    if (profit > result.best_profit) {
+      result.best_profit = profit;
+      result.best_x = x;
+    }
+  }
+  return result;
+}
+
+}  // namespace hycim::core

@@ -1,0 +1,22 @@
+// Exact solvers for small instances — the ground truth used by tests and
+// the success-rate calibration on small problems.
+#pragma once
+
+#include "cop/qkp.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::core {
+
+/// Exact QKP optimum.
+struct ExactQkpResult {
+  qubo::BitVector best_x;
+  long long best_profit = 0;
+  std::size_t feasible_count = 0;  ///< number of feasible configurations
+};
+
+/// Exhaustive QKP maximization (n <= 26 enforced): enumerates every
+/// configuration, checks feasibility, and tracks the best profit.
+/// Throws std::invalid_argument for larger instances.
+ExactQkpResult exact_qkp(const cop::QkpInstance& inst);
+
+}  // namespace hycim::core

@@ -1,0 +1,171 @@
+#include "core/hycim_solver.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "qubo/energy.hpp"
+
+namespace hycim::core {
+
+/// SaProblem adapter: energy via the configured fidelity path, feasibility
+/// via the hardware filter or the exact predicate.
+class HyCimSolver::Problem final : public anneal::SaProblem {
+ public:
+  Problem(HyCimSolver& owner)
+      : owner_(owner), eval_(owner.eval_matrix_,
+                             qubo::BitVector(owner.eval_matrix_.size(), 0)) {}
+
+  std::size_t num_bits() const override { return owner_.form_.size(); }
+
+  double reset(const qubo::BitVector& x) override {
+    weight_ = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i]) weight_ += owner_.form_.weights[i];
+    }
+    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+      state_ = x;
+      circuit_energy_ = owner_.engine_->energy(state_);
+      return circuit_energy_;
+    }
+    eval_.reset(x);
+    return eval_.energy();
+  }
+
+  double delta(std::size_t k) override {
+    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+      qubo::BitVector candidate = state_;
+      candidate[k] ^= 1;
+      return owner_.engine_->energy(candidate) - circuit_energy_;
+    }
+    return eval_.delta(k);
+  }
+
+  bool flip_feasible(std::size_t k) override {
+    const auto& x = state();
+    const long long w = owner_.form_.weights[k];
+    const long long new_weight = x[k] ? weight_ - w : weight_ + w;
+    if (owner_.config_.filter_mode == FilterMode::kSoftware) {
+      return new_weight <= owner_.form_.capacity;
+    }
+    // Hardware path: present the candidate configuration to the filter.
+    qubo::BitVector candidate(x.begin(), x.end());
+    candidate[k] ^= 1;
+    return owner_.filter_->is_feasible(candidate);
+  }
+
+  void commit(std::size_t k) override {
+    const auto& x = state();
+    const long long w = owner_.form_.weights[k];
+    weight_ += x[k] ? -w : w;
+    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+      state_[k] ^= 1;
+      circuit_energy_ = owner_.engine_->energy(state_);
+      return;
+    }
+    eval_.flip(k);
+  }
+
+  const qubo::BitVector& state() const override {
+    return owner_.config_.fidelity == cim::VmvMode::kCircuit ? state_
+                                                             : eval_.state();
+  }
+
+  bool supports_swaps() const override { return true; }
+
+  double delta_swap(std::size_t i, std::size_t j) override {
+    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+      qubo::BitVector candidate = state_;
+      candidate[i] ^= 1;
+      candidate[j] ^= 1;
+      return owner_.engine_->energy(candidate) - circuit_energy_;
+    }
+    return eval_.delta_pair(i, j);
+  }
+
+  bool swap_feasible(std::size_t i, std::size_t j) override {
+    const auto& x = state();
+    long long new_weight = weight_;
+    new_weight += x[i] ? -owner_.form_.weights[i] : owner_.form_.weights[i];
+    new_weight += x[j] ? -owner_.form_.weights[j] : owner_.form_.weights[j];
+    if (owner_.config_.filter_mode == FilterMode::kSoftware) {
+      return new_weight <= owner_.form_.capacity;
+    }
+    qubo::BitVector candidate(x.begin(), x.end());
+    candidate[i] ^= 1;
+    candidate[j] ^= 1;
+    return owner_.filter_->is_feasible(candidate);
+  }
+
+  void commit_swap(std::size_t i, std::size_t j) override {
+    const auto& x = state();
+    weight_ += x[i] ? -owner_.form_.weights[i] : owner_.form_.weights[i];
+    weight_ += x[j] ? -owner_.form_.weights[j] : owner_.form_.weights[j];
+    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+      state_[i] ^= 1;
+      state_[j] ^= 1;
+      circuit_energy_ = owner_.engine_->energy(state_);
+      return;
+    }
+    eval_.flip_pair(i, j);
+  }
+
+ private:
+  HyCimSolver& owner_;
+  qubo::IncrementalEvaluator eval_;
+  qubo::BitVector state_;      // circuit mode only
+  double circuit_energy_ = 0;  // circuit mode only
+  long long weight_ = 0;
+};
+
+HyCimSolver::HyCimSolver(const cop::QkpInstance& inst,
+                         const HyCimConfig& config)
+    : inst_(inst), config_(config), form_(to_inequality_qubo(inst)) {
+  cim::VmvEngineParams vmv = config_.vmv;
+  vmv.mode = config_.fidelity;
+  vmv.matrix_bits = config_.matrix_bits;
+  engine_ = std::make_unique<cim::VmvEngine>(vmv, form_.q);
+
+  // The incremental fast path evaluates the matrix the hardware actually
+  // stores: the original for kIdeal, the quantized one for kQuantized.
+  eval_matrix_ = config_.fidelity == cim::VmvMode::kIdeal
+                     ? form_.q
+                     : engine_->quantized().dequantize();
+
+  if (config_.filter_mode == FilterMode::kHardware) {
+    filter_ = std::make_unique<cim::InequalityFilter>(
+        config_.filter, form_.weights, form_.capacity);
+  }
+}
+
+HyCimSolver::~HyCimSolver() = default;
+HyCimSolver::HyCimSolver(HyCimSolver&&) noexcept = default;
+HyCimSolver& HyCimSolver::operator=(HyCimSolver&&) noexcept = default;
+
+QkpSolveResult HyCimSolver::solve(const qubo::BitVector& x0,
+                                  std::uint64_t run_seed) {
+  if (x0.size() != form_.size()) {
+    throw std::invalid_argument("HyCimSolver::solve: x0 size mismatch");
+  }
+  Problem problem(*this);
+  anneal::SaParams sa = config_.sa;
+  sa.seed = run_seed;
+  QkpSolveResult result;
+  result.sa = anneal::simulated_annealing(problem, x0, sa);
+  result.best_x = result.sa.best_x;
+  result.best_energy = result.sa.best_energy;
+  result.feasible = inst_.feasible(result.best_x);
+  result.profit = result.feasible ? inst_.total_profit(result.best_x) : 0;
+  return result;
+}
+
+QkpSolveResult HyCimSolver::solve_from_random(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return solve(cop::random_feasible(inst_, rng), rng.next_u64());
+}
+
+void HyCimSolver::reprogram() {
+  engine_->reprogram();
+  if (filter_) filter_->reprogram();
+}
+
+}  // namespace hycim::core

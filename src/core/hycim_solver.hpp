@@ -1,0 +1,90 @@
+// The HyCiM solver facade (paper Fig. 3): inequality-QUBO transformation +
+// FeFET inequality filter + FeFET crossbar + SA logic, wired together.
+//
+// Fidelity is configurable on two axes:
+//   * the QUBO computation (VmvMode: ideal / quantized / full circuit);
+//   * the feasibility check (hardware filter with device noise, or the
+//     exact software predicate).
+// The defaults — quantized energies + hardware filter — capture the
+// dominant hardware effects while staying fast enough to run the paper's
+// Sec. 4.3 sweep (thousands of SA runs) on a laptop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "anneal/sa_engine.hpp"
+#include "cim/crossbar/vmv_engine.hpp"
+#include "cim/filter/inequality_filter.hpp"
+#include "cop/qkp.hpp"
+#include "core/inequality_qubo.hpp"
+
+namespace hycim::core {
+
+/// How the SA loop checks constraint feasibility.
+enum class FilterMode {
+  kHardware,  ///< FeFET inequality filter (variation + comparator noise)
+  kSoftware,  ///< exact predicate ®w·®x ≤ C
+};
+
+/// Full HyCiM configuration.
+struct HyCimConfig {
+  anneal::SaParams sa{};
+  cim::VmvMode fidelity = cim::VmvMode::kQuantized;
+  int matrix_bits = 7;  ///< crossbar quantization (⌈log2 (Qij)MAX⌉ = 7)
+  FilterMode filter_mode = FilterMode::kHardware;
+  cim::InequalityFilterParams filter{};
+  cim::VmvEngineParams vmv{};  ///< mode/matrix_bits overridden by the above
+};
+
+/// Outcome of one QKP solve.
+struct QkpSolveResult {
+  qubo::BitVector best_x;     ///< best configuration found
+  double best_energy = 0.0;   ///< its QUBO energy (eval-path units)
+  long long profit = 0;       ///< exact QKP profit of best_x (0 if infeasible)
+  bool feasible = false;      ///< exact feasibility of best_x
+  anneal::SaResult sa;        ///< per-run counters and optional trace
+};
+
+/// One fabricated HyCiM instance bound to a QKP problem.
+class HyCimSolver {
+ public:
+  HyCimSolver(const cop::QkpInstance& inst, const HyCimConfig& config);
+  ~HyCimSolver();
+  HyCimSolver(HyCimSolver&&) noexcept;
+  HyCimSolver& operator=(HyCimSolver&&) noexcept;
+
+  /// Runs SA from the given initial configuration (must be n bits; should
+  /// be feasible — see cop::random_feasible).  `run_seed` drives the SA
+  /// randomness so repeated calls explore independently.
+  QkpSolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed);
+
+  /// Convenience: draws a random feasible initial configuration from
+  /// `seed` and solves.
+  QkpSolveResult solve_from_random(std::uint64_t seed);
+
+  /// The inequality-QUBO form in use.
+  const InequalityQuboForm& form() const { return form_; }
+  /// The hardware filter (nullptr in software filter mode).
+  cim::InequalityFilter* filter() { return filter_.get(); }
+  /// The VMV engine computing xᵀQx.
+  cim::VmvEngine& engine() { return *engine_; }
+  /// The bound problem instance.
+  const cop::QkpInstance& instance() const { return inst_; }
+
+  /// Erases and re-programs filter + crossbars with fresh cycle-to-cycle
+  /// noise (the Fig. 7(f) repeated-measurement protocol).
+  void reprogram();
+
+ private:
+  class Problem;
+
+  cop::QkpInstance inst_;
+  HyCimConfig config_;
+  InequalityQuboForm form_;
+  std::unique_ptr<cim::VmvEngine> engine_;
+  std::unique_ptr<cim::InequalityFilter> filter_;
+  qubo::QuboMatrix eval_matrix_;  ///< matrix behind the incremental fast path
+};
+
+}  // namespace hycim::core

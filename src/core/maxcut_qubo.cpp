@@ -1,0 +1,18 @@
+#include "core/maxcut_qubo.hpp"
+
+namespace hycim::core {
+
+qubo::QuboMatrix to_maxcut_qubo(const cop::MaxCutInstance& g) {
+  g.validate();
+  qubo::QuboMatrix q(g.num_vertices);
+  for (const auto& e : g.edges) {
+    q.add(e.u, e.u, -e.weight);
+    q.add(e.v, e.v, -e.weight);
+    q.add(e.u, e.v, 2.0 * e.weight);
+  }
+  return q;
+}
+
+double cut_from_energy(double energy) { return -energy; }
+
+}  // namespace hycim::core

@@ -1,0 +1,20 @@
+// Max-Cut → QUBO transformation (the unconstrained path, paper Sec. 2.1).
+//
+// maximize Σ_(u,v)∈E w_uv (x_u + x_v − 2 x_u x_v)  ⇔
+// minimize xᵀQx with  q_uu −= w_uv, q_vv −= w_uv, q_uv += 2 w_uv.
+#pragma once
+
+#include <span>
+
+#include "cop/maxcut.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::core {
+
+/// Builds the Max-Cut QUBO; energy(x) == −cut_value(x) for all x.
+qubo::QuboMatrix to_maxcut_qubo(const cop::MaxCutInstance& g);
+
+/// Recovers the cut value from a QUBO energy (−energy).
+double cut_from_energy(double energy);
+
+}  // namespace hycim::core

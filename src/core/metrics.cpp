@@ -1,0 +1,28 @@
+#include "core/metrics.hpp"
+
+namespace hycim::core {
+
+double normalized_value(long long value, long long reference) {
+  if (reference <= 0) return 0.0;
+  if (value <= 0) return 0.0;
+  return static_cast<double>(value) / static_cast<double>(reference);
+}
+
+bool is_success(long long value, long long reference, double fraction) {
+  if (reference <= 0) return false;
+  return static_cast<double>(value) >=
+         fraction * static_cast<double>(reference);
+}
+
+double success_rate_percent(const std::vector<long long>& values,
+                            long long reference, double fraction) {
+  if (values.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (long long v : values) {
+    if (is_success(v, reference, fraction)) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace hycim::core

@@ -1,0 +1,28 @@
+// Success-rate metrics (paper Sec. 4.3, Fig. 10).
+//
+// A run is successful when its QKP value reaches the "optimal QKP value",
+// defined by the paper as 95% of the true optimum.  Infeasible outcomes
+// (the D-QUBO trap) count as failures with normalized value 0.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hycim::core {
+
+/// The success threshold: fraction of the reference optimum to reach.
+inline constexpr double kSuccessFraction = 0.95;
+
+/// value / reference, clamped below at 0; 0 when reference <= 0.
+double normalized_value(long long value, long long reference);
+
+/// True when `value` reaches `fraction` of `reference`.
+bool is_success(long long value, long long reference,
+                double fraction = kSuccessFraction);
+
+/// Fraction (in percent) of values reaching `fraction` of `reference`.
+double success_rate_percent(const std::vector<long long>& values,
+                            long long reference,
+                            double fraction = kSuccessFraction);
+
+}  // namespace hycim::core

@@ -1,0 +1,38 @@
+#include "core/reference.hpp"
+
+#include "core/hycim_solver.hpp"
+
+namespace hycim::core {
+
+ReferenceSolution reference_solution(const cop::QkpInstance& inst,
+                                     const ReferenceParams& params) {
+  // Deterministic classical pipeline first.
+  qubo::BitVector best =
+      cop::local_search(inst, cop::greedy_solution(inst),
+                        params.local_search_rounds);
+  long long best_profit = inst.total_profit(best);
+
+  // Multi-restart software SA (ideal energies, exact feasibility).
+  HyCimConfig config;
+  config.fidelity = cim::VmvMode::kIdeal;
+  config.filter_mode = FilterMode::kSoftware;
+  config.sa.iterations = params.sa_iterations;
+  HyCimSolver solver(inst, config);
+
+  util::Rng rng(params.seed);
+  for (std::size_t r = 0; r < params.sa_restarts; ++r) {
+    const auto result = solver.solve_from_random(rng.next_u64());
+    if (!result.feasible) continue;
+    // Polish each SA endpoint with local search before comparing.
+    const qubo::BitVector polished =
+        cop::local_search(inst, result.best_x, params.local_search_rounds);
+    const long long profit = inst.total_profit(polished);
+    if (profit > best_profit) {
+      best_profit = profit;
+      best = polished;
+    }
+  }
+  return {best, best_profit};
+}
+
+}  // namespace hycim::core

@@ -1,0 +1,36 @@
+// Best-known reference values for QKP instances.
+//
+// The paper normalizes Fig. 10 against the known optima of the CNAM
+// benchmark set.  For generated instances we compute a strong reference:
+// greedy construction + local search, refined by multi-restart software SA
+// (ideal fidelity, exact feasibility), keeping the best.  On small
+// instances (n <= 26) exact_qkp() certifies that this pipeline reaches the
+// optimum — the property tests rely on that.
+#pragma once
+
+#include <cstdint>
+
+#include "cop/qkp.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::core {
+
+/// Reference-pipeline effort knobs.
+struct ReferenceParams {
+  std::size_t sa_restarts = 8;       ///< independent SA restarts
+  std::size_t sa_iterations = 20000; ///< iterations per restart
+  int local_search_rounds = 60;
+  std::uint64_t seed = 424242;
+};
+
+/// A reference (best-known) solution.
+struct ReferenceSolution {
+  qubo::BitVector x;
+  long long profit = 0;
+};
+
+/// Computes the best-known solution for `inst` with the given effort.
+ReferenceSolution reference_solution(const cop::QkpInstance& inst,
+                                     const ReferenceParams& params = {});
+
+}  // namespace hycim::core

@@ -1,0 +1,39 @@
+#include "device/cell_1f1r.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hycim::device {
+
+Cell1F1R::Cell1F1R(FeFet fefet, const CellParams& params, double r_factor)
+    : fefet_(std::move(fefet)),
+      params_(params),
+      r_eff_(params.r_series * r_factor) {}
+
+void Cell1F1R::program(int level, util::Rng& rng) {
+  fefet_.program_level(level, rng);
+}
+
+bool Cell1F1R::is_on(double vg) const {
+  return fefet_.channel_resistance(vg) < 1e17;
+}
+
+double Cell1F1R::conductance(double vg) const {
+  const double rch = fefet_.channel_resistance(vg);
+  if (rch >= 1e17) return 0.0;
+  return 1.0 / (r_eff_ + rch);
+}
+
+double Cell1F1R::sat_current(double vg) const {
+  if (is_on(vg)) return 0.0;
+  return fefet_.subthreshold_current(vg);
+}
+
+double Cell1F1R::current(double vg, double v_drive) const {
+  if (v_drive <= 0.0) return 0.0;
+  if (is_on(vg)) return conductance(vg) * v_drive;
+  // Subthreshold current source, but never more than the resistor allows.
+  return std::min(sat_current(vg), v_drive / r_eff_);
+}
+
+}  // namespace hycim::device

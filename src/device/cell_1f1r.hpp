@@ -1,0 +1,75 @@
+// 1FeFET1R compute cell (paper Fig. 4(a), refs [24][25]).
+//
+// A FeFET in series with a resistor R.  When the FeFET is ON its channel
+// resistance Rch << R, so the cell current is regulated to ~V/R — this is
+// how the paper bounds the ON-current variability of Fig. 2(b) ("the cell's
+// ON current is regulated by the 1FeFET1R structure").  When the FeFET is
+// below threshold the cell current collapses to the device's saturated
+// subthreshold current, independent of the drive voltage.  For circuit
+// integration the cell therefore exposes a (conductance, saturation
+// current) pair per gate voltage:
+//
+//   I(vg, v) = conductance(vg) · v + sat_current(vg)
+//
+// with exactly one of the two terms non-zero.  The same cell is used by the
+// inequality filter (multi-level weights) and the crossbar (binary bits).
+#pragma once
+
+#include "device/fefet.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::device {
+
+/// Series-resistor value and supply assumptions for a cell.
+struct CellParams {
+  double r_series = 500e3;  ///< series resistor R [ohm]
+  double v_dd = 2.0;        ///< precharge / supply rail [V]
+};
+
+/// One 1FeFET1R cell.
+class Cell1F1R {
+ public:
+  /// Takes ownership of a fabricated device; `r_factor` is the resistor's
+  /// multiplicative process skew (from VariationModel::resistor_factor).
+  Cell1F1R(FeFet fefet, const CellParams& params, double r_factor = 1.0);
+
+  /// Programs the stored level (erase + staged write, with C2C noise).
+  void program(int level, util::Rng& rng);
+
+  /// Ages the device by `seconds` of retention time (see FeFet::age).
+  void age(double seconds) { fefet_.age(seconds); }
+
+  /// Linear conductance seen from the drive node when the device is ON
+  /// [S]: 1/(R + Rch(vg)).  Zero when the device is below threshold.
+  double conductance(double vg) const;
+
+  /// Drive-independent saturated current when the device is OFF [A]
+  /// (subthreshold current source).  Zero when the device is ON.
+  double sat_current(double vg) const;
+
+  /// Total cell current at gate voltage `vg` with `v_drive` across the
+  /// cell stack [A].
+  double current(double vg, double v_drive) const;
+
+  /// True when the device conducts resistively at `vg`.
+  bool is_on(double vg) const;
+
+  /// The stored level.
+  int level() const { return fefet_.level(); }
+
+  /// The underlying device (for curve tracing in benches/tests).
+  const FeFet& device() const { return fefet_; }
+
+  /// Effective series resistance including process skew [ohm].
+  double r_series() const { return r_eff_; }
+
+  /// Cell electrical parameters.
+  const CellParams& cell_params() const { return params_; }
+
+ private:
+  FeFet fefet_;
+  CellParams params_;
+  double r_eff_;
+};
+
+}  // namespace hycim::device

@@ -1,0 +1,145 @@
+#include "device/fefet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hycim::device {
+
+namespace {
+
+/// Polarization the ferroelectric settles at for repeated pulses of
+/// amplitude `a` (linear minor-loop target between coercive and saturation).
+double pulse_target(const FeFetParams& p, double a) {
+  const double mag = std::abs(a);
+  const double frac =
+      std::clamp((mag - p.v_coercive) / (p.v_sat - p.v_coercive), 0.0, 1.0);
+  const double target = -1.0 + 2.0 * frac;
+  return a > 0 ? target : -target;
+}
+
+}  // namespace
+
+FeFet::FeFet(const FeFetParams& params, double d2d_vth_offset)
+    : params_(params), d2d_vth_offset_(d2d_vth_offset) {
+  if (params_.num_levels < 2) {
+    throw std::invalid_argument("FeFet: num_levels must be >= 2");
+  }
+  if (params_.vth_low >= params_.vth_high) {
+    throw std::invalid_argument("FeFet: vth_low must be < vth_high");
+  }
+  if (params_.v_sat <= params_.v_coercive) {
+    throw std::invalid_argument("FeFet: v_sat must exceed v_coercive");
+  }
+}
+
+void FeFet::apply_write_pulse(double amplitude_v) {
+  if (std::abs(amplitude_v) <= params_.v_coercive) return;  // below switching
+  const double target = pulse_target(params_, amplitude_v);
+  if (amplitude_v > 0) {
+    // Program pulses only increase polarization (partial switching toward
+    // the minor-loop target; already-switched domains do not flip back).
+    if (target > polarization_) {
+      polarization_ += 0.5 * (target - polarization_);
+    }
+  } else {
+    if (target < polarization_) {
+      polarization_ += 0.5 * (target - polarization_);
+    }
+  }
+  polarization_ = std::clamp(polarization_, -1.0, 1.0);
+}
+
+void FeFet::program_level(int level, util::Rng& rng) {
+  if (level < 0 || level >= params_.num_levels) {
+    throw std::invalid_argument("FeFet::program_level: level out of range");
+  }
+  // Erase: a few strong negative pulses drive P to -1.
+  for (int k = 0; k < 16; ++k) apply_write_pulse(-params_.v_sat - 0.5);
+  if (level > 0) {
+    // Staged identical pulses converge onto the level's minor-loop target
+    // (Fig. 2(a): different write amplitudes select the stored level).
+    const double target_p =
+        -1.0 + 2.0 * static_cast<double>(level) /
+                   static_cast<double>(params_.num_levels - 1);
+    const double amplitude =
+        params_.v_coercive +
+        0.5 * (target_p + 1.0) * (params_.v_sat - params_.v_coercive);
+    for (int k = 0; k < 14; ++k) apply_write_pulse(amplitude);
+  }
+  c2c_vth_offset_ =
+      params_.sigma_vth_c2c > 0 ? rng.gaussian(0.0, params_.sigma_vth_c2c) : 0.0;
+  level_ = level;
+  // Programming resets the retention clock and any accumulated drift.
+  retention_s_ = 0.0;
+  drift_vth_offset_ = 0.0;
+}
+
+void FeFet::age(double seconds) {
+  if (seconds <= 0.0) return;
+  retention_s_ += seconds;
+  // Log-linear depolarization, referenced to 1 s: only programmed devices
+  // drift (toward the erased / high-Vth state), proportionally to how far
+  // they were programmed.
+  if (polarization_ <= -1.0 + 1e-12) return;
+  const double decades = std::log10(1.0 + retention_s_);
+  const double programmed_frac = (polarization_ + 1.0) / 2.0;
+  drift_vth_offset_ = params_.drift_v_per_decade * decades * programmed_frac;
+}
+
+double FeFet::vth() const {
+  const double frac = (polarization_ + 1.0) / 2.0;  // 0 = erased, 1 = programmed
+  return params_.vth_high + frac * (params_.vth_low - params_.vth_high) +
+         d2d_vth_offset_ + c2c_vth_offset_ + drift_vth_offset_;
+}
+
+double FeFet::channel_resistance(double vg) const {
+  if (fault_ == Fault::kStuckOn) return params_.rch0;
+  if (fault_ == Fault::kStuckOff) return 1e18;
+  const double overdrive = vg - vth();
+  if (overdrive < 0.0) return 1e18;
+  return params_.rch0 / (1.0 + params_.gm_lin * overdrive);
+}
+
+double FeFet::subthreshold_current(double vg) const {
+  if (fault_ == Fault::kStuckOff) return params_.i_off;
+  const double overdrive = vg - vth();
+  const double decades = overdrive * 1000.0 / params_.ss_mv_per_dec;
+  // Guard the pow against extreme underflow.
+  if (decades < -300.0) return params_.i_off;
+  const double i = params_.i0_sub * std::pow(10.0, decades);
+  return std::max(i, params_.i_off);
+}
+
+double FeFet::drain_current(double vg, double vds) const {
+  if (vds <= 0.0) return 0.0;
+  if (fault_ == Fault::kStuckOn) return vds / params_.rch0;
+  if (fault_ == Fault::kStuckOff) return params_.i_off;
+  const double overdrive = vg - vth();
+  if (overdrive >= 0.0) {
+    // Linear (triode) region: resistor-like channel.
+    return vds / channel_resistance(vg);
+  }
+  // Subthreshold: saturated current source; the (1 - e^(-vds/vt)) factor
+  // matters only below ~100 mV drain bias.
+  constexpr double kThermalVoltage = 0.0259;
+  const double sat_factor = 1.0 - std::exp(-vds / kThermalVoltage);
+  return subthreshold_current(vg) * sat_factor;
+}
+
+double FeFet::nominal_vth(const FeFetParams& params, int level) {
+  assert(level >= 0 && level < params.num_levels);
+  const double frac = static_cast<double>(level) /
+                      static_cast<double>(params.num_levels - 1);
+  return params.vth_high + frac * (params.vth_low - params.vth_high);
+}
+
+double FeFet::read_voltage(const FeFetParams& params, int j) {
+  if (j < 1 || j >= params.num_levels) {
+    throw std::invalid_argument("FeFet::read_voltage: j out of range");
+  }
+  return 0.5 * (nominal_vth(params, j - 1) + nominal_vth(params, j));
+}
+
+}  // namespace hycim::device

@@ -1,0 +1,143 @@
+// Behavioral multi-level FeFET model (paper Sec. 2.2, Fig. 2).
+//
+// This replaces the SPECTRE + Preisach compact-model stack the paper
+// simulates with: a ferroelectric polarization state that write pulses move
+// along a saturating minor-loop trajectory (Preisach-inspired), a threshold
+// voltage linear in remanent polarization, and a two-regime conduction
+// model:
+//
+//   * subthreshold (VG < Vth): the channel behaves as a *current source*
+//     saturating at I0·10^((VG−Vth)/SS), independent of the drain bias once
+//     VDS is more than a few kT/q — this is what gives the filter its clean
+//     ON/OFF decades;
+//   * on (VG >= Vth): the channel behaves as a *resistor*
+//     Rch = Rch0 / (1 + gm_lin·(VG−Vth)), so in series with the cell
+//     resistor R >> Rch the cell current is regulated to ~V/R, suppressing
+//     device variability (the 1FeFET1R argument of Fig. 4(a), refs [24,25]).
+//
+// Device-to-device and cycle-to-cycle variation enter as Gaussian Vth
+// perturbations, calibrated so the 5-level fan-out is comparable to the
+// measured 60-device spread of Fig. 2(b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hycim::device {
+
+/// Electrical/programming constants of the FeFET model.  Defaults give a
+/// 5-level device on a 2 V gate swing with µA-scale ON currents, matching
+/// the operating points used throughout the paper's figures.
+struct FeFetParams {
+  int num_levels = 5;          ///< states q0..q(num_levels-1); q0 = erased.
+                               ///< The filter uses 5 (weights 0..4, Fig 4),
+                               ///< the crossbar uses 2 (binary bits, Fig 6).
+  double vth_high = 1.80;      ///< Vth of the fully erased state q0 [V]
+  double vth_low = 0.30;       ///< Vth of the fully programmed state [V]
+  double ss_mv_per_dec = 60.0; ///< subthreshold swing [mV/decade]
+  double i0_sub = 1e-6;        ///< saturated subthreshold current at VG=Vth [A]
+  double i_off = 1e-12;        ///< leakage floor [A]
+  double rch0 = 20e3;          ///< ON channel resistance at VG=Vth [ohm]
+  double gm_lin = 0.5;         ///< overdrive conductance factor [1/V]
+  double v_coercive = 0.8;     ///< coercive voltage of the FE layer [V]
+  double v_sat = 3.5;          ///< write amplitude that fully polarizes [V]
+  double sigma_vth_c2c = 0.0;  ///< cycle-to-cycle (per program) spread [V]
+  /// Retention drift: Vth relaxes toward the erased state by this much per
+  /// decade of time after programming (HfO2 FeFET depolarization) [V/dec].
+  double drift_v_per_decade = 0.005;
+};
+
+/// Manufacturing defect state of a device.
+enum class Fault {
+  kNone,
+  kStuckOn,   ///< channel always conducts (gate short / FE breakdown)
+  kStuckOff,  ///< channel never conducts (open contact)
+};
+
+/// One FeFET device instance with persistent polarization state.
+class FeFet {
+ public:
+  /// Creates a device.  `d2d_vth_offset` is this device's fixed Vth skew
+  /// (drawn once at "fabrication" — see VariationModel).
+  explicit FeFet(const FeFetParams& params = {}, double d2d_vth_offset = 0.0);
+
+  /// Applies one write pulse of the given amplitude [V].  Positive pulses
+  /// program (lower Vth), negative pulses erase toward vth_high.  Pulses
+  /// below the coercive voltage leave the polarization unchanged.  The
+  /// polarization follows a saturating minor-loop update (each pulse moves
+  /// halfway to the amplitude's target), so repeated identical pulses
+  /// converge — the Preisach-accumulation behaviour used by the multi-pulse
+  /// write scheme of Fig. 2(a).
+  void apply_write_pulse(double amplitude_v);
+
+  /// Erases the device to q0 and re-programs it to `level` with the staged
+  /// pulse amplitudes of Fig. 2(a).  Draws fresh cycle-to-cycle noise from
+  /// `rng` when sigma_vth_c2c > 0.
+  void program_level(int level, util::Rng& rng);
+
+  /// Current threshold voltage, including polarization state, the fixed
+  /// device offset, and the last programming noise [V].
+  double vth() const;
+
+  /// Drain current of the bare device at gate voltage `vg` and drain-source
+  /// voltage `vds` [V].  Subthreshold: saturated current source (weak vds
+  /// dependence ignored above ~0.1 V).  On: linear-region resistor.
+  double drain_current(double vg, double vds) const;
+
+  /// ON channel resistance at gate voltage `vg` [ohm]; +inf (1e18) when the
+  /// device is below threshold.
+  double channel_resistance(double vg) const;
+
+  /// Saturated subthreshold current at `vg` [A] (i_off floor applied);
+  /// meaningful when vg < vth().
+  double subthreshold_current(double vg) const;
+
+  /// Remanent polarization in [-1 (erased), +1 (programmed)].
+  double polarization() const { return polarization_; }
+
+  /// Programmed level from the last program_level() call (-1 if none).
+  int level() const { return level_; }
+
+  /// Marks the device as defective (fabrication fault).  Faults dominate
+  /// all electrical behaviour until cleared.
+  void set_fault(Fault fault) { fault_ = fault; }
+  /// The device's defect state.
+  Fault fault() const { return fault_; }
+
+  /// Advances retention time by `seconds`: Vth drifts toward the erased
+  /// state by drift_v_per_decade per decade of *cumulative* time since the
+  /// last programming (log-linear depolarization).  program_level() resets
+  /// the clock.
+  void age(double seconds);
+
+  /// Cumulative retention time since the last programming [s].
+  double retention_seconds() const { return retention_s_; }
+
+  /// Model parameters.
+  const FeFetParams& params() const { return params_; }
+
+  /// Nominal Vth for a given level with no variation (helper for choosing
+  /// read voltages): linear interpolation between vth_high and vth_low.
+  static double nominal_vth(const FeFetParams& params, int level);
+
+  /// Read voltage that separates level `j` from level `j-1`: placed halfway
+  /// between their nominal thresholds, so a cell storing level k conducts
+  /// under Vread_j exactly when k >= j.  Used by the filter's staircase read
+  /// (paper Fig. 4(b), Vread1..Vread4).  `j` in [1, num_levels-1].
+  /// Note Vread_1 > Vread_2 > ... (higher levels have lower Vth).
+  static double read_voltage(const FeFetParams& params, int j);
+
+ private:
+  FeFetParams params_;
+  double d2d_vth_offset_;
+  double c2c_vth_offset_ = 0.0;
+  double drift_vth_offset_ = 0.0;
+  double retention_s_ = 0.0;
+  double polarization_ = -1.0;  // erased
+  int level_ = -1;
+  Fault fault_ = Fault::kNone;
+};
+
+}  // namespace hycim::device

@@ -1,0 +1,53 @@
+#include "device/variation.hpp"
+
+#include <algorithm>
+
+namespace hycim::device {
+
+VariationParams ideal_variation() {
+  VariationParams p;
+  p.sigma_vth_d2d = 0.0;
+  p.sigma_vth_c2c = 0.0;
+  p.sigma_r_rel = 0.0;
+  p.sigma_cml_rel = 0.0;
+  return p;
+}
+
+VariationModel::VariationModel(const VariationParams& params,
+                               std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+std::vector<FeFet> VariationModel::fabricate(const FeFetParams& base,
+                                             std::size_t count) {
+  std::vector<FeFet> devices;
+  devices.reserve(count);
+  FeFetParams varied = base;
+  varied.sigma_vth_c2c = params_.sigma_vth_c2c;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double d2d = params_.sigma_vth_d2d > 0
+                           ? rng_.gaussian(0.0, params_.sigma_vth_d2d)
+                           : 0.0;
+    devices.emplace_back(varied, d2d);
+    // Manufacturing defects (drawn per device at fabrication).
+    if (params_.p_stuck_on > 0 && rng_.bernoulli(params_.p_stuck_on)) {
+      devices.back().set_fault(Fault::kStuckOn);
+    } else if (params_.p_stuck_off > 0 &&
+               rng_.bernoulli(params_.p_stuck_off)) {
+      devices.back().set_fault(Fault::kStuckOff);
+    }
+  }
+  return devices;
+}
+
+double VariationModel::resistor_factor() {
+  if (params_.sigma_r_rel <= 0) return 1.0;
+  // Clamp to keep resistors physical under extreme draws.
+  return std::max(0.5, rng_.gaussian(1.0, params_.sigma_r_rel));
+}
+
+double VariationModel::cap_factor() {
+  if (params_.sigma_cml_rel <= 0) return 1.0;
+  return std::max(0.5, rng_.gaussian(1.0, params_.sigma_cml_rel));
+}
+
+}  // namespace hycim::device

@@ -1,0 +1,61 @@
+// Process variation modeling for the CiM arrays.
+//
+// Device-to-device (D2D) spread is fixed at fabrication: each device gets a
+// persistent Vth offset and each cell resistor a relative error.  Cycle-to-
+// cycle (C2C) spread is re-drawn at every programming event (handled inside
+// FeFet::program_level).  VariationModel is the "fab": it owns the RNG
+// stream and stamps out device populations with the configured corners.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "device/fefet.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::device {
+
+/// Array-level variation corners.
+struct VariationParams {
+  double sigma_vth_d2d = 0.030;  ///< Vth spread across devices [V]
+  double sigma_vth_c2c = 0.010;  ///< Vth spread per program cycle [V]
+  /// Relative spread of the series resistor.  The filter's weight accuracy
+  /// is set almost entirely by this (the 1FeFET1R regulation suppresses the
+  /// Vth spread); 0.5% models the matched poly resistors such precision
+  /// matchline designs rely on.
+  double sigma_r_rel = 0.005;
+  double sigma_cml_rel = 0.01;   ///< relative spread of the ML capacitance
+  double p_stuck_on = 0.0;       ///< probability a device is stuck ON
+  double p_stuck_off = 0.0;      ///< probability a device is stuck OFF
+};
+
+/// Ideal corner: no variation anywhere (for functional testing).
+VariationParams ideal_variation();
+
+/// Deterministic generator of varied device populations.
+class VariationModel {
+ public:
+  /// `seed` fixes the whole fabricated population.
+  VariationModel(const VariationParams& params, std::uint64_t seed);
+
+  /// Fabricates `count` FeFETs with D2D/C2C corners applied to `base`.
+  std::vector<FeFet> fabricate(const FeFetParams& base, std::size_t count);
+
+  /// One multiplicative resistor factor (mean 1, sigma_r_rel).
+  double resistor_factor();
+
+  /// One multiplicative ML-capacitance factor (mean 1, sigma_cml_rel).
+  double cap_factor();
+
+  /// The variation corners in force.
+  const VariationParams& params() const { return params_; }
+
+  /// The RNG stream (e.g. to pass to FeFet::program_level for C2C noise).
+  util::Rng& rng() { return rng_; }
+
+ private:
+  VariationParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace hycim::device

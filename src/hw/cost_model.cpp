@@ -1,0 +1,65 @@
+#include "hw/cost_model.hpp"
+
+namespace hycim::hw {
+
+namespace {
+
+/// Converts a bit-cell count to µm² under the tech constants.
+double cells_area_um2(std::size_t cells, const TechParams& tech) {
+  const double f_um = tech.feature_nm * 1e-3;
+  return static_cast<double>(cells) * tech.cell_area_f2 * f_um * f_um;
+}
+
+}  // namespace
+
+HardwareCost hycim_cost(std::size_t n, int matrix_bits,
+                        std::size_t filter_rows, std::size_t adcs,
+                        const TechParams& tech) {
+  HardwareCost c;
+  c.crossbar_cells = n * n * static_cast<std::size_t>(matrix_bits);
+  c.filter_cells = 2 * filter_rows * n;  // working + replica arrays
+  c.adcs = adcs;
+  c.comparators = 1;
+  c.area_um2 = cells_area_um2(c.total_cells(), tech) +
+               static_cast<double>(adcs) * tech.adc_area_um2 +
+               tech.comparator_area_um2 + tech.sa_logic_area_um2;
+  // One iteration: a filter evaluation (all selected filter cells switch,
+  // bounded by one array) + comparator; a QUBO evaluation activates on
+  // average half the crossbar cells and one conversion per column per bit.
+  const double filter_fj =
+      static_cast<double>(filter_rows * n) * tech.cell_read_energy_fj +
+      tech.comparator_energy_fj;
+  const double crossbar_fj =
+      0.5 * static_cast<double>(c.crossbar_cells) * tech.cell_read_energy_fj +
+      static_cast<double>(n * static_cast<std::size_t>(matrix_bits)) *
+          tech.adc_energy_fj;
+  c.energy_per_iteration_fj = filter_fj + crossbar_fj;
+  return c;
+}
+
+HardwareCost dqubo_cost(std::size_t n_dqubo, int matrix_bits,
+                        std::size_t adcs, const TechParams& tech) {
+  HardwareCost c;
+  c.crossbar_cells = n_dqubo * n_dqubo * static_cast<std::size_t>(matrix_bits);
+  c.filter_cells = 0;
+  c.adcs = adcs;
+  c.comparators = 0;
+  c.area_um2 = cells_area_um2(c.total_cells(), tech) +
+               static_cast<double>(adcs) * tech.adc_area_um2 +
+               tech.sa_logic_area_um2;
+  c.energy_per_iteration_fj =
+      0.5 * static_cast<double>(c.crossbar_cells) * tech.cell_read_energy_fj +
+      static_cast<double>(n_dqubo * static_cast<std::size_t>(matrix_bits)) *
+          tech.adc_energy_fj;
+  return c;
+}
+
+double size_saving_percent(const HardwareCost& ours,
+                           const HardwareCost& baseline) {
+  if (baseline.total_cells() == 0) return 0.0;
+  const double ratio = static_cast<double>(ours.total_cells()) /
+                       static_cast<double>(baseline.total_cells());
+  return (1.0 - ratio) * 100.0;
+}
+
+}  // namespace hycim::hw

@@ -1,0 +1,58 @@
+// Hardware cost model (paper Sec. 4.2, Fig. 9).
+//
+// Replaces the paper's DESTINY-extracted numbers with an explicit
+// parameterized model.  The headline metric — "hardware size" — follows the
+// paper's accounting: the number of crossbar bit-cells needed to map the
+// QUBO matrix, i.e. n² · ⌈log2 (Qij)MAX⌉, plus (for HyCiM) the two
+// inequality-filter arrays.  Area/energy estimates for a 28 nm HKMG node
+// are derived from per-component constants so the benches can also report
+// physical units.
+#pragma once
+
+#include <cstddef>
+
+namespace hycim::hw {
+
+/// Technology/component constants (28 nm HKMG defaults).
+struct TechParams {
+  double feature_nm = 28.0;      ///< technology feature size F
+  double cell_area_f2 = 30.0;    ///< 1FeFET1R bit-cell area [F²]
+  double adc_area_um2 = 1200.0;  ///< 8-bit column ADC [µm²]
+  double comparator_area_um2 = 45.0;   ///< 2-stage voltage comparator [µm²]
+  double sa_logic_area_um2 = 5200.0;   ///< SA controller + buffers [µm²]
+  double cell_read_energy_fj = 2.0;    ///< per ON bit-cell per op [fJ]
+  double adc_energy_fj = 180.0;        ///< per conversion [fJ]
+  double comparator_energy_fj = 25.0;  ///< per decision [fJ]
+};
+
+/// Cost breakdown of one solver configuration.
+struct HardwareCost {
+  std::size_t crossbar_cells = 0;  ///< QUBO-matrix bit-cells
+  std::size_t filter_cells = 0;    ///< inequality filter bit-cells (both arrays)
+  std::size_t adcs = 0;
+  std::size_t comparators = 0;
+  double area_um2 = 0.0;           ///< total estimated area
+  double energy_per_iteration_fj = 0.0;  ///< one SA iteration (eval path)
+
+  /// Total bit-cells, the "hardware size" of paper Fig. 9(c).
+  std::size_t total_cells() const { return crossbar_cells + filter_cells; }
+};
+
+/// Cost of a HyCiM deployment: n×n crossbar at `matrix_bits` per element +
+/// two m×n filter arrays + comparator.  `adcs` defaults to the paper's chip
+/// (4 shared ADCs, Fig. 7(b)).
+HardwareCost hycim_cost(std::size_t n, int matrix_bits,
+                        std::size_t filter_rows = 16, std::size_t adcs = 4,
+                        const TechParams& tech = {});
+
+/// Cost of a D-QUBO deployment: (n_dqubo)² crossbar at `matrix_bits` per
+/// element, no filter.
+HardwareCost dqubo_cost(std::size_t n_dqubo, int matrix_bits,
+                        std::size_t adcs = 4, const TechParams& tech = {});
+
+/// Relative size saving of `ours` over `baseline` in percent, by bit-cell
+/// count (the Fig. 9(c) metric).  Positive when `ours` is smaller.
+double size_saving_percent(const HardwareCost& ours,
+                           const HardwareCost& baseline);
+
+}  // namespace hycim::hw

@@ -1,0 +1,29 @@
+#include "hw/search_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hycim::hw {
+
+double log2_pow2_difference(double a, double b) {
+  if (a <= b) {
+    throw std::invalid_argument("log2_pow2_difference: requires a > b");
+  }
+  return a + std::log2(1.0 - std::exp2(b - a));
+}
+
+SearchSpace compare_search_space(std::size_t n, long long capacity) {
+  if (capacity < 1) {
+    throw std::invalid_argument("compare_search_space: capacity < 1");
+  }
+  SearchSpace s;
+  s.hycim_vars = n;
+  s.dqubo_vars = n + static_cast<std::size_t>(capacity);
+  s.hycim_log2 = static_cast<double>(s.hycim_vars);
+  s.dqubo_log2 = static_cast<double>(s.dqubo_vars);
+  s.reduction_log2 = s.dqubo_log2 - s.hycim_log2;
+  s.eliminated_log2 = log2_pow2_difference(s.dqubo_log2, s.hycim_log2);
+  return s;
+}
+
+}  // namespace hycim::hw

@@ -1,0 +1,32 @@
+// Search-space accounting (paper Sec. 4.2, Fig. 9(b)).
+//
+// Search-space sizes are astronomically large (2^100 .. 2^2636), so they
+// are represented by their log2 exponents.  The "eliminated
+// configurations" the abstract quotes (2^100 to 2^2536) is the count
+// 2^(n+C) − 2^n, whose log2 is ~n+C for C >> 1; both the exact expression
+// and the paper's headline exponent difference are provided.
+#pragma once
+
+#include <cstddef>
+
+namespace hycim::hw {
+
+/// Search-space comparison between a D-QUBO formulation over n+C variables
+/// and HyCiM's inequality-QUBO over n variables.
+struct SearchSpace {
+  std::size_t hycim_vars = 0;   ///< n
+  std::size_t dqubo_vars = 0;   ///< n + C (one-hot slack)
+  double hycim_log2 = 0.0;      ///< log2 |HyCiM space| = n
+  double dqubo_log2 = 0.0;      ///< log2 |D-QUBO space| = n + C
+  double reduction_log2 = 0.0;  ///< log2(|D-QUBO| / |HyCiM|) = C
+  double eliminated_log2 = 0.0; ///< log2(2^(n+C) − 2^n) ≈ n + C
+};
+
+/// Computes the comparison for a problem with n items and capacity C
+/// (D-QUBO auxiliary vector length = C, paper Fig. 1(b)).
+SearchSpace compare_search_space(std::size_t n, long long capacity);
+
+/// log2(2^a − 2^b) for a > b, computed stably: a + log2(1 − 2^(b−a)).
+double log2_pow2_difference(double a, double b);
+
+}  // namespace hycim::hw

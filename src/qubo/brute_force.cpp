@@ -1,0 +1,36 @@
+#include "qubo/brute_force.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace hycim::qubo {
+
+BruteForceResult brute_force_minimize(const QuboMatrix& q,
+                                      const FeasiblePredicate& feasible) {
+  const std::size_t n = q.size();
+  if (n > 30) {
+    throw std::invalid_argument("brute_force_minimize: n > 30 is intractable");
+  }
+  BruteForceResult result;
+  result.best_energy = std::numeric_limits<double>::infinity();
+  result.feasible_count = 0;
+
+  BitVector x(n, 0);
+  const std::uint64_t total = std::uint64_t{1} << n;
+  for (std::uint64_t code = 0; code < total; ++code) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = (code >> i) & 1u;
+    if (feasible && !feasible(x)) continue;
+    ++result.feasible_count;
+    const double e = q.energy(x);
+    if (e < result.best_energy) {
+      result.best_energy = e;
+      result.best_x = x;
+    }
+  }
+  if (result.feasible_count == 0) {
+    throw std::invalid_argument("brute_force_minimize: no feasible assignment");
+  }
+  return result;
+}
+
+}  // namespace hycim::qubo

@@ -1,0 +1,31 @@
+// Exhaustive QUBO minimization for verification.
+//
+// Enumerates all 2ⁿ assignments (n <= 30 enforced) and returns the global
+// minimum, optionally subject to a feasibility predicate — the ground truth
+// against which the annealers and transformations are tested.
+#pragma once
+
+#include <functional>
+
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::qubo {
+
+/// Result of an exhaustive search.
+struct BruteForceResult {
+  BitVector best_x;     ///< An optimal assignment (lexicographically first).
+  double best_energy;   ///< Its energy, including the matrix offset.
+  std::size_t feasible_count;  ///< Assignments passing the predicate.
+};
+
+/// Predicate deciding whether an assignment is admissible.  Used to restrict
+/// the search to the feasible region of a constrained COP.
+using FeasiblePredicate = std::function<bool(std::span<const std::uint8_t>)>;
+
+/// Minimizes xᵀQx + offset over all binary assignments (or over those
+/// satisfying `feasible`, when provided).  Throws std::invalid_argument when
+/// q.size() > 30 or when no assignment is feasible.
+BruteForceResult brute_force_minimize(
+    const QuboMatrix& q, const FeasiblePredicate& feasible = nullptr);
+
+}  // namespace hycim::qubo

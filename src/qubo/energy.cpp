@@ -1,0 +1,70 @@
+#include "qubo/energy.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hycim::qubo {
+
+IncrementalEvaluator::IncrementalEvaluator(const QuboMatrix& q, BitVector x0)
+    : q_(&q), x_(std::move(x0)) {
+  if (x_.size() != q.size()) {
+    throw std::invalid_argument("IncrementalEvaluator: size mismatch");
+  }
+  rebuild_fields();
+}
+
+void IncrementalEvaluator::rebuild_fields() {
+  const std::size_t n = x_.size();
+  phi_.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = q_->at(k, k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (x_[i]) s += q_->at(i, k);
+    }
+    for (std::size_t j = k + 1; j < n; ++j) {
+      if (x_[j]) s += q_->at(k, j);
+    }
+    phi_[k] = s;
+  }
+  energy_ = q_->energy(x_);
+}
+
+double IncrementalEvaluator::delta(std::size_t k) const {
+  assert(k < x_.size());
+  return (x_[k] ? -1.0 : 1.0) * phi_[k];
+}
+
+double IncrementalEvaluator::delta_pair(std::size_t i, std::size_t j) const {
+  assert(i != j);
+  const double si = x_[i] ? -1.0 : 1.0;
+  const double sj = x_[j] ? -1.0 : 1.0;
+  return delta(i) + delta(j) + si * sj * q_->at(i, j);
+}
+
+void IncrementalEvaluator::flip(std::size_t k) {
+  assert(k < x_.size());
+  energy_ += delta(k);
+  const double sign = x_[k] ? -1.0 : 1.0;  // +1 when turning the bit on
+  x_[k] ^= 1;
+  // Every other bit's field gains/loses the coupling with bit k.
+  for (std::size_t i = 0; i < k; ++i) phi_[i] += sign * q_->at(i, k);
+  for (std::size_t j = k + 1; j < x_.size(); ++j) phi_[j] += sign * q_->at(k, j);
+}
+
+void IncrementalEvaluator::flip_pair(std::size_t i, std::size_t j) {
+  assert(i != j);
+  flip(i);
+  flip(j);
+}
+
+void IncrementalEvaluator::reset(BitVector x0) {
+  if (x0.size() != q_->size()) {
+    throw std::invalid_argument("IncrementalEvaluator::reset: size mismatch");
+  }
+  x_ = std::move(x0);
+  rebuild_fields();
+}
+
+double IncrementalEvaluator::recompute() const { return q_->energy(x_); }
+
+}  // namespace hycim::qubo

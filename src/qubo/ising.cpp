@@ -1,0 +1,103 @@
+#include "qubo/ising.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hycim::qubo {
+
+IsingModel::IsingModel(std::size_t n)
+    : n_(n), j_(n > 1 ? n * (n - 1) / 2 : 0, 0.0), h_(n, 0.0) {}
+
+std::size_t IsingModel::index(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  if (i == j || j >= n_) throw std::out_of_range("IsingModel coupling index");
+  // Strict upper triangle, row-major: row i has n-1-i entries and starts at
+  // i*n - i*(i+1)/2 - i ... derived below.
+  return i * (n_ - 1) - i * (i - 1) / 2 + (j - i - 1);
+}
+
+double IsingModel::coupling(std::size_t i, std::size_t j) const {
+  return j_[index(i, j)];
+}
+
+void IsingModel::set_coupling(std::size_t i, std::size_t j, double v) {
+  j_[index(i, j)] = v;
+}
+
+double IsingModel::energy(std::span<const std::int8_t> s) const {
+  assert(s.size() == n_);
+  double e = offset_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    e += h_[i] * s[i];
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      e += j_[index(i, j)] * s[i] * s[j];
+    }
+  }
+  return e;
+}
+
+IsingModel qubo_to_ising(const QuboMatrix& q) {
+  // x_i = (1 - σ_i) / 2.  Then
+  //   q_ij x_i x_j = q_ij/4 (1 - σ_i - σ_j + σ_i σ_j)      (i < j)
+  //   q_ii x_i     = q_ii/2 (1 - σ_i)
+  const std::size_t n = q.size();
+  IsingModel m(n);
+  double offset = q.offset();
+  std::vector<double> h(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double qii = q.at(i, i);
+    offset += qii / 2.0;
+    h[i] -= qii / 2.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double qij = q.at(i, j);
+      if (qij == 0.0) continue;
+      offset += qij / 4.0;
+      h[i] -= qij / 4.0;
+      h[j] -= qij / 4.0;
+      m.set_coupling(i, j, m.coupling(i, j) + qij / 4.0);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) m.set_field(i, h[i]);
+  m.set_offset(offset);
+  return m;
+}
+
+QuboMatrix ising_to_qubo(const IsingModel& m) {
+  // σ_i = 1 - 2 x_i.  Then
+  //   J_ij σ_i σ_j = J_ij (1 - 2x_i - 2x_j + 4 x_i x_j)
+  //   h_i σ_i      = h_i (1 - 2 x_i)
+  const std::size_t n = m.size();
+  QuboMatrix q(n);
+  double offset = m.offset();
+  for (std::size_t i = 0; i < n; ++i) {
+    offset += m.field(i);
+    q.add(i, i, -2.0 * m.field(i));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double jij = m.coupling(i, j);
+      if (jij == 0.0) continue;
+      offset += jij;
+      q.add(i, i, -2.0 * jij);
+      q.add(j, j, -2.0 * jij);
+      q.add(i, j, 4.0 * jij);
+    }
+  }
+  q.set_offset(offset);
+  return q;
+}
+
+SpinVector bits_to_spins(std::span<const std::uint8_t> x) {
+  SpinVector s(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    s[i] = x[i] ? std::int8_t{-1} : std::int8_t{1};
+  }
+  return s;
+}
+
+BitVector spins_to_bits(std::span<const std::int8_t> s) {
+  BitVector x(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) x[i] = s[i] < 0 ? 1 : 0;
+  return x;
+}
+
+}  // namespace hycim::qubo

@@ -1,0 +1,68 @@
+// Ising model (paper Eq. (1)) and its equivalence with QUBO.
+//
+//   H(σ) = Σ_{i<j} J_ij σ_i σ_j + Σ_i h_i σ_i,   σ_i ∈ {−1, +1}
+//
+// The paper uses the substitution σ_i = 1 − 2 x_i to move between the two
+// forms; both directions are provided here and are exact (energies match up
+// to the tracked constant offset).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::qubo {
+
+/// Spin assignment; s[i] in {-1, +1} stored as int8.
+using SpinVector = std::vector<std::int8_t>;
+
+/// Dense Ising model with pairwise couplings J (upper triangular, i < j),
+/// fields h, and a constant offset.
+class IsingModel {
+ public:
+  IsingModel() = default;
+  /// Creates an N-spin model with zero couplings and fields.
+  explicit IsingModel(std::size_t n);
+
+  /// Number of spins.
+  std::size_t size() const { return n_; }
+
+  /// Coupling J_ij between distinct spins (order-insensitive).
+  double coupling(std::size_t i, std::size_t j) const;
+  /// Sets J_ij (requires i != j).
+  void set_coupling(std::size_t i, std::size_t j, double v);
+  /// Field h_i.
+  double field(std::size_t i) const { return h_.at(i); }
+  /// Sets h_i.
+  void set_field(std::size_t i, double v) { h_.at(i) = v; }
+  /// Constant energy offset.
+  double offset() const { return offset_; }
+  void set_offset(double v) { offset_ = v; }
+
+  /// Hamiltonian H(σ) + offset.
+  double energy(std::span<const std::int8_t> s) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> j_;  // packed strict upper triangle
+  std::vector<double> h_;
+  double offset_ = 0.0;
+  std::size_t index(std::size_t i, std::size_t j) const;
+};
+
+/// Converts a QUBO to the equivalent Ising model via x = (1 − σ)/2.
+/// ising.energy(σ) == qubo.energy(x(σ)) for all assignments.
+IsingModel qubo_to_ising(const QuboMatrix& q);
+
+/// Converts an Ising model to the equivalent QUBO via σ = 1 − 2x.
+QuboMatrix ising_to_qubo(const IsingModel& m);
+
+/// Maps binary x to spins σ = 1 − 2x (x=0 → +1, x=1 → −1).
+SpinVector bits_to_spins(std::span<const std::uint8_t> x);
+
+/// Inverse of bits_to_spins.
+BitVector spins_to_bits(std::span<const std::int8_t> s);
+
+}  // namespace hycim::qubo

@@ -1,0 +1,83 @@
+#include "qubo/qubo_matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hycim::qubo {
+
+QuboMatrix::QuboMatrix(std::size_t n) : n_(n), values_(n * (n + 1) / 2, 0.0) {}
+
+std::size_t QuboMatrix::index(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  if (j >= n_) throw std::out_of_range("QuboMatrix index");
+  // Row-major packed upper triangle: row i starts after i full rows whose
+  // lengths are n, n-1, ..., n-i+1.
+  return i * n_ - i * (i - 1) / 2 + (j - i);
+}
+
+double QuboMatrix::at(std::size_t i, std::size_t j) const {
+  return values_[index(i, j)];
+}
+
+void QuboMatrix::set(std::size_t i, std::size_t j, double v) {
+  values_[index(i, j)] = v;
+}
+
+void QuboMatrix::add(std::size_t i, std::size_t j, double v) {
+  values_[index(i, j)] += v;
+}
+
+double QuboMatrix::energy(std::span<const std::uint8_t> x) const {
+  assert(x.size() == n_);
+  double e = offset_;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!x[i]) {
+      idx += n_ - i;  // skip the whole row
+      continue;
+    }
+    for (std::size_t j = i; j < n_; ++j, ++idx) {
+      if (x[j]) e += values_[idx];
+    }
+  }
+  return e;
+}
+
+double QuboMatrix::delta_energy(std::span<const std::uint8_t> x,
+                                std::size_t k) const {
+  assert(x.size() == n_);
+  assert(k < n_);
+  // dE = (1 - 2 x_k) * (q_kk + sum_{i<k} q_ik x_i + sum_{j>k} q_kj x_j)
+  double s = at(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (x[i]) s += at(i, k);
+  }
+  for (std::size_t j = k + 1; j < n_; ++j) {
+    if (x[j]) s += at(k, j);
+  }
+  return (x[k] ? -1.0 : 1.0) * s;
+}
+
+double QuboMatrix::max_abs_coefficient() const {
+  double m = 0.0;
+  for (double v : values_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::size_t QuboMatrix::nonzeros() const {
+  std::size_t count = 0;
+  for (double v : values_) {
+    if (v != 0.0) ++count;
+  }
+  return count;
+}
+
+int QuboMatrix::quantization_bits() const {
+  const double m = max_abs_coefficient();
+  if (m <= 1.0) return 1;
+  return static_cast<int>(std::ceil(std::log2(m)));
+}
+
+}  // namespace hycim::qubo

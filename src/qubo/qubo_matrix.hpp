@@ -1,0 +1,79 @@
+// QUBO matrix representation (paper Eq. (2): min y = xᵀQx, x ∈ {0,1}ⁿ).
+//
+// The matrix is stored upper-triangular: entry (i, j) with i <= j holds the
+// coefficient of x_i·x_j, and the diagonal holds the linear terms (x² = x for
+// binary x).  This matches the crossbar mapping in paper Fig. 6(a), where Q
+// is drawn upper-triangular with zeros below the diagonal.  A separate
+// constant `offset` tracks additive terms produced by penalty expansions so
+// that transformed energies remain comparable to the original objective.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hycim::qubo {
+
+/// Binary variable assignment; x[i] in {0, 1}.
+using BitVector = std::vector<std::uint8_t>;
+
+/// Dense upper-triangular QUBO matrix with an additive constant offset.
+class QuboMatrix {
+ public:
+  QuboMatrix() = default;
+
+  /// Creates an n×n all-zero QUBO.
+  explicit QuboMatrix(std::size_t n);
+
+  /// Number of binary variables.
+  std::size_t size() const { return n_; }
+
+  /// Coefficient of x_i·x_j.  Accepts indices in either order; reads below
+  /// the diagonal are transparently mapped to the stored upper triangle.
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Sets the coefficient of x_i·x_j (indices in either order).
+  void set(std::size_t i, std::size_t j, double v);
+
+  /// Adds `v` to the coefficient of x_i·x_j (indices in either order).
+  void add(std::size_t i, std::size_t j, double v);
+
+  /// Additive constant carried alongside xᵀQx (from penalty expansions).
+  double offset() const { return offset_; }
+  /// Replaces the additive constant.
+  void set_offset(double v) { offset_ = v; }
+  /// Adds to the additive constant.
+  void add_offset(double v) { offset_ += v; }
+
+  /// Energy xᵀQx + offset for a full assignment.  x.size() must equal size().
+  double energy(std::span<const std::uint8_t> x) const;
+
+  /// Energy change caused by flipping bit k of x (before the flip).
+  /// Equivalent to energy(x with bit k flipped) - energy(x), in O(n).
+  double delta_energy(std::span<const std::uint8_t> x, std::size_t k) const;
+
+  /// Largest |Q_ij| over all stored entries (0 for an empty matrix).
+  /// Determines the crossbar quantization precision (paper Sec. 4.2).
+  double max_abs_coefficient() const;
+
+  /// Number of structurally nonzero entries in the upper triangle.
+  std::size_t nonzeros() const;
+
+  /// Bits needed to represent the magnitude of the largest coefficient:
+  /// ceil(log2(max |Q_ij|)), minimum 1.  Paper: ⌈log2 (Qij)MAX⌉.
+  int quantization_bits() const;
+
+  /// Direct access to the packed upper-triangular storage
+  /// (row-major: (0,0),(0,1),...,(0,n-1),(1,1),...).  For the crossbar mapper.
+  std::span<const double> packed() const { return values_; }
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j) const;
+
+  std::size_t n_ = 0;
+  std::vector<double> values_;  // packed upper triangle
+  double offset_ = 0.0;
+};
+
+}  // namespace hycim::qubo

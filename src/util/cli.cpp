@@ -1,0 +1,132 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace hycim::util {
+
+Cli::Cli(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Cli::add_int(const std::string& name, std::int64_t def,
+                  const std::string& help) {
+  flags_[name] = {Kind::kInt, std::to_string(def), help, std::to_string(def)};
+}
+
+void Cli::add_double(const std::string& name, double def,
+                     const std::string& help) {
+  std::ostringstream v;
+  v << def;
+  flags_[name] = {Kind::kDouble, v.str(), help, v.str()};
+}
+
+void Cli::add_string(const std::string& name, const std::string& def,
+                     const std::string& help) {
+  flags_[name] = {Kind::kString, def, help, def};
+}
+
+void Cli::add_bool(const std::string& name, bool def, const std::string& help) {
+  const std::string v = def ? "true" : "false";
+  flags_[name] = {Kind::kBool, v, help, v};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) throw std::invalid_argument("unknown flag --" + arg);
+    Flag& f = it->second;
+    if (!has_value) {
+      if (f.kind == Kind::kBool) {
+        // Bare boolean flag sets true unless the next token is true/false.
+        if (i + 1 < argc &&
+            (std::string(argv[i + 1]) == "true" ||
+             std::string(argv[i + 1]) == "false")) {
+          value = argv[++i];
+        } else {
+          value = "true";
+        }
+      } else {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("flag --" + arg + " needs a value");
+        }
+        value = argv[++i];
+      }
+    }
+    // Validate eagerly so errors point at the offending flag.
+    try {
+      switch (f.kind) {
+        case Kind::kInt:
+          (void)std::stoll(value);
+          break;
+        case Kind::kDouble:
+          (void)std::stod(value);
+          break;
+        case Kind::kBool:
+          if (value != "true" && value != "false") {
+            throw std::invalid_argument("bad bool");
+          }
+          break;
+        case Kind::kString:
+          break;
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad value for --" + arg + ": " + value);
+    }
+    f.value = value;
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::flag(const std::string& name, Kind kind) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) throw std::invalid_argument("no such flag: " + name);
+  if (it->second.kind != kind) {
+    throw std::invalid_argument("flag type mismatch: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(flag(name, Kind::kInt).value);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(flag(name, Kind::kDouble).value);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return flag(name, Kind::kString).value;
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  return flag(name, Kind::kBool).value == "true";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << summary_ << "\n\nFlags:\n";
+  for (const auto& [name, f] : flags_) {
+    out << "  --" << name << " (default: " << f.def << ")\n      " << f.help
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hycim::util

@@ -1,0 +1,63 @@
+// Tiny command-line flag parser for the bench binaries.
+//
+// Supported syntax: `--name value` and `--name=value`; bools also accept the
+// bare form `--name`.  Unknown flags raise an error so typos in experiment
+// sweeps do not silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hycim::util {
+
+/// Declarative flag set.  Register flags with defaults, then parse().
+///
+///   Cli cli("fig10", "Reproduces Fig. 10");
+///   cli.add_int("iters", 1000, "SA iterations per run");
+///   cli.parse(argc, argv);
+///   int iters = cli.get_int("iters");
+class Cli {
+ public:
+  /// `program` and `summary` appear in the --help banner.
+  Cli(std::string program, std::string summary);
+
+  /// Registers an int64 flag with a default and help text.
+  void add_int(const std::string& name, std::int64_t def, const std::string& help);
+  /// Registers a floating-point flag.
+  void add_double(const std::string& name, double def, const std::string& help);
+  /// Registers a string flag.
+  void add_string(const std::string& name, const std::string& def,
+                  const std::string& help);
+  /// Registers a boolean flag (default given; `--name` alone sets true).
+  void add_bool(const std::string& name, bool def, const std::string& help);
+
+  /// Parses argv.  On `--help` prints usage and returns false (caller should
+  /// exit 0).  Throws std::invalid_argument on unknown flags or bad values.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Usage text (also printed by --help).
+  std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string help;
+    std::string def;
+  };
+  const Flag& flag(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace hycim::util

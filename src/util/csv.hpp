@@ -1,0 +1,32 @@
+// Minimal CSV writer for exporting bench series (figure data) to files that
+// plotting scripts can consume.  Handles quoting of separators and quotes.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hycim::util {
+
+/// Streams rows to a CSV file.  The file is created on construction and
+/// flushed/closed by the destructor (RAII).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row of preformatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Writes one row of numeric cells.
+  void row(const std::vector<double>& cells);
+
+  /// Escapes a single CSV field (wraps in quotes when needed).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace hycim::util

@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace hycim::util {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  OnlineStats acc;
+  for (double x : xs) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.p25 = percentile(sorted, 0.25);
+  s.median = percentile(sorted, 0.50);
+  s.p75 = percentile(sorted, 0.75);
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto len = counts_[i] * bar_width / peak;
+    out.width(10);
+    out.precision(4);
+    out << bin_center(i) << " | " << std::string(len, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hycim::util

@@ -1,0 +1,86 @@
+// Small statistics toolkit used by the evaluation harnesses: online
+// accumulation (Welford), summaries with percentiles, and fixed-bin
+// histograms for the figure reproductions.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hycim::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).  Numerically
+/// stable for long experiment runs; O(1) memory.
+class OnlineStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary of `xs` (copies and sorts internally; xs may be empty).
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile of a sample.  `q` in [0,1].
+/// The input need not be sorted.  Returns 0 for an empty sample.
+double percentile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi] with `bins` bins; values outside the
+/// range are clamped into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double x);
+  /// Count in bin `i`.
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Number of bins.
+  std::size_t bins() const { return counts_.size(); }
+  /// Center value of bin `i`.
+  double bin_center(std::size_t i) const;
+  /// Total observations.
+  std::size_t total() const { return total_; }
+  /// Multi-line ASCII rendering (one row per bin with a proportional bar).
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace hycim::util

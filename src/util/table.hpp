@@ -1,0 +1,46 @@
+// Column-aligned ASCII table writer.  Every bench binary prints its
+// paper-figure rows through this class so outputs share one format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hycim::util {
+
+/// Builds a fixed-column text table and renders it with aligned columns.
+///
+///   Table t({"instance", "n", "success %"});
+///   t.add_row({"jeu_100_25_1", "100", "98.5"});
+///   t.print(std::cout);
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) to `out`.
+  void print(std::ostream& out) const;
+
+  /// Renders the table to a string.
+  std::string to_string() const;
+
+  /// Number of data rows added so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string num(double v, int prec = 2);
+  /// Formats an integer.
+  static std::string num(long long v);
+  /// Formats "2^k" exponent notation used for search-space sizes.
+  static std::string pow2(double exponent);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hycim::util

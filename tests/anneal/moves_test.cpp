@@ -1,0 +1,51 @@
+#include "anneal/moves.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hycim::anneal {
+namespace {
+
+TEST(SingleFlip, StaysInRange) {
+  util::Rng rng(1);
+  SingleFlip move;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(move.propose(rng, 13), 13u);
+}
+
+TEST(SingleFlip, CoversAllBits) {
+  util::Rng rng(2);
+  SingleFlip move;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(move.propose(rng, 8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(MultiFlip, ProposesDistinctIndices) {
+  util::Rng rng(3);
+  MultiFlip move(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto picks = move.propose(rng, 10);
+    ASSERT_EQ(picks.size(), 4u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (auto p : picks) EXPECT_LT(p, 10u);
+  }
+}
+
+TEST(MultiFlip, FullFlipUsesEveryBit) {
+  util::Rng rng(4);
+  MultiFlip move(5);
+  const auto picks = move.propose(rng, 5);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(MultiFlip, RejectsBadCounts) {
+  util::Rng rng(5);
+  EXPECT_THROW(MultiFlip(0).propose(rng, 5), std::invalid_argument);
+  EXPECT_THROW(MultiFlip(6).propose(rng, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hycim::anneal

@@ -1,0 +1,61 @@
+#include "anneal/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::anneal {
+namespace {
+
+TEST(Schedule, GeometricEndpointsExact) {
+  Schedule s(ScheduleKind::kGeometric, 100, 10.0, 0.01);
+  EXPECT_DOUBLE_EQ(s.temperature(0), 10.0);
+  EXPECT_NEAR(s.temperature(99), 0.01, 1e-9);
+}
+
+TEST(Schedule, GeometricIsMonotoneDecreasing) {
+  Schedule s(ScheduleKind::kGeometric, 50, 5.0, 0.005);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_LT(s.temperature(k), s.temperature(k - 1));
+  }
+}
+
+TEST(Schedule, GeometricRatioIsConstant) {
+  Schedule s(ScheduleKind::kGeometric, 10, 8.0, 0.08);
+  const double r0 = s.temperature(1) / s.temperature(0);
+  for (std::size_t k = 2; k < 10; ++k) {
+    EXPECT_NEAR(s.temperature(k) / s.temperature(k - 1), r0, 1e-9);
+  }
+}
+
+TEST(Schedule, LinearEndpointsAndMidpoint) {
+  Schedule s(ScheduleKind::kLinear, 101, 10.0, 0.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(s.temperature(0), 10.0);
+  EXPECT_NEAR(s.temperature(100), 0.0, 1e-6);
+  EXPECT_NEAR(s.temperature(50), 5.0, 1e-6);
+}
+
+TEST(Schedule, ConstantNeverChanges) {
+  Schedule s(ScheduleKind::kConstant, 10, 3.0, 3.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_DOUBLE_EQ(s.temperature(k), 3.0);
+}
+
+TEST(Schedule, ClampsBeyondLastIteration) {
+  Schedule s(ScheduleKind::kGeometric, 10, 10.0, 0.1);
+  EXPECT_DOUBLE_EQ(s.temperature(9), s.temperature(500));
+}
+
+TEST(Schedule, SingleIterationIsT0) {
+  Schedule s(ScheduleKind::kGeometric, 1, 7.0, 0.07);
+  EXPECT_DOUBLE_EQ(s.temperature(0), 7.0);
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW(Schedule(ScheduleKind::kGeometric, 0, 1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(Schedule(ScheduleKind::kGeometric, 10, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(Schedule(ScheduleKind::kGeometric, 10, 0.1, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hycim::anneal

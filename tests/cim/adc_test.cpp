@@ -1,0 +1,81 @@
+#include "cim/crossbar/adc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::cim {
+namespace {
+
+TEST(Adc, IdealConversionRoundsToNearestCode) {
+  AdcParams p;
+  p.bits = 8;
+  p.i_lsb = 1e-6;
+  Adc adc(p, 1);
+  EXPECT_EQ(adc.convert(0.0), 0);
+  EXPECT_EQ(adc.convert(5e-6), 5);
+  EXPECT_EQ(adc.convert(5.4e-6), 5);
+  EXPECT_EQ(adc.convert(5.6e-6), 6);
+}
+
+TEST(Adc, ClipsAtFullScale) {
+  AdcParams p;
+  p.bits = 4;  // max code 15
+  p.i_lsb = 1e-6;
+  Adc adc(p, 2);
+  EXPECT_EQ(adc.convert(100e-6), 15);
+  EXPECT_EQ(adc.clip_count(), 1u);
+  EXPECT_EQ(adc.convert(15e-6), 15);
+  EXPECT_EQ(adc.clip_count(), 1u);  // exact full scale is not a clip
+}
+
+TEST(Adc, NegativeInputClampsToZero) {
+  AdcParams p;
+  Adc adc(p, 3);
+  EXPECT_EQ(adc.convert(-1e-6), 0);
+}
+
+TEST(Adc, MaxCodeMatchesBits) {
+  AdcParams p;
+  p.bits = 10;
+  Adc adc(p, 4);
+  EXPECT_EQ(adc.max_code(), 1023);
+}
+
+TEST(Adc, RejectsBadParams) {
+  AdcParams p;
+  p.bits = 0;
+  EXPECT_THROW(Adc(p, 1), std::invalid_argument);
+  p.bits = 25;
+  EXPECT_THROW(Adc(p, 1), std::invalid_argument);
+  p = AdcParams{};
+  p.i_lsb = 0.0;
+  EXPECT_THROW(Adc(p, 1), std::invalid_argument);
+}
+
+TEST(Adc, NoiseCausesCodeSpread) {
+  AdcParams p;
+  p.i_lsb = 1e-6;
+  p.sigma_noise_a = 1e-6;  // 1 LSB of noise
+  Adc adc(p, 5);
+  int distinct[3] = {0, 0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    const long long code = adc.convert(10e-6);
+    if (code == 9) ++distinct[0];
+    if (code == 10) ++distinct[1];
+    if (code == 11) ++distinct[2];
+  }
+  EXPECT_GT(distinct[0], 0);
+  EXPECT_GT(distinct[1], 0);
+  EXPECT_GT(distinct[2], 0);
+}
+
+TEST(Adc, NoiseIsDeterministicPerSeed) {
+  AdcParams p;
+  p.sigma_noise_a = 1e-6;
+  Adc a(p, 6), b(p, 6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.convert(5e-6), b.convert(5e-6));
+  }
+}
+
+}  // namespace
+}  // namespace hycim::cim

@@ -1,0 +1,147 @@
+#include "cim/crossbar/bit_slice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hycim::cim {
+namespace {
+
+qubo::QuboMatrix integer_qubo(std::size_t n, util::Rng& rng, long long max) {
+  qubo::QuboMatrix q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      q.set(i, j, static_cast<double>(rng.uniform_int(-max, max)));
+    }
+  }
+  return q;
+}
+
+TEST(Quantize, IntegerMatrixIsExact) {
+  util::Rng rng(1);
+  const auto q = integer_qubo(10, rng, 100);
+  const auto quant = quantize(q, 7);
+  EXPECT_EQ(quant.scale, 1.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i; j < 10; ++j) {
+      EXPECT_EQ(static_cast<double>(quant.at(i, j)), q.at(i, j));
+    }
+  }
+}
+
+TEST(Quantize, MagnitudeBitsMatchPaper) {
+  qubo::QuboMatrix q(2);
+  q.set(0, 1, -100.0);  // HyCiM: (Qij)MAX = 100 -> 7 bits
+  EXPECT_EQ(quantize(q, 30).magnitude_bits, 7);
+  qubo::QuboMatrix q2(2);
+  q2.set(0, 0, 4.0e4);  // D-QUBO small end -> 16 bits
+  EXPECT_EQ(quantize(q2, 30).magnitude_bits, 16);
+}
+
+TEST(Quantize, FractionalMatrixScales) {
+  qubo::QuboMatrix q(2);
+  q.set(0, 0, 0.5);
+  q.set(0, 1, -1.0);
+  const auto quant = quantize(q, 8);
+  EXPECT_NE(quant.scale, 1.0);
+  EXPECT_NEAR(static_cast<double>(quant.at(0, 0)) * quant.scale, 0.5,
+              quant.scale);
+  EXPECT_NEAR(static_cast<double>(quant.at(0, 1)) * quant.scale, -1.0,
+              quant.scale);
+}
+
+TEST(Quantize, EnergyMatchesDequantizedMatrix) {
+  util::Rng rng(2);
+  const auto q = integer_qubo(12, rng, 500);
+  const auto quant = quantize(q, 10);
+  const auto deq = quant.dequantize();
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto x = rng.random_bits(12);
+    EXPECT_NEAR(quant.energy(x), deq.energy(x), 1e-9);
+  }
+}
+
+TEST(Quantize, IntegerEnergyIsExact) {
+  util::Rng rng(3);
+  const auto q = integer_qubo(15, rng, 100);
+  const auto quant = quantize(q, 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto x = rng.random_bits(15);
+    EXPECT_DOUBLE_EQ(quant.energy(x), q.energy(x));
+  }
+}
+
+TEST(Quantize, OffsetCarriedThrough) {
+  qubo::QuboMatrix q(2);
+  q.set_offset(42.0);
+  const auto quant = quantize(q, 4);
+  EXPECT_DOUBLE_EQ(quant.offset, 42.0);
+  EXPECT_DOUBLE_EQ(quant.energy(std::vector<std::uint8_t>{0, 0}), 42.0);
+}
+
+TEST(Quantize, RejectsBadBits) {
+  qubo::QuboMatrix q(2);
+  EXPECT_THROW(quantize(q, 0), std::invalid_argument);
+  EXPECT_THROW(quantize(q, 63), std::invalid_argument);
+}
+
+TEST(Quantize, QuantizationErrorBounded) {
+  // Scaled quantization error per coefficient is at most scale/2.
+  util::Rng rng(4);
+  qubo::QuboMatrix q(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i; j < 8; ++j) q.set(i, j, rng.uniform(-1, 1));
+  }
+  const auto quant = quantize(q, 6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i; j < 8; ++j) {
+      const double recon = static_cast<double>(quant.at(i, j)) * quant.scale;
+      EXPECT_LE(std::abs(recon - q.at(i, j)), quant.scale / 2 + 1e-12);
+    }
+  }
+}
+
+TEST(BitPlane, ReconstructsMagnitudesAndSigns) {
+  util::Rng rng(5);
+  const auto q = integer_qubo(9, rng, 127);
+  const auto quant = quantize(q, 7);
+  // Rebuild every coefficient from its planes.
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i; j < 9; ++j) {
+      long long pos = 0, neg = 0;
+      for (int b = 0; b < quant.magnitude_bits; ++b) {
+        const auto plane_p = bit_plane(quant, b, +1);
+        const auto plane_n = bit_plane(quant, b, -1);
+        pos += static_cast<long long>(plane_p[i * 9 + j]) << b;
+        neg += static_cast<long long>(plane_n[i * 9 + j]) << b;
+      }
+      EXPECT_EQ(pos - neg, quant.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(BitPlane, LowerTriangleIsZero) {
+  util::Rng rng(6);
+  const auto quant = quantize(integer_qubo(6, rng, 50), 6);
+  for (int b = 0; b < quant.magnitude_bits; ++b) {
+    const auto plane = bit_plane(quant, b, +1);
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        EXPECT_EQ(plane[i * 6 + j], 0) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(BitPlane, RejectsBadArguments) {
+  qubo::QuboMatrix q(2);
+  q.set(0, 0, 3.0);
+  const auto quant = quantize(q, 4);
+  EXPECT_THROW(bit_plane(quant, -1, 1), std::invalid_argument);
+  EXPECT_THROW(bit_plane(quant, quant.magnitude_bits, 1),
+               std::invalid_argument);
+  EXPECT_THROW(bit_plane(quant, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hycim::cim

@@ -1,0 +1,84 @@
+#include "cim/filter/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::cim {
+namespace {
+
+TEST(Comparator, IdealComparatorIsExact) {
+  ComparatorParams p;
+  p.sigma_offset = 0.0;
+  p.sigma_noise = 0.0;
+  util::Rng fab(1);
+  Comparator cmp(p, fab, 2);
+  EXPECT_TRUE(cmp.compare(1.0, 0.5));
+  EXPECT_FALSE(cmp.compare(0.5, 1.0));
+  EXPECT_TRUE(cmp.compare(1.0, 1.0));  // ties resolve to >=
+  EXPECT_EQ(cmp.offset(), 0.0);
+}
+
+TEST(Comparator, OffsetIsFixedPerInstance) {
+  ComparatorParams p;
+  p.sigma_offset = 1e-3;
+  p.sigma_noise = 0.0;
+  util::Rng fab(3);
+  Comparator cmp(p, fab, 4);
+  const double off = cmp.offset();
+  EXPECT_NE(off, 0.0);
+  // Deterministic decisions right at the offset boundary.
+  EXPECT_TRUE(cmp.compare(off + 1e-6, 0.0));
+  EXPECT_FALSE(cmp.compare(off - 1e-6, 0.0));
+}
+
+TEST(Comparator, LargeMarginsAreAlwaysCorrect) {
+  ComparatorParams p;  // default small offset/noise
+  util::Rng fab(5);
+  Comparator cmp(p, fab, 6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(cmp.compare(1.0, 0.0));
+    EXPECT_FALSE(cmp.compare(0.0, 1.0));
+  }
+}
+
+TEST(Comparator, NoiseFlipsMarginalDecisions) {
+  ComparatorParams p;
+  p.sigma_offset = 0.0;
+  p.sigma_noise = 1e-3;
+  util::Rng fab(7);
+  Comparator cmp(p, fab, 8);
+  int trues = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (cmp.compare(0.0, 0.0)) ++trues;  // exactly at threshold
+  }
+  // Noise makes the zero-margin decision a coin flip.
+  EXPECT_GT(trues, n / 4);
+  EXPECT_LT(trues, 3 * n / 4);
+}
+
+TEST(Comparator, SameSeedsSameBehavior) {
+  ComparatorParams p;
+  util::Rng fab_a(9), fab_b(9);
+  Comparator a(p, fab_a, 10), b(p, fab_b, 10);
+  for (int i = 0; i < 100; ++i) {
+    const double vp = 1e-4 * i;
+    EXPECT_EQ(a.compare(vp, 5e-3), b.compare(vp, 5e-3));
+  }
+}
+
+TEST(Comparator, OffsetSpreadAcrossFabrications) {
+  ComparatorParams p;
+  p.sigma_offset = 1e-3;
+  util::Rng fab(11);
+  double min_off = 1e9, max_off = -1e9;
+  for (int i = 0; i < 100; ++i) {
+    Comparator cmp(p, fab, 12);
+    min_off = std::min(min_off, cmp.offset());
+    max_off = std::max(max_off, cmp.offset());
+  }
+  EXPECT_LT(min_off, 0.0);
+  EXPECT_GT(max_off, 0.0);
+}
+
+}  // namespace
+}  // namespace hycim::cim

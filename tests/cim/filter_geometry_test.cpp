@@ -1,0 +1,115 @@
+// Parameterized geometry sweeps of the filter array: the Eq. (7)-(9)
+// invariants must hold for any (rows, levels) configuration, not just the
+// paper's 16x100/5-level design point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cim/filter/filter_array.hpp"
+
+namespace hycim::cim {
+namespace {
+
+struct Geometry {
+  std::size_t rows;
+  int num_levels;
+};
+
+class FilterGeometry : public ::testing::TestWithParam<Geometry> {
+ protected:
+  FilterArrayParams params() const {
+    FilterArrayParams p;
+    p.rows = GetParam().rows;
+    p.fefet.num_levels = GetParam().num_levels;
+    return p;
+  }
+  long long column_max() const {
+    return max_representable_weight(GetParam().rows,
+                                    GetParam().num_levels - 1);
+  }
+};
+
+TEST_P(FilterGeometry, StoredWeightsRoundTrip) {
+  const auto p = params();
+  std::vector<long long> weights;
+  for (long long w = 0; w <= column_max();
+       w += std::max<long long>(1, column_max() / 7)) {
+    weights.push_back(w);
+  }
+  device::VariationModel fab(device::ideal_variation(), 1);
+  FilterArray array(p, weights, fab);
+  for (std::size_t col = 0; col < weights.size(); ++col) {
+    EXPECT_EQ(array.column_weight(col), weights[col]);
+  }
+}
+
+TEST_P(FilterGeometry, PhasesEqualLevelsMinusOne) {
+  const auto p = params();
+  device::VariationModel fab(device::ideal_variation(), 2);
+  FilterArray array(p, {1}, fab);
+  EXPECT_EQ(array.phases(),
+            static_cast<std::size_t>(GetParam().num_levels - 1));
+}
+
+TEST_P(FilterGeometry, MlMonotoneInSingleColumnWeight) {
+  const auto p = params();
+  std::vector<long long> weights;
+  const long long step = std::max<long long>(1, column_max() / 6);
+  for (long long w = 0; w <= column_max(); w += step) weights.push_back(w);
+  device::VariationModel fab(device::ideal_variation(), 3);
+  FilterArray array(p, weights, fab);
+  double prev = 1e9;
+  for (std::size_t col = 0; col < weights.size(); ++col) {
+    std::vector<std::uint8_t> x(weights.size(), 0);
+    x[col] = 1;
+    const double v = array.evaluate(x);
+    EXPECT_LT(v, prev) << "rows=" << p.rows << " w=" << weights[col];
+    prev = v;
+  }
+}
+
+TEST_P(FilterGeometry, LogLinearDischargeAcrossGeometry) {
+  // ln(V) must fall linearly with total selected weight in every geometry.
+  const auto p = params();
+  const long long w = std::max<long long>(1, column_max() / 2);
+  std::vector<long long> weights(6, w);
+  device::VariationModel fab(device::ideal_variation(), 4);
+  FilterArray array(p, weights, fab);
+  std::vector<std::uint8_t> x(6, 0);
+  std::vector<double> log_v{std::log(array.evaluate(x))};
+  for (std::size_t k = 0; k < 6; ++k) {
+    x[k] = 1;
+    log_v.push_back(std::log(array.evaluate(x)));
+  }
+  const double slope = log_v[1] - log_v[0];
+  ASSERT_LT(slope, 0.0);
+  for (std::size_t k = 2; k < log_v.size(); ++k) {
+    EXPECT_NEAR(log_v[k] - log_v[k - 1], slope, std::abs(slope) * 0.06)
+        << "step " << k;
+  }
+}
+
+TEST_P(FilterGeometry, EqualWeightsEqualMl) {
+  const auto p = params();
+  const long long w = std::max<long long>(1, column_max() / 3);
+  device::VariationModel fab(device::ideal_variation(), 5);
+  // Column 2 stores 2w; columns 0+1 store w each.
+  FilterArray array(p, {w, w, 2 * w}, fab);
+  const double two_singles =
+      array.evaluate(std::vector<std::uint8_t>{1, 1, 0});
+  const double one_double =
+      array.evaluate(std::vector<std::uint8_t>{0, 0, 1});
+  EXPECT_NEAR(two_singles, one_double, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FilterGeometry,
+    ::testing::Values(Geometry{1, 5}, Geometry{4, 5}, Geometry{16, 5},
+                      Geometry{16, 3}, Geometry{8, 2}, Geometry{32, 5}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return std::to_string(info.param.rows) + "rows_" +
+             std::to_string(info.param.num_levels) + "levels";
+    });
+
+}  // namespace
+}  // namespace hycim::cim

@@ -1,0 +1,79 @@
+#include "cim/filter/weight_decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hycim::cim {
+namespace {
+
+long long sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0LL);
+}
+
+TEST(WeightDecompose, GreedyFillsFromFront) {
+  const auto levels = decompose_weight(10, 4, 4, DecomposeMode::kGreedy);
+  EXPECT_EQ(levels, (std::vector<int>{4, 4, 2, 0}));
+}
+
+TEST(WeightDecompose, BalancedSpreadsEvenly) {
+  const auto levels = decompose_weight(10, 4, 4, DecomposeMode::kBalanced);
+  EXPECT_EQ(levels, (std::vector<int>{3, 3, 2, 2}));
+}
+
+TEST(WeightDecompose, ZeroWeightIsAllZero) {
+  for (auto mode : {DecomposeMode::kGreedy, DecomposeMode::kBalanced}) {
+    const auto levels = decompose_weight(0, 16, 4, mode);
+    EXPECT_EQ(sum(levels), 0);
+  }
+}
+
+TEST(WeightDecompose, MaxWeightSaturatesAllCells) {
+  const auto levels = decompose_weight(64, 16, 4);
+  EXPECT_EQ(levels, std::vector<int>(16, 4));
+}
+
+TEST(WeightDecompose, RejectsNegativeAndOversized) {
+  EXPECT_THROW(decompose_weight(-1, 16, 4), std::invalid_argument);
+  EXPECT_THROW(decompose_weight(65, 16, 4), std::invalid_argument);
+  EXPECT_THROW(decompose_weight(1, 4, 0), std::invalid_argument);
+}
+
+TEST(WeightDecompose, MaxRepresentable) {
+  EXPECT_EQ(max_representable_weight(16, 4), 64);  // the paper's column
+  EXPECT_EQ(max_representable_weight(1, 1), 1);
+}
+
+// Property sweep: every representable weight decomposes exactly, in both
+// modes, with all levels in range.
+class DecomposeProperty
+    : public ::testing::TestWithParam<std::tuple<int, DecomposeMode>> {};
+
+TEST_P(DecomposeProperty, SumAndRangeInvariants) {
+  const auto [weight, mode] = GetParam();
+  const auto levels = decompose_weight(weight, 16, 4, mode);
+  ASSERT_EQ(levels.size(), 16u);
+  EXPECT_EQ(sum(levels), weight);
+  for (int lv : levels) {
+    EXPECT_GE(lv, 0);
+    EXPECT_LE(lv, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWeights, DecomposeProperty,
+    ::testing::Combine(::testing::Range(0, 65),
+                       ::testing::Values(DecomposeMode::kGreedy,
+                                         DecomposeMode::kBalanced)));
+
+TEST(WeightDecompose, VectorVersionMatchesScalar) {
+  const std::vector<long long> weights{0, 1, 17, 50, 64};
+  const auto all = decompose_weights(weights, 16, 4);
+  ASSERT_EQ(all.size(), weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(all[i], decompose_weight(weights[i], 16, 4));
+  }
+}
+
+}  // namespace
+}  // namespace hycim::cim

@@ -1,0 +1,67 @@
+#include "cop/graph_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::cop {
+namespace {
+
+ColoringInstance path3() {
+  // Path 0-1-2, 2 colors: alternating coloring is valid.
+  ColoringInstance g;
+  g.num_vertices = 3;
+  g.num_colors = 2;
+  g.edges = {{0, 1}, {1, 2}};
+  return g;
+}
+
+TEST(Coloring, DecodeOneHot) {
+  const auto g = path3();
+  // v0=c0, v1=c1, v2=c0.
+  const std::vector<std::uint8_t> x{1, 0, 0, 1, 1, 0};
+  const auto colors = g.decode(x);
+  EXPECT_EQ(colors, (std::vector<std::size_t>{0, 1, 0}));
+}
+
+TEST(Coloring, DecodeFlagsMultiHot) {
+  const auto g = path3();
+  const std::vector<std::uint8_t> x{1, 1, 0, 1, 1, 0};
+  EXPECT_EQ(g.decode(x)[0], g.num_colors);  // invalid marker
+}
+
+TEST(Coloring, DecodeFlagsZeroHot) {
+  const auto g = path3();
+  const std::vector<std::uint8_t> x{0, 0, 0, 1, 1, 0};
+  EXPECT_EQ(g.decode(x)[0], g.num_colors);
+}
+
+TEST(Coloring, ValidColoringAccepted) {
+  const auto g = path3();
+  EXPECT_TRUE(g.valid_coloring(std::vector<std::uint8_t>{1, 0, 0, 1, 1, 0}));
+}
+
+TEST(Coloring, MonochromaticEdgeRejected) {
+  const auto g = path3();
+  EXPECT_FALSE(g.valid_coloring(std::vector<std::uint8_t>{1, 0, 1, 0, 1, 0}));
+}
+
+TEST(Coloring, ViolationCounting) {
+  const auto g = path3();
+  // All vertices color 0: both edges monochromatic -> 2 violations.
+  EXPECT_EQ(g.violations(std::vector<std::uint8_t>{1, 0, 1, 0, 1, 0}), 2u);
+  // One vertex zero-hot -> 1 violation.
+  EXPECT_EQ(g.violations(std::vector<std::uint8_t>{0, 0, 0, 1, 1, 0}), 1u);
+}
+
+TEST(Coloring, NumVariables) {
+  const auto g = generate_coloring(7, 0.3, 3, 1);
+  EXPECT_EQ(g.num_variables(), 21u);
+}
+
+TEST(Coloring, GeneratorDeterministic) {
+  const auto a = generate_coloring(10, 0.5, 3, 9);
+  const auto b = generate_coloring(10, 0.5, 3, 9);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+}  // namespace
+}  // namespace hycim::cop

@@ -1,0 +1,107 @@
+#include "cop/mdkp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::cop {
+namespace {
+
+MdkpInstance tiny() {
+  // 3 items, 2 dimensions (weight, volume).
+  MdkpInstance inst;
+  inst.name = "tiny";
+  inst.n = 3;
+  inst.profits.assign(9, 0);
+  inst.set_profit(0, 0, 10);
+  inst.set_profit(1, 1, 8);
+  inst.set_profit(2, 2, 6);
+  inst.set_profit(0, 1, 4);
+  inst.weights = {{5, 4, 3}, {2, 6, 1}};
+  inst.capacities = {9, 7};
+  return inst;
+}
+
+TEST(Mdkp, UsagePerDimension) {
+  const auto inst = tiny();
+  const qubo::BitVector x{1, 1, 0};
+  EXPECT_EQ(inst.usage(x, 0), 9);
+  EXPECT_EQ(inst.usage(x, 1), 8);
+}
+
+TEST(Mdkp, FeasibilityRequiresAllDimensions) {
+  const auto inst = tiny();
+  // {0,1}: dim0 = 9 <= 9 but dim1 = 8 > 7 -> infeasible.
+  EXPECT_FALSE(inst.feasible(qubo::BitVector{1, 1, 0}));
+  // {0,2}: dim0 = 8 <= 9, dim1 = 3 <= 7 -> feasible.
+  EXPECT_TRUE(inst.feasible(qubo::BitVector{1, 0, 1}));
+  EXPECT_TRUE(inst.feasible(qubo::BitVector{0, 0, 0}));
+}
+
+TEST(Mdkp, ProfitCountsPairsOnce) {
+  const auto inst = tiny();
+  EXPECT_EQ(inst.total_profit(qubo::BitVector{1, 1, 0}), 22);  // 10+8+4
+  EXPECT_EQ(inst.total_profit(qubo::BitVector{1, 0, 1}), 16);  // 10+6
+}
+
+TEST(Mdkp, ValidateCatchesShapeErrors) {
+  auto inst = tiny();
+  inst.capacities.pop_back();
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+  inst = tiny();
+  inst.weights[0][0] = 0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(MdkpGenerator, DeterministicAndValid) {
+  MdkpGeneratorParams p;
+  p.n = 30;
+  p.dimensions = 4;
+  const auto a = generate_mdkp(p, 7);
+  const auto b = generate_mdkp(p, 7);
+  EXPECT_EQ(a.profits, b.profits);
+  EXPECT_EQ(a.capacities, b.capacities);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.dimensions(), 4u);
+}
+
+TEST(MdkpGenerator, TightnessBoundsCapacities) {
+  MdkpGeneratorParams p;
+  p.n = 40;
+  p.tightness_lo = 0.3;
+  p.tightness_hi = 0.7;
+  const auto inst = generate_mdkp(p, 9);
+  for (std::size_t d = 0; d < inst.dimensions(); ++d) {
+    long long sum = 0;
+    for (auto w : inst.weights[d]) sum += w;
+    EXPECT_GE(inst.capacities[d], static_cast<long long>(0.29 * sum));
+    EXPECT_LE(inst.capacities[d], static_cast<long long>(0.71 * sum));
+  }
+}
+
+TEST(MdkpGenerator, RejectsEmptyShape) {
+  MdkpGeneratorParams p;
+  p.n = 0;
+  EXPECT_THROW(generate_mdkp(p, 1), std::invalid_argument);
+}
+
+TEST(MdkpRandomFeasible, AlwaysSatisfiesAllConstraints) {
+  MdkpGeneratorParams p;
+  p.n = 40;
+  p.dimensions = 3;
+  const auto inst = generate_mdkp(p, 11);
+  util::Rng rng(12);
+  for (int trial = 0; trial < 40; ++trial) {
+    EXPECT_TRUE(inst.feasible(random_feasible(inst, rng)));
+  }
+}
+
+TEST(MdkpGreedy, FeasibleAndProfitable) {
+  MdkpGeneratorParams p;
+  p.n = 40;
+  const auto inst = generate_mdkp(p, 13);
+  const auto x = greedy_solution(inst);
+  EXPECT_TRUE(inst.feasible(x));
+  EXPECT_GT(inst.total_profit(x), 0);
+}
+
+}  // namespace
+}  // namespace hycim::cop

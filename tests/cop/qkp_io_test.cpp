@@ -1,0 +1,97 @@
+#include "cop/qkp_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hycim::cop {
+namespace {
+
+constexpr const char* kSample =
+    "sample_3\n"
+    "3\n"
+    "10 6 8\n"
+    "3 7\n"
+    "2\n"
+    "\n"
+    "0\n"
+    "9\n"
+    "4 7 2\n";
+
+TEST(QkpIo, ParsesCnamFormat) {
+  std::istringstream in(kSample);
+  const QkpInstance inst = read_qkp(in);
+  EXPECT_EQ(inst.name, "sample_3");
+  EXPECT_EQ(inst.n, 3u);
+  EXPECT_EQ(inst.capacity, 9);
+  EXPECT_EQ(inst.weights, (std::vector<long long>{4, 7, 2}));
+  EXPECT_EQ(inst.profit(0, 0), 10);
+  EXPECT_EQ(inst.profit(1, 1), 6);
+  EXPECT_EQ(inst.profit(2, 2), 8);
+  EXPECT_EQ(inst.profit(0, 1), 3);
+  EXPECT_EQ(inst.profit(0, 2), 7);
+  EXPECT_EQ(inst.profit(1, 2), 2);
+}
+
+TEST(QkpIo, RoundTripsThroughWriteRead) {
+  QkpGeneratorParams params;
+  params.n = 25;
+  const QkpInstance original = generate_qkp(params, 77);
+  std::stringstream buffer;
+  write_qkp(buffer, original);
+  const QkpInstance parsed = read_qkp(buffer);
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.n, original.n);
+  EXPECT_EQ(parsed.capacity, original.capacity);
+  EXPECT_EQ(parsed.weights, original.weights);
+  EXPECT_EQ(parsed.profits, original.profits);
+}
+
+TEST(QkpIo, HandlesCrLfNameLine) {
+  std::string text = kSample;
+  text.replace(text.find('\n'), 1, "\r\n");
+  std::istringstream in(text);
+  EXPECT_EQ(read_qkp(in).name, "sample_3");
+}
+
+TEST(QkpIo, ThrowsOnTruncatedInput) {
+  std::istringstream in("name\n3\n10 6\n");  // missing data
+  EXPECT_THROW(read_qkp(in), std::runtime_error);
+}
+
+TEST(QkpIo, ThrowsOnBadConstraintMarker) {
+  std::istringstream in(
+      "name\n1\n5\n\n1\n10\n3\n");  // marker 1 (equality) unsupported
+  EXPECT_THROW(read_qkp(in), std::runtime_error);
+}
+
+TEST(QkpIo, ThrowsOnNonsenseN) {
+  std::istringstream in("name\n-2\n");
+  EXPECT_THROW(read_qkp(in), std::runtime_error);
+}
+
+TEST(QkpIo, MissingFileThrows) {
+  EXPECT_THROW(read_qkp_file("/nonexistent/file.txt"), std::runtime_error);
+}
+
+TEST(QkpIo, FileRoundTrip) {
+  QkpGeneratorParams params;
+  params.n = 10;
+  const QkpInstance original = generate_qkp(params, 3);
+  const std::string path = ::testing::TempDir() + "qkp_io_test.txt";
+  write_qkp_file(path, original);
+  const QkpInstance parsed = read_qkp_file(path);
+  EXPECT_EQ(parsed.profits, original.profits);
+  std::remove(path.c_str());
+}
+
+TEST(QkpIo, SingleItemInstance) {
+  std::istringstream in("one\n1\n42\n\n0\n5\n3\n");
+  const QkpInstance inst = read_qkp(in);
+  EXPECT_EQ(inst.n, 1u);
+  EXPECT_EQ(inst.profit(0, 0), 42);
+  EXPECT_EQ(inst.capacity, 5);
+}
+
+}  // namespace
+}  // namespace hycim::cop

@@ -1,0 +1,233 @@
+#include "cop/qkp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hycim::cop {
+namespace {
+
+QkpInstance tiny_instance() {
+  // 3 items: profits p00=10, p11=6, p22=8, p01=3, p02=7, p12=2;
+  // weights 4, 7, 2; capacity 9 (the Fig. 5(f)/7(e) example shape).
+  QkpInstance inst;
+  inst.name = "tiny";
+  inst.n = 3;
+  inst.capacity = 9;
+  inst.weights = {4, 7, 2};
+  inst.profits.assign(9, 0);
+  inst.set_profit(0, 0, 10);
+  inst.set_profit(1, 1, 6);
+  inst.set_profit(2, 2, 8);
+  inst.set_profit(0, 1, 3);
+  inst.set_profit(0, 2, 7);
+  inst.set_profit(1, 2, 2);
+  return inst;
+}
+
+TEST(QkpInstance, ProfitSymmetry) {
+  const auto inst = tiny_instance();
+  EXPECT_EQ(inst.profit(0, 1), inst.profit(1, 0));
+  EXPECT_EQ(inst.profit(0, 2), 7);
+}
+
+TEST(QkpInstance, TotalWeight) {
+  const auto inst = tiny_instance();
+  EXPECT_EQ(inst.total_weight(BitVector{1, 1, 1}), 13);
+  EXPECT_EQ(inst.total_weight(BitVector{1, 0, 1}), 6);
+  EXPECT_EQ(inst.total_weight(BitVector{0, 0, 0}), 0);
+}
+
+TEST(QkpInstance, TotalProfitCountsPairsOnce) {
+  const auto inst = tiny_instance();
+  // {0, 2}: p00 + p22 + p02 = 10 + 8 + 7 = 25.
+  EXPECT_EQ(inst.total_profit(BitVector{1, 0, 1}), 25);
+  // All: 10+6+8+3+7+2 = 36.
+  EXPECT_EQ(inst.total_profit(BitVector{1, 1, 1}), 36);
+}
+
+TEST(QkpInstance, Feasibility) {
+  const auto inst = tiny_instance();
+  EXPECT_TRUE(inst.feasible(BitVector{1, 0, 1}));   // weight 6
+  EXPECT_FALSE(inst.feasible(BitVector{1, 1, 0}));  // weight 11
+  EXPECT_TRUE(inst.feasible(BitVector{0, 1, 1}));   // weight 9 == C
+}
+
+TEST(QkpInstance, ValidateAcceptsGoodInstance) {
+  EXPECT_NO_THROW(tiny_instance().validate());
+}
+
+TEST(QkpInstance, ValidateRejectsAsymmetry) {
+  auto inst = tiny_instance();
+  inst.profits[0 * 3 + 1] = 99;  // break symmetry directly
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(QkpInstance, ValidateRejectsZeroWeight) {
+  auto inst = tiny_instance();
+  inst.weights[0] = 0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(QkpInstance, MaxWeightAndSum) {
+  const auto inst = tiny_instance();
+  EXPECT_EQ(inst.max_weight(), 7);
+  EXPECT_EQ(inst.weight_sum(), 13);
+}
+
+TEST(Generator, IsDeterministic) {
+  QkpGeneratorParams p;
+  p.n = 30;
+  const auto a = generate_qkp(p, 5);
+  const auto b = generate_qkp(p, 5);
+  EXPECT_EQ(a.profits, b.profits);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.capacity, b.capacity);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  QkpGeneratorParams p;
+  p.n = 30;
+  const auto a = generate_qkp(p, 1);
+  const auto b = generate_qkp(p, 2);
+  EXPECT_NE(a.profits, b.profits);
+}
+
+TEST(Generator, RespectsRanges) {
+  QkpGeneratorParams p;
+  p.n = 50;
+  p.weight_max = 50;
+  p.profit_max = 100;
+  const auto inst = generate_qkp(p, 3);
+  for (auto w : inst.weights) {
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, 50);
+  }
+  long long max_p = 0;
+  for (auto v : inst.profits) max_p = std::max(max_p, v);
+  EXPECT_LE(max_p, 100);
+  EXPECT_GE(inst.capacity, 50);
+  EXPECT_LE(inst.capacity, inst.weight_sum());
+}
+
+TEST(Generator, DensityControlsFillFraction) {
+  QkpGeneratorParams lo;
+  lo.n = 60;
+  lo.density_percent = 25;
+  QkpGeneratorParams hi = lo;
+  hi.density_percent = 100;
+  const auto a = generate_qkp(lo, 4);
+  const auto b = generate_qkp(hi, 4);
+  auto count_nonzero = [](const QkpInstance& inst) {
+    std::size_t nz = 0;
+    for (std::size_t i = 0; i < inst.n; ++i) {
+      for (std::size_t j = i; j < inst.n; ++j) {
+        if (inst.profit(i, j) != 0) ++nz;
+      }
+    }
+    return nz;
+  };
+  const std::size_t total = 60 * 61 / 2;
+  EXPECT_NEAR(static_cast<double>(count_nonzero(a)) / total, 0.25, 0.06);
+  EXPECT_EQ(count_nonzero(b), total);  // 100% density fills everything
+}
+
+TEST(Generator, RejectsBadParams) {
+  QkpGeneratorParams p;
+  p.n = 0;
+  EXPECT_THROW(generate_qkp(p, 1), std::invalid_argument);
+  p.n = 10;
+  p.density_percent = 0;
+  EXPECT_THROW(generate_qkp(p, 1), std::invalid_argument);
+  p.density_percent = 101;
+  EXPECT_THROW(generate_qkp(p, 1), std::invalid_argument);
+}
+
+TEST(PaperSuite, Has40InstancesWith100Items) {
+  const auto suite = generate_paper_suite(100);
+  ASSERT_EQ(suite.size(), 40u);
+  std::set<std::string> names;
+  for (const auto& inst : suite) {
+    EXPECT_EQ(inst.n, 100u);
+    EXPECT_NO_THROW(inst.validate());
+    names.insert(inst.name);
+  }
+  EXPECT_EQ(names.size(), 40u);  // all distinct
+}
+
+TEST(PaperSuite, CoversFourDensities) {
+  const auto suite = generate_paper_suite(40);
+  int per_density[4] = {0, 0, 0, 0};
+  for (const auto& inst : suite) {
+    if (inst.name.find("_25_") != std::string::npos) ++per_density[0];
+    if (inst.name.find("_50_") != std::string::npos) ++per_density[1];
+    if (inst.name.find("_75_") != std::string::npos) ++per_density[2];
+    if (inst.name.find("_100_") != std::string::npos) ++per_density[3];
+  }
+  for (int c : per_density) EXPECT_EQ(c, 10);
+}
+
+TEST(Greedy, ProducesFeasibleSolution) {
+  const auto suite = generate_paper_suite(50);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto x = greedy_solution(suite[k]);
+    EXPECT_TRUE(suite[k].feasible(x));
+  }
+}
+
+TEST(Greedy, BeatsEmptySelectionWhenProfitable) {
+  const auto inst = tiny_instance();
+  const auto x = greedy_solution(inst);
+  EXPECT_GT(inst.total_profit(x), 0);
+}
+
+TEST(Repair, FeasibleInputUnchanged) {
+  const auto inst = tiny_instance();
+  const BitVector x{1, 0, 1};
+  EXPECT_EQ(repair(inst, x), x);
+}
+
+TEST(Repair, MakesInfeasibleFeasible) {
+  const auto inst = tiny_instance();
+  const auto fixed = repair(inst, BitVector{1, 1, 1});  // weight 13 > 9
+  EXPECT_TRUE(inst.feasible(fixed));
+}
+
+TEST(LocalSearch, NeverDegradesProfit) {
+  util::Rng rng(11);
+  const auto suite = generate_paper_suite(40);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto x0 = random_feasible(suite[k], rng);
+    const long long p0 = suite[k].total_profit(x0);
+    const auto x1 = local_search(suite[k], x0, 20);
+    EXPECT_TRUE(suite[k].feasible(x1));
+    EXPECT_GE(suite[k].total_profit(x1), p0);
+  }
+}
+
+TEST(LocalSearch, RejectsInfeasibleStart) {
+  const auto inst = tiny_instance();
+  EXPECT_THROW(local_search(inst, BitVector{1, 1, 1}), std::invalid_argument);
+}
+
+TEST(RandomFeasible, AlwaysWithinCapacity) {
+  util::Rng rng(12);
+  const auto suite = generate_paper_suite(60);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto& inst = suite[static_cast<std::size_t>(trial) % suite.size()];
+    EXPECT_TRUE(inst.feasible(random_feasible(inst, rng)));
+  }
+}
+
+TEST(RandomFeasible, ProducesDiverseStates) {
+  util::Rng rng(13);
+  const auto inst = generate_paper_suite(50).front();
+  std::set<std::vector<std::uint8_t>> seen;
+  for (int trial = 0; trial < 20; ++trial) {
+    seen.insert(random_feasible(inst, rng));
+  }
+  EXPECT_GT(seen.size(), 15u);
+}
+
+}  // namespace
+}  // namespace hycim::cop

@@ -1,0 +1,71 @@
+#include "core/coloring_qubo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qubo/brute_force.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::core {
+namespace {
+
+TEST(ColoringQubo, ValidColoringHasZeroEnergy) {
+  cop::ColoringInstance g;
+  g.num_vertices = 3;
+  g.num_colors = 2;
+  g.edges = {{0, 1}, {1, 2}};
+  const auto q = to_coloring_qubo(g);
+  // 0 -> c0, 1 -> c1, 2 -> c0 is valid.
+  const std::vector<std::uint8_t> x{1, 0, 0, 1, 1, 0};
+  EXPECT_NEAR(q.energy(x), 0.0, 1e-12);
+}
+
+TEST(ColoringQubo, InvalidColoringsArePenalized) {
+  cop::ColoringInstance g;
+  g.num_vertices = 2;
+  g.num_colors = 2;
+  g.edges = {{0, 1}};
+  const auto q = to_coloring_qubo(g);
+  // Monochromatic edge.
+  EXPECT_GT(q.energy(std::vector<std::uint8_t>{1, 0, 1, 0}), 0.0);
+  // Zero-hot vertex.
+  EXPECT_GT(q.energy(std::vector<std::uint8_t>{0, 0, 1, 0}), 0.0);
+  // Multi-hot vertex.
+  EXPECT_GT(q.energy(std::vector<std::uint8_t>{1, 1, 0, 1}), 0.0);
+}
+
+TEST(ColoringQubo, GroundStateIsValidColoringWhenColorable) {
+  const auto g = cop::generate_coloring(4, 0.6, 3, 5);
+  const auto q = to_coloring_qubo(g);
+  ASSERT_LE(q.size(), 12u);
+  const auto result = qubo::brute_force_minimize(q);
+  EXPECT_NEAR(result.best_energy, 0.0, 1e-9);  // K3-colorable
+  EXPECT_TRUE(g.valid_coloring(result.best_x));
+}
+
+TEST(ColoringQubo, EnergyCountsViolationsWeighted) {
+  cop::ColoringInstance g;
+  g.num_vertices = 2;
+  g.num_colors = 2;
+  g.edges = {{0, 1}};
+  ColoringQuboParams params;
+  params.one_hot_weight = 3.0;
+  params.conflict_weight = 7.0;
+  const auto q = to_coloring_qubo(g, params);
+  // Both vertices color 0: conflict -> 7.
+  EXPECT_NEAR(q.energy(std::vector<std::uint8_t>{1, 0, 1, 0}), 7.0, 1e-12);
+  // One vertex uncolored: one-hot -> 3.
+  EXPECT_NEAR(q.energy(std::vector<std::uint8_t>{0, 0, 1, 0}), 3.0, 1e-12);
+}
+
+TEST(ColoringQubo, UncolorableGraphHasPositiveMinimum) {
+  // Triangle with 2 colors is not colorable.
+  cop::ColoringInstance g;
+  g.num_vertices = 3;
+  g.num_colors = 2;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  const auto result = qubo::brute_force_minimize(to_coloring_qubo(g));
+  EXPECT_GT(result.best_energy, 0.0);
+}
+
+}  // namespace
+}  // namespace hycim::core

@@ -1,0 +1,149 @@
+#include "core/hycim_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+
+namespace hycim::core {
+namespace {
+
+cop::QkpInstance small_instance(std::uint64_t seed, std::size_t n = 16) {
+  cop::QkpGeneratorParams params;
+  params.n = n;
+  params.density_percent = 50;
+  return cop::generate_qkp(params, seed);
+}
+
+HyCimConfig fast_config(std::size_t iterations = 3000) {
+  HyCimConfig config;
+  config.sa.iterations = iterations;
+  config.fidelity = cim::VmvMode::kQuantized;
+  config.filter_mode = FilterMode::kSoftware;
+  return config;
+}
+
+TEST(HyCimSolver, ResultIsAlwaysFeasible) {
+  const auto inst = small_instance(1);
+  HyCimSolver solver(inst, fast_config());
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto result = solver.solve_from_random(seed);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_TRUE(inst.feasible(result.best_x));
+    EXPECT_EQ(result.profit, inst.total_profit(result.best_x));
+  }
+}
+
+TEST(HyCimSolver, ReachesExactOptimumOnSmallInstances) {
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    const auto inst = small_instance(seed, 14);
+    const auto truth = exact_qkp(inst);
+    HyCimSolver solver(inst, fast_config(8000));
+    long long best = 0;
+    for (std::uint64_t run = 1; run <= 4; ++run) {
+      best = std::max(best, solver.solve_from_random(run).profit);
+    }
+    EXPECT_GE(best, truth.best_profit * 95 / 100) << "seed " << seed;
+  }
+}
+
+TEST(HyCimSolver, EnergyProfitConsistency) {
+  const auto inst = small_instance(5);
+  HyCimSolver solver(inst, fast_config());
+  const auto result = solver.solve_from_random(9);
+  // best_energy is the (quantized == exact for integer) QUBO energy.
+  EXPECT_NEAR(result.best_energy, -static_cast<double>(result.profit), 1e-9);
+}
+
+TEST(HyCimSolver, RejectsWrongInitialSize) {
+  const auto inst = small_instance(6);
+  HyCimSolver solver(inst, fast_config());
+  EXPECT_THROW(solver.solve(qubo::BitVector(3, 0), 1), std::invalid_argument);
+}
+
+TEST(HyCimSolver, HardwareFilterModeSolves) {
+  const auto inst = small_instance(7, 20);
+  HyCimConfig config = fast_config(1500);
+  config.filter_mode = FilterMode::kHardware;
+  config.filter.variation = device::ideal_variation();
+  config.filter.comparator.sigma_offset = 0.0;
+  config.filter.comparator.sigma_noise = 0.0;
+  HyCimSolver solver(inst, config);
+  ASSERT_NE(solver.filter(), nullptr);
+  const auto result = solver.solve_from_random(3);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(result.profit, 0);
+  // The filter was actually exercised.
+  EXPECT_GT(solver.filter()->stats().evaluations, 0u);
+}
+
+TEST(HyCimSolver, SoftwareModeHasNoFilter) {
+  const auto inst = small_instance(8);
+  HyCimSolver solver(inst, fast_config());
+  EXPECT_EQ(solver.filter(), nullptr);
+}
+
+TEST(HyCimSolver, CircuitFidelitySolvesTinyInstance) {
+  const auto inst = small_instance(9, 8);
+  HyCimConfig config;
+  config.sa.iterations = 400;
+  config.fidelity = cim::VmvMode::kCircuit;
+  config.filter_mode = FilterMode::kSoftware;
+  config.vmv.variation = device::ideal_variation();
+  config.vmv.adc.bits = 8;
+  HyCimSolver solver(inst, config);
+  const auto result = solver.solve_from_random(2);
+  EXPECT_TRUE(result.feasible);
+  const auto truth = exact_qkp(inst);
+  EXPECT_GE(result.profit, truth.best_profit / 2);
+}
+
+TEST(HyCimSolver, DeterministicForFixedSeeds) {
+  const auto inst = small_instance(10);
+  HyCimSolver solver(inst, fast_config(500));
+  const auto a = solver.solve_from_random(77);
+  const auto b = solver.solve_from_random(77);
+  EXPECT_EQ(a.best_x, b.best_x);
+  EXPECT_EQ(a.profit, b.profit);
+}
+
+TEST(HyCimSolver, InfeasibleRejectionsCounted) {
+  // Tight capacity: most add-flips are infeasible and must be filtered.
+  auto inst = small_instance(11, 20);
+  inst.capacity = inst.max_weight();  // roughly one item fits
+  HyCimSolver solver(inst, fast_config(1000));
+  const auto result = solver.solve_from_random(5);
+  EXPECT_GT(result.sa.rejected_infeasible, 0u);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(HyCimSolver, TraceCanBeRecorded) {
+  const auto inst = small_instance(12);
+  HyCimConfig config = fast_config(300);
+  config.sa.record_trace = true;
+  HyCimSolver solver(inst, config);
+  const auto result = solver.solve_from_random(1);
+  EXPECT_EQ(result.sa.trace.size(), 300u);
+}
+
+TEST(HyCimSolver, FormExposesTransformation) {
+  const auto inst = small_instance(13);
+  HyCimSolver solver(inst, fast_config());
+  EXPECT_EQ(solver.form().size(), inst.n);
+  EXPECT_EQ(solver.form().capacity, inst.capacity);
+  EXPECT_EQ(solver.instance().n, inst.n);
+}
+
+TEST(HyCimSolver, ReprogramKeepsSolvingInIdealCorner) {
+  const auto inst = small_instance(14, 12);
+  HyCimConfig config = fast_config(1000);
+  config.filter_mode = FilterMode::kHardware;
+  config.filter.variation = device::ideal_variation();
+  HyCimSolver solver(inst, config);
+  const auto before = solver.solve_from_random(4);
+  solver.reprogram();
+  const auto after = solver.solve_from_random(4);
+  EXPECT_EQ(before.profit, after.profit);
+}
+
+}  // namespace
+}  // namespace hycim::core

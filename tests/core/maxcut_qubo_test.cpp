@@ -1,0 +1,52 @@
+#include "core/maxcut_qubo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qubo/brute_force.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::core {
+namespace {
+
+TEST(MaxCutQubo, EnergyIsNegatedCut) {
+  const auto g = cop::generate_maxcut(15, 0.4, 1, 0.5, 2.0);
+  const auto q = to_maxcut_qubo(g);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = rng.random_bits(15);
+    EXPECT_NEAR(q.energy(x), -g.cut_value(x), 1e-9);
+  }
+}
+
+TEST(MaxCutQubo, GroundStateIsMaximumCut) {
+  const auto g = cop::generate_maxcut(12, 0.5, 3);
+  const auto q = to_maxcut_qubo(g);
+  const auto result = qubo::brute_force_minimize(q);
+  // Exhaustive max cut.
+  double best = 0;
+  std::vector<std::uint8_t> x(12, 0);
+  for (std::uint32_t code = 0; code < (1u << 12); ++code) {
+    for (std::size_t i = 0; i < 12; ++i) x[i] = (code >> i) & 1u;
+    best = std::max(best, g.cut_value(x));
+  }
+  EXPECT_NEAR(-result.best_energy, best, 1e-9);
+  EXPECT_NEAR(cut_from_energy(result.best_energy), best, 1e-9);
+}
+
+TEST(MaxCutQubo, TriangleOptimumIsTwo) {
+  cop::MaxCutInstance g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  const auto result = qubo::brute_force_minimize(to_maxcut_qubo(g));
+  EXPECT_NEAR(-result.best_energy, 2.0, 1e-12);
+}
+
+TEST(MaxCutQubo, EmptyGraphIsZeroEverywhere) {
+  cop::MaxCutInstance g;
+  g.num_vertices = 4;
+  const auto q = to_maxcut_qubo(g);
+  EXPECT_EQ(q.max_abs_coefficient(), 0.0);
+}
+
+}  // namespace
+}  // namespace hycim::core

@@ -1,0 +1,47 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::core {
+namespace {
+
+TEST(Metrics, NormalizedValueBasics) {
+  EXPECT_DOUBLE_EQ(normalized_value(50, 100), 0.5);
+  EXPECT_DOUBLE_EQ(normalized_value(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_value(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_value(-5, 100), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_value(50, 0), 0.0);
+}
+
+TEST(Metrics, SuccessThresholdAt95Percent) {
+  EXPECT_TRUE(is_success(95, 100));
+  EXPECT_TRUE(is_success(100, 100));
+  EXPECT_FALSE(is_success(94, 100));
+  EXPECT_FALSE(is_success(0, 100));
+}
+
+TEST(Metrics, SuccessAgainstZeroReferenceFails) {
+  EXPECT_FALSE(is_success(100, 0));
+}
+
+TEST(Metrics, CustomFraction) {
+  EXPECT_TRUE(is_success(80, 100, 0.8));
+  EXPECT_FALSE(is_success(79, 100, 0.8));
+}
+
+TEST(Metrics, SuccessRatePercent) {
+  const std::vector<long long> values{100, 96, 94, 0, 95};
+  EXPECT_DOUBLE_EQ(success_rate_percent(values, 100), 60.0);  // 3 of 5
+}
+
+TEST(Metrics, SuccessRateOfEmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(success_rate_percent({}, 100), 0.0);
+}
+
+TEST(Metrics, SuccessRateAllOrNothing) {
+  EXPECT_DOUBLE_EQ(success_rate_percent({100, 100}, 100), 100.0);
+  EXPECT_DOUBLE_EQ(success_rate_percent({1, 2}, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace hycim::core

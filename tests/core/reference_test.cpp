@@ -1,0 +1,62 @@
+#include "core/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+
+namespace hycim::core {
+namespace {
+
+cop::QkpInstance small_instance(std::uint64_t seed, std::size_t n) {
+  cop::QkpGeneratorParams params;
+  params.n = n;
+  params.density_percent = 50;
+  return cop::generate_qkp(params, seed);
+}
+
+TEST(Reference, SolutionIsFeasible) {
+  const auto inst = small_instance(1, 30);
+  ReferenceParams params;
+  params.sa_restarts = 2;
+  params.sa_iterations = 3000;
+  const auto ref = reference_solution(inst, params);
+  EXPECT_TRUE(inst.feasible(ref.x));
+  EXPECT_EQ(ref.profit, inst.total_profit(ref.x));
+  EXPECT_GT(ref.profit, 0);
+}
+
+TEST(Reference, ReachesExactOptimumOnSmallInstances) {
+  for (std::uint64_t seed = 2; seed <= 5; ++seed) {
+    const auto inst = small_instance(seed, 16);
+    const auto truth = exact_qkp(inst);
+    ReferenceParams params;
+    params.sa_restarts = 4;
+    params.sa_iterations = 8000;
+    const auto ref = reference_solution(inst, params);
+    EXPECT_EQ(ref.profit, truth.best_profit) << "seed " << seed;
+  }
+}
+
+TEST(Reference, AtLeastAsGoodAsGreedy) {
+  const auto inst = small_instance(6, 50);
+  const auto greedy = cop::greedy_solution(inst);
+  ReferenceParams params;
+  params.sa_restarts = 2;
+  params.sa_iterations = 2000;
+  const auto ref = reference_solution(inst, params);
+  EXPECT_GE(ref.profit, inst.total_profit(greedy));
+}
+
+TEST(Reference, DeterministicForFixedSeed) {
+  const auto inst = small_instance(7, 25);
+  ReferenceParams params;
+  params.sa_restarts = 2;
+  params.sa_iterations = 1000;
+  const auto a = reference_solution(inst, params);
+  const auto b = reference_solution(inst, params);
+  EXPECT_EQ(a.profit, b.profit);
+  EXPECT_EQ(a.x, b.x);
+}
+
+}  // namespace
+}  // namespace hycim::core

@@ -1,0 +1,112 @@
+#include "device/cell_1f1r.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/variation.hpp"
+#include "util/stats.hpp"
+
+namespace hycim::device {
+namespace {
+
+Cell1F1R make_cell(int level, const CellParams& cp = {}, double d2d = 0.0) {
+  static util::Rng rng(11);
+  FeFet dev(FeFetParams{}, d2d);
+  Cell1F1R cell(std::move(dev), cp);
+  cell.program(level, rng);
+  return cell;
+}
+
+TEST(Cell1F1R, OnCurrentIsResistorRegulated) {
+  const CellParams cp;
+  auto cell = make_cell(4);
+  const double vread = FeFet::read_voltage(FeFetParams{}, 1);
+  const double i = cell.current(vread, cp.v_dd);
+  // Regulated ON current close to V/R.
+  EXPECT_NEAR(i, cp.v_dd / cp.r_series, 0.1 * cp.v_dd / cp.r_series);
+  EXPECT_TRUE(cell.is_on(vread));
+}
+
+TEST(Cell1F1R, OffCurrentOrdersOfMagnitudeSmaller) {
+  const CellParams cp;
+  auto on = make_cell(4);
+  auto off = make_cell(0);
+  const double vread = FeFet::read_voltage(FeFetParams{}, 4);
+  EXPECT_GT(on.current(vread, cp.v_dd) / off.current(vread, cp.v_dd), 1e2);
+  EXPECT_FALSE(off.is_on(vread));
+}
+
+TEST(Cell1F1R, LevelKConductsInExactlyKPhases) {
+  // The weight-encoding property behind Eq. (7): level k turns on for
+  // Vread_j with j <= k.
+  const FeFetParams p;
+  for (int level = 0; level < p.num_levels; ++level) {
+    auto cell = make_cell(level);
+    int on_phases = 0;
+    for (int j = 1; j < p.num_levels; ++j) {
+      if (cell.is_on(FeFet::read_voltage(p, j))) ++on_phases;
+    }
+    EXPECT_EQ(on_phases, level) << "level " << level;
+  }
+}
+
+TEST(Cell1F1R, ConductanceSatCurrentPartition) {
+  // Exactly one of conductance / sat_current is nonzero at any vg.
+  auto cell = make_cell(2);
+  for (double vg = 0.0; vg <= 2.0; vg += 0.1) {
+    const double g = cell.conductance(vg);
+    const double isat = cell.sat_current(vg);
+    EXPECT_TRUE((g == 0.0) != (isat == 0.0)) << "vg " << vg;
+  }
+}
+
+TEST(Cell1F1R, CurrentLinearInDriveWhenOn) {
+  auto cell = make_cell(4);
+  const double vread = FeFet::read_voltage(FeFetParams{}, 1);
+  const double i1 = cell.current(vread, 1.0);
+  const double i2 = cell.current(vread, 2.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+TEST(Cell1F1R, OffCurrentIndependentOfDrive) {
+  auto cell = make_cell(0);
+  const double vread = FeFet::read_voltage(FeFetParams{}, 1);
+  const double i1 = cell.current(vread, 1.0);
+  const double i2 = cell.current(vread, 2.0);
+  EXPECT_NEAR(i1, i2, 1e-15);  // saturated current source
+}
+
+TEST(Cell1F1R, ZeroDriveZeroCurrent) {
+  auto cell = make_cell(4);
+  EXPECT_EQ(cell.current(2.0, 0.0), 0.0);
+}
+
+TEST(Cell1F1R, ResistorFactorScalesR) {
+  util::Rng rng(12);
+  FeFet dev{FeFetParams{}};
+  CellParams cp;
+  Cell1F1R cell(std::move(dev), cp, 1.1);
+  EXPECT_NEAR(cell.r_series(), cp.r_series * 1.1, 1e-6);
+}
+
+TEST(Cell1F1R, RegulationSuppressesVthVariation) {
+  // The 1FeFET1R argument: with R >> Rch the ON-current spread from Vth
+  // variation is far smaller than the raw device current spread.
+  const FeFetParams fp;
+  const CellParams cp;
+  const double vread = FeFet::read_voltage(fp, 1);
+  util::OnlineStats cell_spread, device_spread;
+  util::Rng rng(13);
+  for (int k = 0; k < 300; ++k) {
+    const double d2d = rng.gaussian(0.0, 0.03);
+    auto cell = make_cell(4, cp, d2d);
+    cell_spread.add(cell.current(vread, cp.v_dd));
+    device_spread.add(cell.device().drain_current(vread, 0.05));
+  }
+  const double cell_cv = cell_spread.stddev() / cell_spread.mean();
+  const double device_cv = device_spread.stddev() / device_spread.mean();
+  EXPECT_LT(cell_cv, device_cv * 0.5);
+  EXPECT_LT(cell_cv, 0.02);
+}
+
+}  // namespace
+}  // namespace hycim::device

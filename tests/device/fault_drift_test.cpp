@@ -1,0 +1,132 @@
+// Fault-injection and retention-drift behaviour of the device layer, and
+// their propagation through the filter (failure-mode coverage).
+#include <gtest/gtest.h>
+
+#include "cim/filter/inequality_filter.hpp"
+#include "device/cell_1f1r.hpp"
+#include "device/variation.hpp"
+
+namespace hycim::device {
+namespace {
+
+util::Rng& test_rng() {
+  static util::Rng rng(77);
+  return rng;
+}
+
+TEST(Fault, StuckOnConductsAtZeroGate) {
+  FeFet dev;
+  dev.set_fault(Fault::kStuckOn);
+  EXPECT_LT(dev.channel_resistance(0.0), 1e6);
+  EXPECT_GT(dev.drain_current(0.0, 0.5), 1e-6);
+}
+
+TEST(Fault, StuckOffNeverConducts) {
+  FeFet dev;
+  dev.program_level(dev.params().num_levels - 1, test_rng());
+  dev.set_fault(Fault::kStuckOff);
+  EXPECT_GE(dev.channel_resistance(2.0), 1e17);
+  EXPECT_LE(dev.drain_current(2.0, 0.5), dev.params().i_off);
+}
+
+TEST(Fault, ProgrammingDoesNotHealAFault) {
+  FeFet dev;
+  dev.set_fault(Fault::kStuckOff);
+  dev.program_level(4, test_rng());
+  EXPECT_GE(dev.channel_resistance(2.0), 1e17);
+  EXPECT_EQ(dev.fault(), Fault::kStuckOff);
+}
+
+TEST(Fault, FabricationDrawsConfiguredRate) {
+  VariationParams p = ideal_variation();
+  p.p_stuck_on = 0.05;
+  p.p_stuck_off = 0.05;
+  VariationModel fab(p, 3);
+  auto devices = fab.fabricate(FeFetParams{}, 4000);
+  int on = 0, off = 0;
+  for (const auto& d : devices) {
+    if (d.fault() == Fault::kStuckOn) ++on;
+    if (d.fault() == Fault::kStuckOff) ++off;
+  }
+  EXPECT_NEAR(on, 200, 60);
+  EXPECT_NEAR(off, 200, 60);
+}
+
+TEST(Fault, DefaultRateIsZero) {
+  VariationModel fab(VariationParams{}, 4);
+  auto devices = fab.fabricate(FeFetParams{}, 200);
+  for (const auto& d : devices) EXPECT_EQ(d.fault(), Fault::kNone);
+}
+
+TEST(Drift, VthRisesLogLinearly) {
+  FeFet dev;
+  dev.program_level(4, test_rng());  // fully programmed drifts the most
+  const double v0 = dev.vth();
+  dev.age(9.0);  // 1 decade: log10(1 + 9) = 1
+  const double v1 = dev.vth();
+  EXPECT_NEAR(v1 - v0, dev.params().drift_v_per_decade, 1e-6);
+  dev.age(90.0);  // cumulative 99 s -> 2 decades
+  EXPECT_NEAR(dev.vth() - v0, 2.0 * dev.params().drift_v_per_decade, 1e-6);
+}
+
+TEST(Drift, ErasedDeviceDoesNotDrift) {
+  FeFet dev;
+  dev.program_level(0, test_rng());
+  const double v0 = dev.vth();
+  dev.age(1e6);
+  EXPECT_DOUBLE_EQ(dev.vth(), v0);
+}
+
+TEST(Drift, ReprogramResetsTheClock) {
+  FeFet dev;
+  dev.program_level(4, test_rng());
+  dev.age(1e4);
+  EXPECT_GT(dev.retention_seconds(), 0.0);
+  const double drifted = dev.vth();
+  dev.program_level(4, test_rng());
+  EXPECT_EQ(dev.retention_seconds(), 0.0);
+  EXPECT_LT(dev.vth(), drifted);
+}
+
+TEST(Drift, PartialLevelsDriftProportionally) {
+  FeFet full, half;
+  full.program_level(4, test_rng());
+  half.program_level(2, test_rng());
+  const double f0 = full.vth(), h0 = half.vth();
+  full.age(1e3);
+  half.age(1e3);
+  EXPECT_GT(full.vth() - f0, half.vth() - h0);
+}
+
+TEST(Drift, FilterSurvivesModerateAgingViaReplicaTracking) {
+  // Working and replica drift together: classification away from the
+  // boundary must survive years of retention.
+  cim::InequalityFilterParams p;
+  p.variation = ideal_variation();
+  p.comparator.sigma_offset = 0.0;
+  p.comparator.sigma_noise = 0.0;
+  cim::InequalityFilter filter(p, {10, 20, 30, 15}, 40);
+  filter.age(3.15e7);  // one year
+  EXPECT_TRUE(filter.is_feasible(std::vector<std::uint8_t>{1, 1, 0, 0}));
+  EXPECT_FALSE(filter.is_feasible(std::vector<std::uint8_t>{0, 1, 1, 0}));
+}
+
+TEST(Fault, StuckCellsShiftFilterDecisionsPredictably) {
+  // A stuck-on cell adds phantom weight; classification of configurations
+  // selecting that column flips toward "infeasible" — injected faults must
+  // degrade, not crash.
+  VariationParams var = ideal_variation();
+  var.p_stuck_on = 0.10;  // aggressive: ~10% defective cells
+  cim::InequalityFilterParams p;
+  p.variation = var;
+  p.comparator.sigma_offset = 0.0;
+  p.comparator.sigma_noise = 0.0;
+  cim::InequalityFilter filter(p, {10, 20, 30, 15}, 40);
+  // No crash; decisions remain deterministic booleans.
+  const bool v1 = filter.is_feasible(std::vector<std::uint8_t>{1, 1, 0, 0});
+  const bool v2 = filter.is_feasible(std::vector<std::uint8_t>{1, 1, 0, 0});
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace hycim::device

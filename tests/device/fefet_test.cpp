@@ -1,0 +1,182 @@
+#include "device/fefet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::device {
+namespace {
+
+util::Rng& test_rng() {
+  static util::Rng rng(2024);
+  return rng;
+}
+
+TEST(FeFet, ConstructorValidatesParams) {
+  FeFetParams p;
+  p.num_levels = 1;
+  EXPECT_THROW(FeFet dev(p), std::invalid_argument);
+  p = FeFetParams{};
+  p.vth_low = p.vth_high;
+  EXPECT_THROW(FeFet dev(p), std::invalid_argument);
+  p = FeFetParams{};
+  p.v_sat = p.v_coercive;
+  EXPECT_THROW(FeFet dev(p), std::invalid_argument);
+}
+
+TEST(FeFet, FreshDeviceIsErased) {
+  FeFet dev;
+  EXPECT_DOUBLE_EQ(dev.polarization(), -1.0);
+  EXPECT_NEAR(dev.vth(), dev.params().vth_high, 1e-12);
+  EXPECT_EQ(dev.level(), -1);
+}
+
+TEST(FeFet, SubCoerciveWritePulseIsIgnored) {
+  FeFet dev;
+  dev.apply_write_pulse(0.5);  // below v_coercive = 0.8
+  EXPECT_DOUBLE_EQ(dev.polarization(), -1.0);
+}
+
+TEST(FeFet, StrongPulseSaturatesPolarization) {
+  FeFet dev;
+  for (int k = 0; k < 40; ++k) dev.apply_write_pulse(5.0);
+  EXPECT_NEAR(dev.polarization(), 1.0, 1e-6);
+  EXPECT_NEAR(dev.vth(), dev.params().vth_low, 1e-3);
+}
+
+TEST(FeFet, RepeatedIdenticalPulsesConverge) {
+  FeFet dev;
+  const double amplitude = 2.0;
+  for (int k = 0; k < 30; ++k) dev.apply_write_pulse(amplitude);
+  const double p30 = dev.polarization();
+  dev.apply_write_pulse(amplitude);
+  EXPECT_NEAR(dev.polarization(), p30, 1e-6);  // minor loop saturated
+}
+
+TEST(FeFet, EraseAfterProgramRestoresHighVth) {
+  FeFet dev;
+  for (int k = 0; k < 20; ++k) dev.apply_write_pulse(5.0);
+  for (int k = 0; k < 20; ++k) dev.apply_write_pulse(-5.0);
+  EXPECT_NEAR(dev.vth(), dev.params().vth_high, 1e-3);
+}
+
+TEST(FeFet, ProgramLevelHitsNominalVth) {
+  FeFetParams p;  // no c2c noise by default
+  for (int level = 0; level < p.num_levels; ++level) {
+    FeFet dev(p);
+    dev.program_level(level, test_rng());
+    EXPECT_NEAR(dev.vth(), FeFet::nominal_vth(p, level), 0.02)
+        << "level " << level;
+    EXPECT_EQ(dev.level(), level);
+  }
+}
+
+TEST(FeFet, ProgramLevelOutOfRangeThrows) {
+  FeFet dev;
+  EXPECT_THROW(dev.program_level(-1, test_rng()), std::invalid_argument);
+  EXPECT_THROW(dev.program_level(99, test_rng()), std::invalid_argument);
+}
+
+TEST(FeFet, NominalVthMonotoneDecreasing) {
+  FeFetParams p;
+  for (int level = 1; level < p.num_levels; ++level) {
+    EXPECT_LT(FeFet::nominal_vth(p, level), FeFet::nominal_vth(p, level - 1));
+  }
+}
+
+TEST(FeFet, ReadVoltagesSeparateLevels) {
+  FeFetParams p;
+  for (int j = 1; j < p.num_levels; ++j) {
+    const double vread = FeFet::read_voltage(p, j);
+    EXPECT_LT(vread, FeFet::nominal_vth(p, j - 1));
+    EXPECT_GT(vread, FeFet::nominal_vth(p, j));
+  }
+}
+
+TEST(FeFet, ReadVoltageDescendsWithJ) {
+  FeFetParams p;
+  for (int j = 2; j < p.num_levels; ++j) {
+    EXPECT_LT(FeFet::read_voltage(p, j), FeFet::read_voltage(p, j - 1));
+  }
+}
+
+TEST(FeFet, ReadVoltageRangeChecked) {
+  FeFetParams p;
+  EXPECT_THROW(FeFet::read_voltage(p, 0), std::invalid_argument);
+  EXPECT_THROW(FeFet::read_voltage(p, p.num_levels), std::invalid_argument);
+}
+
+TEST(FeFet, DrainCurrentMonotoneInVg) {
+  FeFet dev;
+  dev.program_level(2, test_rng());
+  double prev = 0.0;
+  for (double vg = 0.0; vg <= 2.0; vg += 0.05) {
+    const double i = dev.drain_current(vg, 0.05);
+    EXPECT_GE(i, prev * 0.999999) << "vg " << vg;  // non-decreasing
+    prev = i;
+  }
+}
+
+TEST(FeFet, SubthresholdSlopeMatchesConfiguredSS) {
+  FeFetParams p;
+  FeFet dev(p);
+  dev.program_level(0, test_rng());  // vth = vth_high
+  const double vth = dev.vth();
+  // One SS step below threshold drops the current by one decade.
+  const double i1 = dev.subthreshold_current(vth - 0.060);
+  const double i2 = dev.subthreshold_current(vth - 0.120);
+  EXPECT_NEAR(i1 / i2, 10.0, 0.5);
+}
+
+TEST(FeFet, LeakageFloorApplies) {
+  FeFet dev;
+  dev.program_level(0, test_rng());
+  EXPECT_DOUBLE_EQ(dev.subthreshold_current(0.0), dev.params().i_off);
+}
+
+TEST(FeFet, OnCurrentDecadesAboveOff) {
+  FeFetParams p;
+  FeFet on(p), off(p);
+  on.program_level(p.num_levels - 1, test_rng());
+  off.program_level(0, test_rng());
+  const double vread = FeFet::read_voltage(p, p.num_levels - 1);
+  const double i_on = on.drain_current(vread, 0.5);
+  const double i_off = off.drain_current(vread, 0.5);
+  EXPECT_GT(i_on / i_off, 1e3);  // clean multi-decade ON/OFF window
+}
+
+TEST(FeFet, ZeroOrNegativeVdsGivesNoCurrent) {
+  FeFet dev;
+  EXPECT_EQ(dev.drain_current(2.0, 0.0), 0.0);
+  EXPECT_EQ(dev.drain_current(2.0, -0.1), 0.0);
+}
+
+TEST(FeFet, D2dOffsetShiftsVth) {
+  FeFetParams p;
+  FeFet skewed(p, 0.05);
+  FeFet nominal(p, 0.0);
+  EXPECT_NEAR(skewed.vth() - nominal.vth(), 0.05, 1e-12);
+}
+
+TEST(FeFet, C2cNoiseRedrawnPerProgram) {
+  FeFetParams p;
+  p.sigma_vth_c2c = 0.02;
+  FeFet dev(p);
+  util::Rng rng(7);
+  dev.program_level(2, rng);
+  const double v1 = dev.vth();
+  dev.program_level(2, rng);
+  const double v2 = dev.vth();
+  EXPECT_NE(v1, v2);  // fresh draw each programming cycle
+  EXPECT_NEAR(v1, v2, 0.2);
+}
+
+TEST(FeFet, ChannelResistanceDropsWithOverdrive) {
+  FeFet dev;
+  dev.program_level(dev.params().num_levels - 1, test_rng());
+  const double r1 = dev.channel_resistance(dev.vth() + 0.1);
+  const double r2 = dev.channel_resistance(dev.vth() + 1.0);
+  EXPECT_LT(r2, r1);
+  EXPECT_GE(dev.channel_resistance(dev.vth() - 0.1), 1e17);
+}
+
+}  // namespace
+}  // namespace hycim::device

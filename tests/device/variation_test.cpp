@@ -1,0 +1,81 @@
+#include "device/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace hycim::device {
+namespace {
+
+TEST(Variation, IdealCornerIsAllZero) {
+  const auto p = ideal_variation();
+  EXPECT_EQ(p.sigma_vth_d2d, 0.0);
+  EXPECT_EQ(p.sigma_vth_c2c, 0.0);
+  EXPECT_EQ(p.sigma_r_rel, 0.0);
+  EXPECT_EQ(p.sigma_cml_rel, 0.0);
+}
+
+TEST(Variation, IdealFabricationProducesIdenticalDevices) {
+  VariationModel fab(ideal_variation(), 1);
+  auto devices = fab.fabricate(FeFetParams{}, 10);
+  ASSERT_EQ(devices.size(), 10u);
+  for (auto& d : devices) {
+    EXPECT_DOUBLE_EQ(d.vth(), devices.front().vth());
+  }
+  EXPECT_DOUBLE_EQ(fab.resistor_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(fab.cap_factor(), 1.0);
+}
+
+TEST(Variation, D2dSpreadMatchesSigma) {
+  VariationParams p = ideal_variation();
+  p.sigma_vth_d2d = 0.030;
+  VariationModel fab(p, 2);
+  auto devices = fab.fabricate(FeFetParams{}, 4000);
+  util::OnlineStats stats;
+  for (auto& d : devices) stats.add(d.vth());
+  EXPECT_NEAR(stats.stddev(), 0.030, 0.003);
+  EXPECT_NEAR(stats.mean(), FeFetParams{}.vth_high, 0.005);
+}
+
+TEST(Variation, SameSeedSamePopulation) {
+  VariationParams p;
+  VariationModel a(p, 3), b(p, 3);
+  auto da = a.fabricate(FeFetParams{}, 50);
+  auto db = b.fabricate(FeFetParams{}, 50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(da[i].vth(), db[i].vth());
+  }
+}
+
+TEST(Variation, ResistorFactorsCenterOnOne) {
+  VariationParams p = ideal_variation();
+  p.sigma_r_rel = 0.02;
+  VariationModel fab(p, 4);
+  util::OnlineStats stats;
+  for (int i = 0; i < 4000; ++i) stats.add(fab.resistor_factor());
+  EXPECT_NEAR(stats.mean(), 1.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.02, 0.005);
+}
+
+TEST(Variation, DefaultResistorSpreadIsTight) {
+  // The filter's accuracy budget assumes matched resistors (see header).
+  EXPECT_LE(VariationParams{}.sigma_r_rel, 0.01);
+}
+
+TEST(Variation, FactorsClampedPositive) {
+  VariationParams p = ideal_variation();
+  p.sigma_r_rel = 2.0;  // absurd corner: clamping must kick in
+  VariationModel fab(p, 5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(fab.resistor_factor(), 0.5);
+}
+
+TEST(Variation, FabricatedDevicesCarryC2cSigma) {
+  VariationParams p = ideal_variation();
+  p.sigma_vth_c2c = 0.015;
+  VariationModel fab(p, 6);
+  auto devices = fab.fabricate(FeFetParams{}, 2);
+  EXPECT_DOUBLE_EQ(devices[0].params().sigma_vth_c2c, 0.015);
+}
+
+}  // namespace
+}  // namespace hycim::device

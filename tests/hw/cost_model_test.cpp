@@ -1,0 +1,77 @@
+#include "hw/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::hw {
+namespace {
+
+TEST(CostModel, HycimCellAccounting) {
+  // n=100, 7 bits, 16-row filter: 100*100*7 crossbar + 2*16*100 filter.
+  const auto c = hycim_cost(100, 7);
+  EXPECT_EQ(c.crossbar_cells, 70000u);
+  EXPECT_EQ(c.filter_cells, 3200u);
+  EXPECT_EQ(c.total_cells(), 73200u);
+  EXPECT_EQ(c.comparators, 1u);
+  EXPECT_EQ(c.adcs, 4u);
+}
+
+TEST(CostModel, DquboCellAccounting) {
+  const auto c = dqubo_cost(200, 16);
+  EXPECT_EQ(c.crossbar_cells, 200u * 200u * 16u);
+  EXPECT_EQ(c.filter_cells, 0u);
+  EXPECT_EQ(c.comparators, 0u);
+}
+
+TEST(CostModel, SavingMatchesPaperLowEnd) {
+  // Smallest D-QUBO instance: n_d = 200, 16 bits vs HyCiM n=100, 7 bits.
+  // Paper Fig. 9(c) reports ~88% at the low end.
+  const auto ours = hycim_cost(100, 7);
+  const auto base = dqubo_cost(200, 16);
+  const double saving = size_saving_percent(ours, base);
+  EXPECT_GT(saving, 85.0);
+  EXPECT_LT(saving, 92.0);
+}
+
+TEST(CostModel, SavingMatchesPaperHighEnd) {
+  // Largest: n_d = 2636, 25 bits.  Paper: 99.96%.
+  const auto ours = hycim_cost(100, 7);
+  const auto base = dqubo_cost(2636, 25);
+  const double saving = size_saving_percent(ours, base);
+  EXPECT_GT(saving, 99.9);
+  EXPECT_LT(saving, 100.0);
+}
+
+TEST(CostModel, SavingIsZeroAgainstSelf) {
+  const auto c = dqubo_cost(100, 7);
+  EXPECT_DOUBLE_EQ(size_saving_percent(c, c), 0.0);
+}
+
+TEST(CostModel, SavingAgainstEmptyBaselineIsZero) {
+  HardwareCost empty;
+  const auto c = hycim_cost(10, 7);
+  EXPECT_DOUBLE_EQ(size_saving_percent(c, empty), 0.0);
+}
+
+TEST(CostModel, AreaGrowsWithCells) {
+  const auto small = hycim_cost(50, 7);
+  const auto large = hycim_cost(200, 7);
+  EXPECT_GT(large.area_um2, small.area_um2);
+}
+
+TEST(CostModel, EnergyGrowsWithProblemSize) {
+  const auto small = dqubo_cost(100, 8);
+  const auto large = dqubo_cost(1000, 8);
+  EXPECT_GT(large.energy_per_iteration_fj, small.energy_per_iteration_fj);
+}
+
+TEST(CostModel, TechParamsScaleArea) {
+  TechParams coarse;
+  coarse.feature_nm = 56.0;  // 2x feature -> 4x cell area
+  const auto base = hycim_cost(100, 7);
+  const auto scaled = hycim_cost(100, 7, 16, 4, coarse);
+  // Cell area quadruples; fixed ADC/logic area dilutes the total factor.
+  EXPECT_GT(scaled.area_um2, base.area_um2 * 1.2);
+}
+
+}  // namespace
+}  // namespace hycim::hw

@@ -1,0 +1,52 @@
+#include "hw/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hycim::hw {
+namespace {
+
+TEST(SearchSpace, PaperHeadlineNumbers) {
+  // n=100, C=2536: D-QUBO spans 2^2636, HyCiM 2^100 (paper Fig. 9(b)).
+  const auto s = compare_search_space(100, 2536);
+  EXPECT_EQ(s.hycim_vars, 100u);
+  EXPECT_EQ(s.dqubo_vars, 2636u);
+  EXPECT_DOUBLE_EQ(s.hycim_log2, 100.0);
+  EXPECT_DOUBLE_EQ(s.dqubo_log2, 2636.0);
+  EXPECT_DOUBLE_EQ(s.reduction_log2, 2536.0);
+  // Eliminated count 2^2636 - 2^100 ~ 2^2636.
+  EXPECT_NEAR(s.eliminated_log2, 2636.0, 1e-9);
+}
+
+TEST(SearchSpace, SmallCapacity) {
+  const auto s = compare_search_space(100, 100);
+  EXPECT_EQ(s.dqubo_vars, 200u);
+  EXPECT_DOUBLE_EQ(s.reduction_log2, 100.0);
+}
+
+TEST(SearchSpace, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(compare_search_space(10, 0), std::invalid_argument);
+}
+
+TEST(Log2Pow2Diff, ExactForSmallValues) {
+  // 2^4 - 2^2 = 12 -> log2 = log2(12).
+  EXPECT_NEAR(log2_pow2_difference(4.0, 2.0), std::log2(12.0), 1e-12);
+}
+
+TEST(Log2Pow2Diff, ApproachesLargerExponent) {
+  EXPECT_NEAR(log2_pow2_difference(1000.0, 10.0), 1000.0, 1e-9);
+}
+
+TEST(Log2Pow2Diff, AdjacentExponents) {
+  // 2^(k+1) - 2^k = 2^k.
+  EXPECT_NEAR(log2_pow2_difference(11.0, 10.0), 10.0, 1e-12);
+}
+
+TEST(Log2Pow2Diff, RejectsNonPositiveDifference) {
+  EXPECT_THROW(log2_pow2_difference(5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(log2_pow2_difference(4.0, 5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hycim::hw

@@ -1,0 +1,96 @@
+// Property-based sweeps of the inequality filter: randomized instances at
+// multiple sizes and corners, always compared against the exact predicate.
+#include <gtest/gtest.h>
+
+#include "cim/filter/inequality_filter.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cim {
+namespace {
+
+struct FilterCase {
+  std::size_t items;
+  long long weight_max;
+  bool ideal;
+};
+
+class FilterProperty : public ::testing::TestWithParam<FilterCase> {};
+
+TEST_P(FilterProperty, AgreesWithExactPredicateAwayFromBoundary) {
+  const auto param = GetParam();
+  util::Rng rng(1000 + param.items);
+  std::vector<long long> weights(param.items);
+  for (auto& w : weights) w = rng.uniform_int(1, param.weight_max);
+  long long wsum = 0;
+  for (auto w : weights) wsum += w;
+  const long long capacity = wsum / 2;
+
+  InequalityFilterParams p;
+  if (param.ideal) {
+    p.variation = device::ideal_variation();
+    p.comparator.sigma_offset = 0.0;
+    p.comparator.sigma_noise = 0.0;
+  }
+  p.fab_seed = 17 + param.items;
+  InequalityFilter filter(p, weights, capacity);
+
+  // Margin the realistic corner must respect; the ideal corner is exact.
+  const long long margin = param.ideal ? 0 : 3;
+  int checked = 0;
+  for (int trial = 0; trial < 400 && checked < 120; ++trial) {
+    const auto x = rng.random_bits(param.items, rng.uniform(0.2, 0.8));
+    long long w = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (x[i]) w += weights[i];
+    }
+    if (std::llabs(w - capacity) < margin) continue;
+    ++checked;
+    EXPECT_EQ(filter.is_feasible(x), w <= capacity)
+        << "items=" << param.items << " weight=" << w << " C=" << capacity;
+  }
+  EXPECT_GE(checked, 60);
+}
+
+TEST_P(FilterProperty, NormalizedMlMonotoneInWeight) {
+  // Heavier configurations never produce higher ML (ideal corner); checked
+  // on nested selections where monotonicity must hold exactly.
+  const auto param = GetParam();
+  if (!param.ideal) GTEST_SKIP() << "monotonicity asserted in ideal corner";
+  util::Rng rng(2000 + param.items);
+  std::vector<long long> weights(param.items);
+  for (auto& w : weights) w = rng.uniform_int(1, param.weight_max);
+  long long wsum = 0;
+  for (auto w : weights) wsum += w;
+
+  InequalityFilterParams p;
+  p.variation = device::ideal_variation();
+  p.comparator.sigma_offset = 0.0;
+  p.comparator.sigma_noise = 0.0;
+  InequalityFilter filter(p, weights, wsum / 2);
+
+  std::vector<std::uint8_t> x(param.items, 0);
+  double prev_ml = filter.ml_voltage(x) + 1.0;
+  std::vector<std::size_t> order(param.items);
+  for (std::size_t i = 0; i < param.items; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t step = 0; step < param.items; ++step) {
+    x[order[step]] = 1;
+    const double ml = filter.ml_voltage(x);
+    EXPECT_LT(ml, prev_ml) << "step " << step;
+    prev_ml = ml;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FilterProperty,
+    ::testing::Values(FilterCase{5, 10, true}, FilterCase{20, 30, true},
+                      FilterCase{50, 50, true}, FilterCase{100, 64, true},
+                      FilterCase{20, 30, false}, FilterCase{50, 50, false},
+                      FilterCase{100, 50, false}),
+    [](const ::testing::TestParamInfo<FilterCase>& info) {
+      return std::to_string(info.param.items) + "items_" +
+             (info.param.ideal ? "ideal" : "noisy");
+    });
+
+}  // namespace
+}  // namespace hycim::cim

@@ -1,0 +1,73 @@
+#include "qubo/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hycim::qubo {
+namespace {
+
+TEST(BruteForce, FindsObviousMinimum) {
+  // E = -x0 - x1 + 3 x0 x1: minimum at exactly one bit set.
+  QuboMatrix q(2);
+  q.set(0, 0, -1.0);
+  q.set(1, 1, -1.0);
+  q.set(0, 1, 3.0);
+  const auto result = brute_force_minimize(q);
+  EXPECT_DOUBLE_EQ(result.best_energy, -1.0);
+  EXPECT_EQ(result.feasible_count, 4u);
+}
+
+TEST(BruteForce, AllZeroMatrixMinimumIsOffset) {
+  QuboMatrix q(3);
+  q.set_offset(2.5);
+  const auto result = brute_force_minimize(q);
+  EXPECT_DOUBLE_EQ(result.best_energy, 2.5);
+}
+
+TEST(BruteForce, RespectsFeasibilityPredicate) {
+  // Minimum without constraint is all ones; constrain to <= 1 bit set.
+  QuboMatrix q(3);
+  for (std::size_t i = 0; i < 3; ++i) q.set(i, i, -1.0);
+  const auto result = brute_force_minimize(
+      q, [](std::span<const std::uint8_t> x) {
+        int ones = 0;
+        for (auto b : x) ones += b;
+        return ones <= 1;
+      });
+  EXPECT_DOUBLE_EQ(result.best_energy, -1.0);
+  EXPECT_EQ(result.feasible_count, 4u);  // 000, 100, 010, 001
+}
+
+TEST(BruteForce, ThrowsWhenNothingFeasible) {
+  QuboMatrix q(2);
+  EXPECT_THROW(
+      brute_force_minimize(q, [](std::span<const std::uint8_t>) {
+        return false;
+      }),
+      std::invalid_argument);
+}
+
+TEST(BruteForce, ThrowsOnHugeProblem) {
+  QuboMatrix q(31);
+  EXPECT_THROW(brute_force_minimize(q), std::invalid_argument);
+}
+
+TEST(BruteForce, AgreesWithExhaustiveCheckOnRandomMatrix) {
+  util::Rng rng(6);
+  QuboMatrix q(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i; j < 10; ++j) q.set(i, j, rng.uniform(-3, 3));
+  }
+  const auto result = brute_force_minimize(q);
+  // No assignment may beat the reported optimum.
+  BitVector x(10, 0);
+  for (std::uint32_t code = 0; code < (1u << 10); ++code) {
+    for (std::size_t i = 0; i < 10; ++i) x[i] = (code >> i) & 1u;
+    EXPECT_GE(q.energy(x), result.best_energy - 1e-9);
+  }
+  EXPECT_NEAR(q.energy(result.best_x), result.best_energy, 1e-12);
+}
+
+}  // namespace
+}  // namespace hycim::qubo

@@ -1,0 +1,101 @@
+#include "qubo/ising.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace hycim::qubo {
+namespace {
+
+QuboMatrix random_qubo(std::size_t n, util::Rng& rng) {
+  QuboMatrix q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) q.set(i, j, rng.uniform(-4, 4));
+  }
+  q.set_offset(rng.uniform(-2, 2));
+  return q;
+}
+
+TEST(Ising, CouplingSymmetricAccess) {
+  IsingModel m(3);
+  m.set_coupling(0, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m.coupling(2, 0), 1.5);
+}
+
+TEST(Ising, SelfCouplingThrows) {
+  IsingModel m(3);
+  EXPECT_THROW(m.coupling(1, 1), std::out_of_range);
+  EXPECT_THROW(m.set_coupling(2, 2, 1.0), std::out_of_range);
+}
+
+TEST(Ising, EnergyHandComputed) {
+  // H = J01 s0 s1 + h0 s0, J01 = 2, h0 = -1.
+  IsingModel m(2);
+  m.set_coupling(0, 1, 2.0);
+  m.set_field(0, -1.0);
+  const SpinVector pp{1, 1};
+  const SpinVector pm{1, -1};
+  const SpinVector mp{-1, 1};
+  EXPECT_DOUBLE_EQ(m.energy(pp), 2.0 - 1.0);
+  EXPECT_DOUBLE_EQ(m.energy(pm), -2.0 - 1.0);
+  EXPECT_DOUBLE_EQ(m.energy(mp), -2.0 + 1.0);
+}
+
+TEST(Ising, BitsToSpinsConvention) {
+  // Paper Sec. 2.1: sigma_i = 1 - 2 x_i.
+  const BitVector x{0, 1};
+  const SpinVector s = bits_to_spins(x);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], -1);
+}
+
+TEST(Ising, SpinBitRoundTrip) {
+  util::Rng rng(5);
+  const BitVector x = rng.random_bits(64);
+  EXPECT_EQ(spins_to_bits(bits_to_spins(x)), x);
+}
+
+TEST(Ising, QuboToIsingPreservesEnergy) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const QuboMatrix q = random_qubo(8, rng);
+    const IsingModel m = qubo_to_ising(q);
+    for (int s = 0; s < 40; ++s) {
+      const BitVector x = rng.random_bits(8);
+      EXPECT_NEAR(m.energy(bits_to_spins(x)), q.energy(x), 1e-9);
+    }
+  }
+}
+
+TEST(Ising, IsingToQuboPreservesEnergy) {
+  util::Rng rng(8);
+  IsingModel m(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    m.set_field(i, rng.uniform(-3, 3));
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      m.set_coupling(i, j, rng.uniform(-3, 3));
+    }
+  }
+  m.set_offset(1.25);
+  const QuboMatrix q = ising_to_qubo(m);
+  for (int s = 0; s < 64; ++s) {
+    const BitVector x = rng.random_bits(6);
+    EXPECT_NEAR(q.energy(x), m.energy(bits_to_spins(x)), 1e-9);
+  }
+}
+
+TEST(Ising, RoundTripQuboIsingQubo) {
+  util::Rng rng(9);
+  const QuboMatrix q = random_qubo(7, rng);
+  const QuboMatrix q2 = ising_to_qubo(qubo_to_ising(q));
+  ASSERT_EQ(q2.size(), q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    for (std::size_t j = i; j < q.size(); ++j) {
+      EXPECT_NEAR(q2.at(i, j), q.at(i, j), 1e-9);
+    }
+  }
+  EXPECT_NEAR(q2.offset(), q.offset(), 1e-9);
+}
+
+}  // namespace
+}  // namespace hycim::qubo

@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hycim::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli("test", "test program");
+  cli.add_int("iters", 100, "iteration count");
+  cli.add_double("rate", 0.5, "a rate");
+  cli.add_string("name", "default", "a name");
+  cli.add_bool("verbose", false, "verbosity");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("iters"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_EQ(cli.get_string("name"), "default");
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--iters", "42", "--rate", "0.75"};
+  EXPECT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("iters"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.75);
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--iters=7", "--name=abc"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("iters"), 7);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, BareBoolSetsTrue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, ExplicitBoolValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose", "false"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadIntValueThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--iters", "abc"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--iters"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, PositionalArgThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, TypeMismatchThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW(cli.get_int("rate"), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("nonexistent"), std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsFlagsAndDefaults) {
+  Cli cli = make_cli();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--iters"), std::string::npos);
+  EXPECT_NE(usage.find("default: 100"), std::string::npos);
+  EXPECT_NE(usage.find("iteration count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hycim::util

@@ -1,0 +1,192 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace hycim::util {
+namespace {
+
+TEST(Splitmix64, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 42, s2 = 42;
+  const std::uint64_t first = splitmix64(s1);
+  EXPECT_EQ(first, splitmix64(s2));
+  EXPECT_EQ(s1, s2);                    // states advance in lockstep
+  EXPECT_NE(splitmix64(s1), first);     // consecutive outputs differ
+}
+
+TEST(Splitmix64, DifferentSeedsDiffer) {
+  std::uint64_t a = 1, b = 2;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 32; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 30u);  // not stuck
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(8);
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += r.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng r(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng r(12);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, UniformIntIsUnbiased) {
+  Rng r(13);
+  std::array<int, 4> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[static_cast<std::size_t>(r.uniform_int(0, 3))]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng r(14);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng r(16);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(18);
+  Rng child = parent.split();
+  // Child differs from parent continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (child.next_u64() != parent.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(19), b(19);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(20);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/100!
+}
+
+TEST(Rng, RandomBitsDensity) {
+  Rng r(22);
+  const auto bits = r.random_bits(20000, 0.25);
+  const auto ones = std::count(bits.begin(), bits.end(), 1);
+  EXPECT_NEAR(static_cast<double>(ones) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.index(17), 17u);
+}
+
+}  // namespace
+}  // namespace hycim::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hycim::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, RowCountTracks) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatsDoubles) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, NumFormatsIntegers) {
+  EXPECT_EQ(Table::num(42LL), "42");
+  EXPECT_EQ(Table::num(-7LL), "-7");
+}
+
+TEST(Table, Pow2Notation) {
+  EXPECT_EQ(Table::pow2(100), "2^100");
+  EXPECT_EQ(Table::pow2(2536), "2^2536");
+}
+
+TEST(Table, PrintToStream) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace hycim::util
