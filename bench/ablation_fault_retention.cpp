@@ -8,6 +8,7 @@
 //    rejection (both arrays age together, so the threshold tracks).
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
@@ -75,13 +76,14 @@ int main(int argc, char** argv) {
       config.sa.iterations = 1000;
       config.filter_mode = core::FilterMode::kHardware;
       config.filter = fp;
-      core::HyCimSolver solver(inst, config);
+      core::HyCimSolver solver(cop::to_constrained_form(inst), config);
       util::Rng srng(23 + chip);
       for (int init = 0; init < cli.get_int("inits"); ++init) {
         const auto x0 = cop::random_feasible(inst, srng);
         long long best = 0;
         for (int run = 0; run < cli.get_int("runs"); ++run) {
-          best = std::max(best, solver.solve(x0, srng.next_u64()).profit);
+          best = std::max(best,
+                          cop::solve_qkp(solver, inst, x0, srng.next_u64()).profit);
         }
         values.push_back(best);
       }

@@ -4,6 +4,7 @@
 // buy nothing — the flat-then-cliff shape behind the paper's sizing.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
@@ -43,14 +44,15 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(cli.get_int("iterations"));
       config.matrix_bits = bits;
       config.filter_mode = core::FilterMode::kSoftware;
-      core::HyCimSolver solver(inst, config);
+      core::HyCimSolver solver(cop::to_constrained_form(inst), config);
       std::vector<long long> values;
       util::Rng rng(8300 + idx);
       for (int init = 0; init < cli.get_int("inits"); ++init) {
         const auto x0 = cop::random_feasible(inst, rng);
         long long best = 0;
         for (int run = 0; run < cli.get_int("runs"); ++run) {
-          best = std::max(best, solver.solve(x0, rng.next_u64()).profit);
+          best = std::max(
+              best, cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
         }
         values.push_back(best);
         norms.add(core::normalized_value(best, references[idx].profit));

@@ -3,6 +3,7 @@
 // consume an iteration, paper Fig. 3) vs free rejection.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
@@ -39,14 +40,15 @@ int main(int argc, char** argv) {
       config.sa.iterations = iterations;
       config.sa.schedule = kind;
       config.filter_mode = core::FilterMode::kSoftware;
-      core::HyCimSolver solver(inst, config);
+      core::HyCimSolver solver(cop::to_constrained_form(inst), config);
       std::vector<long long> values;
       util::Rng rng(8400 + idx);
       for (int init = 0; init < cli.get_int("inits"); ++init) {
         const auto x0 = cop::random_feasible(inst, rng);
         long long best = 0;
         for (int run = 0; run < cli.get_int("runs"); ++run) {
-          best = std::max(best, solver.solve(x0, rng.next_u64()).profit);
+          best = std::max(
+              best, cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
         }
         values.push_back(best);
       }

@@ -5,6 +5,7 @@
 // contrasts both with HyCiM.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/dqubo_solver.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
@@ -81,14 +82,15 @@ int main(int argc, char** argv) {
     core::HyCimConfig hconfig;
     hconfig.sa.iterations = static_cast<std::size_t>(cli.get_int("iterations"));
     hconfig.filter_mode = core::FilterMode::kSoftware;
-    core::HyCimSolver hycim(inst, hconfig);
+    core::HyCimSolver hycim(cop::to_constrained_form(inst), hconfig);
     std::vector<long long> values;
     util::Rng rng(8200 + idx);
     for (int init = 0; init < cli.get_int("inits"); ++init) {
       const auto x0 = cop::random_feasible(inst, rng);
       long long best = 0;
       for (int run = 0; run < cli.get_int("runs"); ++run) {
-        best = std::max(best, hycim.solve(x0, rng.next_u64()).profit);
+        best = std::max(best,
+                        cop::solve_qkp(hycim, inst, x0, rng.next_u64()).profit);
       }
       values.push_back(best);
     }

@@ -11,6 +11,7 @@
 // where E[runs] = 1/p for per-run success probability p.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/dqubo_solver.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
@@ -46,11 +47,12 @@ int main(int argc, char** argv) {
     // --- HyCiM. --------------------------------------------------------------
     core::HyCimConfig hconfig;
     hconfig.sa.iterations = iterations;
-    core::HyCimSolver hycim(inst, hconfig);
+    core::HyCimSolver hycim(cop::to_constrained_form(inst), hconfig);
     std::size_t h_succ = 0;
     util::Rng rng(4200 + idx);
     for (std::size_t r = 0; r < runs; ++r) {
-      if (core::is_success(hycim.solve_from_random(rng.next_u64()).profit,
+      if (core::is_success(
+              cop::solve_qkp_from_random(hycim, inst, rng.next_u64()).profit,
                            reference.profit)) {
         ++h_succ;
       }

@@ -10,6 +10,7 @@
 
 #include "cim/crossbar/crossbar.hpp"
 #include "core/exact.hpp"
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -88,7 +89,7 @@ int main(int argc, char** argv) {
   config.sa.record_trace = true;
   config.fidelity = cim::VmvMode::kCircuit;
   config.filter_mode = core::FilterMode::kHardware;
-  core::HyCimSolver solver(inst, config);
+  core::HyCimSolver solver(cop::to_constrained_form(inst), config);
 
   const int runs = static_cast<int>(cli.get_int("measurements"));
   util::CsvWriter csv(cli.get_string("csv"), {"run", "iteration", "energy"});
@@ -97,8 +98,8 @@ int main(int argc, char** argv) {
   for (int run = 1; run <= runs; ++run) {
     // The paper erases and re-programs the chip before every measurement.
     solver.reprogram();
-    const auto result =
-        solver.solve_from_random(static_cast<std::uint64_t>(run) * 101);
+    const auto result = cop::solve_qkp_from_random(
+        solver, inst, static_cast<std::uint64_t>(run) * 101);
     for (std::size_t it = 0; it < result.sa.trace.size(); ++it) {
       csv.row({static_cast<double>(run), static_cast<double>(it),
                result.sa.trace[it]});

@@ -4,6 +4,7 @@
 // of the Sec. 4.3 protocol.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
@@ -34,14 +35,15 @@ int main(int argc, char** argv) {
     core::HyCimConfig config;
     config.sa.iterations = static_cast<std::size_t>(cli.get_int("iterations"));
     config.filter.fab_seed = 33 + idx;
-    core::HyCimSolver solver(inst, config);
+    core::HyCimSolver solver(cop::to_constrained_form(inst), config);
     std::vector<long long> values;
     util::Rng rng(7000 + idx);
     for (int init = 0; init < cli.get_int("inits"); ++init) {
       const auto x0 = cop::random_feasible(inst, rng);
       long long best = 0;  // paper protocol: best value per initial config
       for (int run = 0; run < cli.get_int("runs"); ++run) {
-        best = std::max(best, solver.solve(x0, rng.next_u64()).profit);
+        best = std::max(best,
+                        cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
       }
       values.push_back(best);
     }

@@ -3,10 +3,12 @@
 // maps to its own inequality-filter array (a cim::FilterBank); the one-hot
 // "each parcel in exactly one bin" structure stays as a cheap equality
 // penalty inside the QUBO — the division of labor the inequality-QUBO
-// transformation prescribes.
+// transformation prescribes.  Restarts run on the parallel batch runner.
 #include <iostream>
 
-#include "core/constrained.hpp"
+#include "cop/adapters.hpp"
+#include "core/hycim_solver.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -18,7 +20,7 @@ int main() {
             << inst.bin_capacity << ", lower bound " << inst.lower_bound()
             << " bins, FFD budget " << inst.max_bins << " bins\n\n";
 
-  const auto form = core::to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   std::cout << "Encoding: " << form.form.size() << " variables ("
             << form.items << "x" << form.bins << " assignment + "
             << form.bins << " usage), " << form.form.constraints.size()
@@ -28,19 +30,19 @@ int main() {
   core::HyCimConfig config;
   config.sa.iterations = 6000;
   config.filter_mode = core::FilterMode::kHardware;
-  core::ConstrainedQuboSolver solver(form.form, config);
 
-  // Start from the classical first-fit-decreasing packing and let SA
-  // consolidate bins.
+  // Start every restart from the classical first-fit-decreasing packing and
+  // let SA consolidate bins; the batch runner fans the restarts out.
   const auto ffd = cop::first_fit_decreasing(inst);
-  core::ConstrainedSolveResult best;
-  best.best_energy = 1e18;
-  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    auto r = solver.solve(core::encode_assignment(form, ffd), seed);
-    if (r.feasible && r.best_energy < best.best_energy) best = std::move(r);
-  }
+  runtime::BatchParams batch;
+  batch.restarts = 5;
+  batch.seed = 1;
+  const auto result = runtime::solve_batch(
+      form.form, config,
+      [x0 = cop::encode_assignment(form, ffd)](util::Rng&) { return x0; },
+      batch);
 
-  const auto assignment = form.decode_assignment(best.best_x);
+  const auto assignment = form.decode_assignment(result.best_x);
   util::Table table({"bin", "load / capacity", "parcels"});
   for (std::size_t b = 0; b < form.bins; ++b) {
     std::string parcels;
@@ -61,14 +63,14 @@ int main() {
 
   std::size_t ffd_bins = 0;
   for (auto b : ffd) ffd_bins = std::max(ffd_bins, b + 1);
-  std::cout << "\nBins used: " << form.used_bins(best.best_x) << " (FFD: "
+  std::cout << "\nBins used: " << form.used_bins(result.best_x) << " (FFD: "
             << ffd_bins << ", lower bound: " << inst.lower_bound() << ")\n"
             << "Valid assignment: "
             << (inst.valid_assignment(assignment) ? "yes" : "NO")
-            << ", filter-bank evaluations: "
-            << solver.filter_bank()->total_evaluations() << "\n";
+            << ", restarts: " << result.runs.size()
+            << ", QUBO computations: " << result.total_evaluated << "\n";
   return inst.valid_assignment(assignment) &&
-                 form.used_bins(best.best_x) <= ffd_bins
+                 form.used_bins(result.best_x) <= ffd_bins
              ? 0
              : 1;
 }

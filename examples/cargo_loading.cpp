@@ -5,6 +5,7 @@
 // filter's work alongside the solution.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/reference.hpp"
 #include "util/table.hpp"
@@ -26,12 +27,12 @@ int main() {
   core::HyCimConfig config;
   config.sa.iterations = 1000;  // the paper's per-run budget
   config.filter_mode = core::FilterMode::kHardware;
-  core::HyCimSolver solver(inst, config);
+  core::HyCimSolver solver(cop::to_constrained_form(inst), config);
 
-  core::QkpSolveResult best;
+  cop::QkpSolveResult best;
   const int restarts = 10;
   for (std::uint64_t seed = 1; seed <= restarts; ++seed) {
-    auto r = solver.solve_from_random(seed);
+    auto r = cop::solve_qkp_from_random(solver, inst, seed);
     if (r.profit > best.profit) best = std::move(r);
   }
 

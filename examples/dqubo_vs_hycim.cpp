@@ -4,6 +4,7 @@
 // the search-space, precision, and quality numbers next to each other.
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/dqubo_solver.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
@@ -29,7 +30,7 @@ int main() {
   // --- Build both formulations. ---------------------------------------------
   core::HyCimConfig hconfig;
   hconfig.sa.iterations = 1000;
-  core::HyCimSolver hycim(inst, hconfig);
+  core::HyCimSolver hycim(cop::to_constrained_form(inst), hconfig);
 
   core::DquboConfig dconfig;
   dconfig.sa.iterations = 1000;
@@ -65,7 +66,7 @@ int main() {
   // --- Dynamic comparison: same budget, 20 runs each. -----------------------
   std::vector<long long> hycim_vals, dqubo_vals;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    hycim_vals.push_back(hycim.solve_from_random(seed).profit);
+    hycim_vals.push_back(cop::solve_qkp_from_random(hycim, inst, seed).profit);
     dqubo_vals.push_back(dqubo.solve_from_random(seed).profit);
   }
   util::Table quality({"solver", "success %", "best normalized value"});

@@ -7,7 +7,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "core/constrained.hpp"
+#include "core/hycim_solver.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -41,7 +41,7 @@ int main() {
   core::HyCimConfig config;
   config.sa.iterations = 5000;
   config.filter_mode = core::FilterMode::kHardware;
-  core::ConstrainedQuboSolver solver(form, config);
+  core::HyCimSolver solver(form, config);
 
   // Feasible start: k lowest-risk assets.
   std::vector<std::size_t> order(n);
@@ -59,7 +59,7 @@ int main() {
     return 1;
   }
 
-  core::ConstrainedSolveResult best;
+  core::SolveResult best;
   best.best_energy = 1e18;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     auto r = solver.solve(x0, seed);

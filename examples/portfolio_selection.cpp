@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/reference.hpp"
 #include "util/table.hpp"
@@ -46,12 +47,12 @@ int main() {
   core::HyCimConfig config;
   config.sa.iterations = 4000;
   config.filter_mode = core::FilterMode::kHardware;
-  core::HyCimSolver solver(inst, config);
+  core::HyCimSolver solver(cop::to_constrained_form(inst), config);
 
   // Several independent anneals; keep the best (standard practice).
-  core::QkpSolveResult best;
+  cop::QkpSolveResult best;
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    auto r = solver.solve_from_random(seed);
+    auto r = cop::solve_qkp_from_random(solver, inst, seed);
     if (r.profit > best.profit) best = std::move(r);
   }
 

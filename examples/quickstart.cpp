@@ -1,13 +1,16 @@
-// Quickstart: define a small quadratic knapsack problem, solve it with the
-// HyCiM pipeline (inequality-QUBO transformation + FeFET inequality filter
-// + CiM crossbar + simulated annealing), and print the selection.
+// Quickstart: define a small quadratic knapsack problem, lower it to the
+// generic constrained-QUBO form, and solve it with the HyCiM pipeline
+// (inequality-QUBO transformation + FeFET inequality filter + CiM crossbar
+// + simulated annealing) through the parallel batch-restart runner.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <iostream>
 
+#include "cop/adapters.hpp"
 #include "core/exact.hpp"
 #include "core/hycim_solver.hpp"
+#include "runtime/batch_runner.hpp"
 
 int main() {
   using namespace hycim;
@@ -31,34 +34,47 @@ int main() {
   inst.set_profit(2, 3, 7);
   inst.validate();
 
-  // --- 2. Configure the solver. ---------------------------------------------
+  // --- 2. Lower to the generic form and configure the solver. ---------------
+  // to_constrained_form(): Q = -P, the capacity constraint separated out for
+  // the FeFET inequality filter (paper Eq. (6)) — the same call every COP
+  // class in src/cop/ uses to reach the facade.
+  const auto form = cop::to_constrained_form(inst);
+
   core::HyCimConfig config;
-  config.sa.iterations = 2000;                      // SA budget
-  config.fidelity = cim::VmvMode::kQuantized;       // 7-bit crossbar matrix
-  config.filter_mode = core::FilterMode::kHardware; // FeFET filter in loop
+  config.sa.iterations = 2000;                       // SA budget per restart
+  config.fidelity = cim::VmvMode::kQuantized;        // 7-bit crossbar matrix
+  config.filter_mode = core::FilterMode::kHardware;  // FeFET filter in loop
 
-  core::HyCimSolver solver(inst, config);
-
-  // --- 3. Solve from a random feasible start. -------------------------------
-  const auto result = solver.solve_from_random(/*seed=*/1);
+  // --- 3. Batch of independent restarts across a thread pool. ---------------
+  runtime::BatchParams batch;
+  batch.restarts = 8;
+  batch.seed = 1;  // the whole batch is reproducible from this one seed
+  const auto result = runtime::solve_batch(
+      form, config,
+      [&inst](util::Rng& rng) { return cop::random_feasible(inst, rng); },
+      batch);
+  const auto best = cop::qkp_result(
+      inst, core::SolveResult{result.best_x, result.best_energy,
+                              result.feasible, {}});
 
   std::cout << "HyCiM quickstart\n"
             << "  items:    " << inst.n << ", capacity " << inst.capacity
             << "\n  selected: ";
   for (std::size_t i = 0; i < inst.n; ++i) {
-    if (result.best_x[i]) std::cout << i << " ";
+    if (best.best_x[i]) std::cout << i << " ";
   }
-  std::cout << "\n  weight:   " << inst.total_weight(result.best_x) << " / "
-            << inst.capacity << "\n  profit:   " << result.profit
-            << "\n  QUBO E:   " << result.best_energy
+  std::cout << "\n  weight:   " << inst.total_weight(best.best_x) << " / "
+            << inst.capacity << "\n  profit:   " << best.profit
+            << "\n  QUBO E:   " << best.best_energy
             << "  (E = -profit, paper Eq. (6))\n"
-            << "  filter rejections during SA: "
-            << result.sa.rejected_infeasible << "\n";
+            << "  restarts: " << result.runs.size() << " (best from run "
+            << result.best_run << "), QUBO computations: "
+            << result.total_evaluated << "\n";
 
   // --- 4. Cross-check against the exact optimum (tiny instance). ------------
   const auto truth = core::exact_qkp(inst);
   std::cout << "  exact optimum: " << truth.best_profit
-            << (result.profit == truth.best_profit ? "  -- matched!" : "")
+            << (best.profit == truth.best_profit ? "  -- matched!" : "")
             << "\n";
-  return result.profit == truth.best_profit ? 0 : 1;
+  return best.profit == truth.best_profit ? 0 : 1;
 }

@@ -55,10 +55,13 @@ EqualityFilter::EqualityFilter(const InequalityFilterParams& params,
       params.array, replica_weights_for(target, weights_.size(), column_max),
       *fab_);
   replica_x_.assign(weights_.size(), 1);
+  const std::uint64_t decision_seed = params.decision_seed != 0
+                                          ? params.decision_seed
+                                          : params.fab_seed * 0x9e3779b9ULL;
   upper_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
-                                        params.fab_seed * 0x9e3779b9ULL + 1);
+                                        decision_seed + 1);
   lower_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
-                                        params.fab_seed * 0x9e3779b9ULL + 2);
+                                        decision_seed + 2);
   refresh_thresholds();
 }
 

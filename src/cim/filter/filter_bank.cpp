@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace hycim::cim {
 
 FilterBank::FilterBank(const InequalityFilterParams& params,
@@ -18,6 +20,11 @@ FilterBank::FilterBank(const InequalityFilterParams& params,
     }
     InequalityFilterParams p = params;
     p.fab_seed = params.fab_seed + i;  // independent fabrication per filter
+    if (params.decision_seed != 0) {
+      // Hash-derived so no two filters (or their window comparators, which
+      // stride +1/+2 off the base) ever share a noise stream.
+      p.decision_seed = util::fork_seed(params.decision_seed, i);
+    }
     filters_.emplace_back(p, c.weights, c.capacity);
   }
 }

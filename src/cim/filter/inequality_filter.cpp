@@ -54,8 +54,11 @@ InequalityFilter::InequalityFilter(const InequalityFilterParams& params,
       params.array, replica_weights(capacity, weights_.size(), column_max),
       *fab_);
   replica_x_.assign(weights_.size(), 1);
+  const std::uint64_t decision_seed = params.decision_seed != 0
+                                          ? params.decision_seed
+                                          : params.fab_seed * 0x9e3779b9ULL;
   comparator_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
-                                             params.fab_seed * 0x9e3779b9ULL);
+                                             decision_seed);
   margin_units_ = params.margin_units;
   replica_ml_ = replica_->evaluate(replica_x_);
   margin_v_ = margin_units_ * replica_ml_ *

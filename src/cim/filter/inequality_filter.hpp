@@ -30,6 +30,12 @@ struct InequalityFilterParams {
   ComparatorParams comparator{};        ///< comparator corners
   device::VariationParams variation{};  ///< fabrication corners
   std::uint64_t fab_seed = 1;           ///< seeds the fabricated population
+  /// Seed of the comparator's per-decision noise stream.  0 (default)
+  /// derives it from fab_seed, so a rebuilt filter replays the same
+  /// measurement noise.  Batch protocols that model *independent repeated
+  /// measurements on the same chip* set a distinct non-zero seed per run
+  /// while keeping fab_seed (the fabricated hardware) fixed.
+  std::uint64_t decision_seed = 0;
   /// Deliberate comparator threshold skew, in units of one weight's ML
   /// drop.  The constraint is `<=`, so the exact-boundary case Σwx == C
   /// produces ML == ReplicaML up to noise; skewing the decision threshold

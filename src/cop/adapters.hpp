@@ -1,0 +1,128 @@
+// COP → constrained-QUBO adapters: the thin lowering layer between the
+// problem definitions in src/cop/ and the problem-generic solver facade
+// (core::HyCimSolver over a core::ConstrainedQuboForm).
+//
+// Every adapter applies the same division of labor the inequality-QUBO
+// transformation (paper Sec. 3.2, Eq. (6)) prescribes:
+//   * the objective (and any cheap quadratic structure) goes into Q;
+//   * every linear *inequality* becomes a separated constraint, one
+//     inequality-filter array each;
+//   * every linear *equality* becomes a separated constraint for a
+//     window-comparator equality filter.
+// The QUBO coefficient range is untouched by the number of constraints —
+// the key scaling property the paper claims over penalty (D-QUBO) forms.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/constrained_form.hpp"
+#include "core/hycim_solver.hpp"
+#include "cop/bin_packing.hpp"
+#include "cop/graph_coloring.hpp"
+#include "cop/mdkp.hpp"
+#include "cop/qkp.hpp"
+#include "cop/qkp_result.hpp"
+
+namespace hycim::cop {
+
+// --- QKP ---------------------------------------------------------------
+
+/// QKP → constrained QUBO (Eq. (5)-(6)): Q = −P, one separated inequality
+/// ®w·®x ≤ C.  No auxiliary variables, no penalty coefficients.
+core::ConstrainedQuboForm to_constrained_form(const QkpInstance& inst);
+
+/// Annotates a generic solve result with the instance's exact score.
+QkpSolveResult qkp_result(const QkpInstance& inst, core::SolveResult r);
+
+/// Runs one SA anneal from `x0` and scores it as a QKP (the solver must
+/// have been built from to_constrained_form(inst)).
+QkpSolveResult solve_qkp(core::HyCimSolver& solver, const QkpInstance& inst,
+                         const qubo::BitVector& x0, std::uint64_t run_seed);
+
+/// Convenience: draws a random feasible initial configuration from `seed`
+/// and solves (the classic solve_from_random protocol).
+QkpSolveResult solve_qkp_from_random(core::HyCimSolver& solver,
+                                     const QkpInstance& inst,
+                                     std::uint64_t seed);
+
+// --- MDKP --------------------------------------------------------------
+
+/// Multi-dimensional QKP → constrained QUBO: Q = −P exactly as in the
+/// single-constraint transformation, one separated inequality per resource
+/// dimension.
+core::ConstrainedQuboForm to_constrained_form(const MdkpInstance& inst);
+
+// --- Bin packing -------------------------------------------------------
+
+/// Penalty weights of the bin-packing encoding.
+struct BinPackingQuboParams {
+  double bin_use_cost = 1.0;       ///< objective weight per used bin
+  double one_hot_weight = 6.0;     ///< A: each item in exactly one bin
+  double usage_link_weight = 6.0;  ///< A2: x_ib = 1 implies y_b = 1
+};
+
+/// Bin packing → constrained QUBO.  Variables: x_{i,b} (item i in bin b,
+/// laid out item-major, matching cop::BinPackingInstance) followed by
+/// y_b (bin b used).  The QUBO carries the bin-use objective and the two
+/// equality penalties; one inequality constraint per bin carries the
+/// capacity:  Σ_i size_i·x_{i,b} ≤ C.
+struct BinPackingForm {
+  core::ConstrainedQuboForm form;
+  std::size_t items = 0;
+  std::size_t bins = 0;
+
+  /// Index of assignment variable x_{i,b}.
+  std::size_t x_index(std::size_t item, std::size_t bin) const {
+    return item * bins + bin;
+  }
+  /// Index of usage variable y_b.
+  std::size_t y_index(std::size_t bin) const { return items * bins + bin; }
+  /// Extracts the assignment part (items × bins bits).
+  qubo::BitVector decode_assignment(std::span<const std::uint8_t> v) const;
+  /// Number of used bins according to the y variables.
+  std::size_t used_bins(std::span<const std::uint8_t> v) const;
+};
+
+/// Builds the bin-packing form for `inst`.
+BinPackingForm to_constrained_form(const BinPackingInstance& inst,
+                                   const BinPackingQuboParams& params = {});
+
+/// Encodes a per-item bin assignment (e.g. from first_fit_decreasing) into
+/// the form's variable vector, with consistent y bits.
+qubo::BitVector encode_assignment(const BinPackingForm& form,
+                                  const std::vector<std::size_t>& bins);
+
+// --- Graph coloring ----------------------------------------------------
+
+/// Penalty weight of the coloring form's QUBO part.
+struct ColoringFormParams {
+  double conflict_weight = 2.0;  ///< B: cost per monochromatic edge
+};
+
+/// Graph coloring → constrained QUBO over one-hot variables x_{v,c}
+/// (vertex-major).  Conflict penalties stay in Q (a valid coloring has
+/// energy 0); the one-hot structure Σ_c x_{v,c} = 1 is separated into one
+/// *equality* constraint per vertex — the paper Sec. 3.2 "equality
+/// constraints are special cases" path, exercised end to end.
+struct ColoringForm {
+  core::ConstrainedQuboForm form;
+  std::size_t vertices = 0;
+  std::size_t colors = 0;
+
+  /// Index of variable x_{v,c}.
+  std::size_t index(std::size_t vertex, std::size_t color) const {
+    return vertex * colors + color;
+  }
+};
+
+ColoringForm to_constrained_form(const ColoringInstance& g,
+                                 const ColoringFormParams& params = {});
+
+/// Encodes a per-vertex color assignment into one-hot bits (always
+/// satisfies the form's equality constraints).
+qubo::BitVector encode_coloring(const ColoringForm& form,
+                                const std::vector<std::size_t>& colors);
+
+}  // namespace hycim::cop

@@ -1,0 +1,23 @@
+// The QKP-scored view of a solve outcome, shared by the HyCiM adapter
+// helpers (cop/adapters.hpp) and the D-QUBO baseline (core/dqubo_solver).
+// Kept in its own lightweight header so core/ solvers can return it
+// without pulling in the full adapter surface or the HyCiM facade.
+#pragma once
+
+#include "anneal/sa_engine.hpp"
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::cop {
+
+/// A QKP view of a solve: the exact profit and feasibility of the returned
+/// configuration (profit 0 when infeasible, the paper's "trapped" score),
+/// alongside the raw solver outcome.
+struct QkpSolveResult {
+  qubo::BitVector best_x;    ///< best configuration found
+  double best_energy = 0.0;  ///< its QUBO energy (eval-path units)
+  long long profit = 0;      ///< exact QKP profit of best_x (0 if infeasible)
+  bool feasible = false;     ///< exact feasibility of best_x
+  anneal::SaResult sa;       ///< per-run counters and optional trace
+};
+
+}  // namespace hycim::cop

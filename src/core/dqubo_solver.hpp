@@ -12,11 +12,14 @@
 #include "anneal/sa_engine.hpp"
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cop/qkp.hpp"
+#include "cop/qkp_result.hpp"
 #include "core/dqubo_binary.hpp"
 #include "core/dqubo_onehot.hpp"
-#include "core/hycim_solver.hpp"
 
 namespace hycim::core {
+
+/// D-QUBO reports the same QKP-scored outcome as the HyCiM adapter layer.
+using cop::QkpSolveResult;
 
 /// Slack encoding of the D-QUBO construction.
 enum class SlackEncoding {

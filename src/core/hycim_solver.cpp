@@ -4,25 +4,35 @@
 #include <utility>
 
 #include "qubo/energy.hpp"
+#include "util/rng.hpp"
 
 namespace hycim::core {
 
 /// SaProblem adapter: energy via the configured fidelity path, feasibility
-/// via the hardware filter or the exact predicate.
+/// via the hardware filters or the exact predicates.  Constraint totals are
+/// tracked incrementally so the software feasibility check is O(#constraints)
+/// per proposal, mirroring the O(1)-per-filter hardware evaluation.
 class HyCimSolver::Problem final : public anneal::SaProblem {
  public:
-  Problem(HyCimSolver& owner)
-      : owner_(owner), eval_(owner.eval_matrix_,
-                             qubo::BitVector(owner.eval_matrix_.size(), 0)) {}
+  explicit Problem(HyCimSolver& owner)
+      : owner_(owner),
+        eval_(owner.eval_matrix_,
+              qubo::BitVector(owner.eval_matrix_.size(), 0)),
+        totals_(owner.form_.constraints.size(), 0),
+        eq_totals_(owner.form_.equalities.size(), 0) {}
 
   std::size_t num_bits() const override { return owner_.form_.size(); }
 
   double reset(const qubo::BitVector& x) override {
-    weight_ = 0;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      if (x[i]) weight_ += owner_.form_.weights[i];
+    const auto& cs = owner_.form_.constraints;
+    for (std::size_t c = 0; c < cs.size(); ++c) {
+      totals_[c] = constraint_total(cs[c], x);
     }
-    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+    const auto& es = owner_.form_.equalities;
+    for (std::size_t c = 0; c < es.size(); ++c) {
+      eq_totals_[c] = constraint_total(es[c], x);
+    }
+    if (circuit()) {
       state_ = x;
       circuit_energy_ = owner_.engine_->energy(state_);
       return circuit_energy_;
@@ -32,7 +42,7 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
   }
 
   double delta(std::size_t k) override {
-    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+    if (circuit()) {
       qubo::BitVector candidate = state_;
       candidate[k] ^= 1;
       return owner_.engine_->energy(candidate) - circuit_energy_;
@@ -42,22 +52,33 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
 
   bool flip_feasible(std::size_t k) override {
     const auto& x = state();
-    const long long w = owner_.form_.weights[k];
-    const long long new_weight = x[k] ? weight_ - w : weight_ + w;
     if (owner_.config_.filter_mode == FilterMode::kSoftware) {
-      return new_weight <= owner_.form_.capacity;
+      const bool removing = x[k];
+      const auto& cs = owner_.form_.constraints;
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        const long long w = cs[c].weights[k];
+        if ((removing ? totals_[c] - w : totals_[c] + w) > cs[c].capacity) {
+          return false;
+        }
+      }
+      const auto& es = owner_.form_.equalities;
+      for (std::size_t c = 0; c < es.size(); ++c) {
+        const long long w = es[c].weights[k];
+        if ((removing ? eq_totals_[c] - w : eq_totals_[c] + w) !=
+            es[c].capacity) {
+          return false;
+        }
+      }
+      return true;
     }
-    // Hardware path: present the candidate configuration to the filter.
     qubo::BitVector candidate(x.begin(), x.end());
     candidate[k] ^= 1;
-    return owner_.filter_->is_feasible(candidate);
+    return hardware_feasible(candidate);
   }
 
   void commit(std::size_t k) override {
-    const auto& x = state();
-    const long long w = owner_.form_.weights[k];
-    weight_ += x[k] ? -w : w;
-    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+    apply_totals(k);
+    if (circuit()) {
       state_[k] ^= 1;
       circuit_energy_ = owner_.engine_->energy(state_);
       return;
@@ -66,14 +87,13 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
   }
 
   const qubo::BitVector& state() const override {
-    return owner_.config_.fidelity == cim::VmvMode::kCircuit ? state_
-                                                             : eval_.state();
+    return circuit() ? state_ : eval_.state();
   }
 
   bool supports_swaps() const override { return true; }
 
   double delta_swap(std::size_t i, std::size_t j) override {
-    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+    if (circuit()) {
       qubo::BitVector candidate = state_;
       candidate[i] ^= 1;
       candidate[j] ^= 1;
@@ -84,23 +104,33 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
 
   bool swap_feasible(std::size_t i, std::size_t j) override {
     const auto& x = state();
-    long long new_weight = weight_;
-    new_weight += x[i] ? -owner_.form_.weights[i] : owner_.form_.weights[i];
-    new_weight += x[j] ? -owner_.form_.weights[j] : owner_.form_.weights[j];
     if (owner_.config_.filter_mode == FilterMode::kSoftware) {
-      return new_weight <= owner_.form_.capacity;
+      const auto& cs = owner_.form_.constraints;
+      for (std::size_t c = 0; c < cs.size(); ++c) {
+        long long t = totals_[c];
+        t += x[i] ? -cs[c].weights[i] : cs[c].weights[i];
+        t += x[j] ? -cs[c].weights[j] : cs[c].weights[j];
+        if (t > cs[c].capacity) return false;
+      }
+      const auto& es = owner_.form_.equalities;
+      for (std::size_t c = 0; c < es.size(); ++c) {
+        long long t = eq_totals_[c];
+        t += x[i] ? -es[c].weights[i] : es[c].weights[i];
+        t += x[j] ? -es[c].weights[j] : es[c].weights[j];
+        if (t != es[c].capacity) return false;
+      }
+      return true;
     }
     qubo::BitVector candidate(x.begin(), x.end());
     candidate[i] ^= 1;
     candidate[j] ^= 1;
-    return owner_.filter_->is_feasible(candidate);
+    return hardware_feasible(candidate);
   }
 
   void commit_swap(std::size_t i, std::size_t j) override {
-    const auto& x = state();
-    weight_ += x[i] ? -owner_.form_.weights[i] : owner_.form_.weights[i];
-    weight_ += x[j] ? -owner_.form_.weights[j] : owner_.form_.weights[j];
-    if (owner_.config_.fidelity == cim::VmvMode::kCircuit) {
+    apply_totals(i);
+    apply_totals(j);
+    if (circuit()) {
       state_[i] ^= 1;
       state_[j] ^= 1;
       circuit_energy_ = owner_.engine_->energy(state_);
@@ -110,16 +140,41 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
   }
 
  private:
+  bool circuit() const {
+    return owner_.config_.fidelity == cim::VmvMode::kCircuit;
+  }
+
+  bool hardware_feasible(const qubo::BitVector& candidate) {
+    if (owner_.bank_ && !owner_.bank_->is_feasible(candidate)) return false;
+    for (auto& eq : owner_.equality_filters_) {
+      if (!eq.is_satisfied(candidate)) return false;
+    }
+    return true;
+  }
+
+  void apply_totals(std::size_t k) {
+    const bool removing = state()[k];
+    const auto& cs = owner_.form_.constraints;
+    for (std::size_t c = 0; c < cs.size(); ++c) {
+      totals_[c] += removing ? -cs[c].weights[k] : cs[c].weights[k];
+    }
+    const auto& es = owner_.form_.equalities;
+    for (std::size_t c = 0; c < es.size(); ++c) {
+      eq_totals_[c] += removing ? -es[c].weights[k] : es[c].weights[k];
+    }
+  }
+
   HyCimSolver& owner_;
   qubo::IncrementalEvaluator eval_;
   qubo::BitVector state_;      // circuit mode only
   double circuit_energy_ = 0;  // circuit mode only
-  long long weight_ = 0;
+  std::vector<long long> totals_;
+  std::vector<long long> eq_totals_;
 };
 
-HyCimSolver::HyCimSolver(const cop::QkpInstance& inst,
+HyCimSolver::HyCimSolver(const ConstrainedQuboForm& form,
                          const HyCimConfig& config)
-    : inst_(inst), config_(config), form_(to_inequality_qubo(inst)) {
+    : form_(form), config_(config) {
   cim::VmvEngineParams vmv = config_.vmv;
   vmv.mode = config_.fidelity;
   vmv.matrix_bits = config_.matrix_bits;
@@ -132,8 +187,23 @@ HyCimSolver::HyCimSolver(const cop::QkpInstance& inst,
                      : engine_->quantized().dequantize();
 
   if (config_.filter_mode == FilterMode::kHardware) {
-    filter_ = std::make_unique<cim::InequalityFilter>(
-        config_.filter, form_.weights, form_.capacity);
+    if (!form_.constraints.empty()) {
+      bank_ = std::make_unique<cim::FilterBank>(
+          config_.filter, form_.constraints, form_.size());
+    }
+    for (std::size_t e = 0; e < form_.equalities.size(); ++e) {
+      cim::InequalityFilterParams p = config_.filter;
+      p.fab_seed = config_.filter.fab_seed + 1000 + e;
+      // Hash-derived (not additive) per-filter noise streams: additive
+      // offsets would collide with the bank's and with the +1/+2 strides
+      // the window comparators apply inside one filter.
+      if (p.decision_seed != 0) {
+        p.decision_seed =
+            util::fork_seed(p.decision_seed, 0x80000000ULL + e);
+      }
+      equality_filters_.emplace_back(p, form_.equalities[e].weights,
+                                     form_.equalities[e].capacity);
+    }
   }
 }
 
@@ -141,31 +211,30 @@ HyCimSolver::~HyCimSolver() = default;
 HyCimSolver::HyCimSolver(HyCimSolver&&) noexcept = default;
 HyCimSolver& HyCimSolver::operator=(HyCimSolver&&) noexcept = default;
 
-QkpSolveResult HyCimSolver::solve(const qubo::BitVector& x0,
-                                  std::uint64_t run_seed) {
+cim::InequalityFilter* HyCimSolver::filter() {
+  return bank_ && bank_->size() > 0 ? &bank_->filter(0) : nullptr;
+}
+
+SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
+                               std::uint64_t run_seed) {
   if (x0.size() != form_.size()) {
     throw std::invalid_argument("HyCimSolver::solve: x0 size mismatch");
   }
   Problem problem(*this);
   anneal::SaParams sa = config_.sa;
   sa.seed = run_seed;
-  QkpSolveResult result;
+  SolveResult result;
   result.sa = anneal::simulated_annealing(problem, x0, sa);
   result.best_x = result.sa.best_x;
   result.best_energy = result.sa.best_energy;
-  result.feasible = inst_.feasible(result.best_x);
-  result.profit = result.feasible ? inst_.total_profit(result.best_x) : 0;
+  result.feasible = form_.feasible(result.best_x);
   return result;
-}
-
-QkpSolveResult HyCimSolver::solve_from_random(std::uint64_t seed) {
-  util::Rng rng(seed);
-  return solve(cop::random_feasible(inst_, rng), rng.next_u64());
 }
 
 void HyCimSolver::reprogram() {
   engine_->reprogram();
-  if (filter_) filter_->reprogram();
+  if (bank_) bank_->reprogram();
+  for (auto& eq : equality_filters_) eq.reprogram();
 }
 
 }  // namespace hycim::core

@@ -1,30 +1,39 @@
 // The HyCiM solver facade (paper Fig. 3): inequality-QUBO transformation +
-// FeFET inequality filter + FeFET crossbar + SA logic, wired together.
+// FeFET filters + FeFET crossbar + SA logic, wired together.
+//
+// The facade is problem-generic: it is constructed from a
+// ConstrainedQuboForm — the one shape every COP lowers to via the
+// to_constrained_form() adapters in src/cop/ (QKP, MDKP, bin packing,
+// graph coloring, ...) — and knows nothing about the originating problem.
+// Each inequality constraint maps to its own inequality-filter array in a
+// cim::FilterBank; each equality to a window-comparator equality filter.
 //
 // Fidelity is configurable on two axes:
 //   * the QUBO computation (VmvMode: ideal / quantized / full circuit);
-//   * the feasibility check (hardware filter with device noise, or the
-//     exact software predicate).
-// The defaults — quantized energies + hardware filter — capture the
+//   * the feasibility check (hardware filters with device noise, or the
+//     exact software predicates).
+// The defaults — quantized energies + hardware filters — capture the
 // dominant hardware effects while staying fast enough to run the paper's
 // Sec. 4.3 sweep (thousands of SA runs) on a laptop.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "anneal/sa_engine.hpp"
 #include "cim/crossbar/vmv_engine.hpp"
+#include "cim/filter/equality_filter.hpp"
+#include "cim/filter/filter_bank.hpp"
 #include "cim/filter/inequality_filter.hpp"
-#include "cop/qkp.hpp"
-#include "core/inequality_qubo.hpp"
+#include "core/constrained_form.hpp"
 
 namespace hycim::core {
 
 /// How the SA loop checks constraint feasibility.
 enum class FilterMode {
-  kHardware,  ///< FeFET inequality filter (variation + comparator noise)
-  kSoftware,  ///< exact predicate ®w·®x ≤ C
+  kHardware,  ///< FeFET filters (variation + comparator noise)
+  kSoftware,  ///< exact predicates ®w·®x ≤ c / ®w·®x = c
 };
 
 /// Full HyCiM configuration.
@@ -37,53 +46,59 @@ struct HyCimConfig {
   cim::VmvEngineParams vmv{};  ///< mode/matrix_bits overridden by the above
 };
 
-/// Outcome of one QKP solve.
-struct QkpSolveResult {
-  qubo::BitVector best_x;     ///< best configuration found
-  double best_energy = 0.0;   ///< its QUBO energy (eval-path units)
-  long long profit = 0;       ///< exact QKP profit of best_x (0 if infeasible)
-  bool feasible = false;      ///< exact feasibility of best_x
-  anneal::SaResult sa;        ///< per-run counters and optional trace
+/// Outcome of one solve on the generic facade.  Problem-level scores
+/// (QKP profit, bins used, coloring validity, ...) are recovered by the
+/// adapter layer from best_x.
+struct SolveResult {
+  qubo::BitVector best_x;    ///< best configuration found
+  double best_energy = 0.0;  ///< its QUBO energy (eval-path units)
+  bool feasible = false;     ///< exact feasibility of best_x (all constraints)
+  anneal::SaResult sa;       ///< per-run counters and optional trace
 };
 
-/// One fabricated HyCiM instance bound to a QKP problem.
+/// One fabricated HyCiM instance bound to a constrained QUBO form.
 class HyCimSolver {
  public:
-  HyCimSolver(const cop::QkpInstance& inst, const HyCimConfig& config);
+  HyCimSolver(const ConstrainedQuboForm& form, const HyCimConfig& config);
   ~HyCimSolver();
   HyCimSolver(HyCimSolver&&) noexcept;
   HyCimSolver& operator=(HyCimSolver&&) noexcept;
 
-  /// Runs SA from the given initial configuration (must be n bits; should
-  /// be feasible — see cop::random_feasible).  `run_seed` drives the SA
-  /// randomness so repeated calls explore independently.
-  QkpSolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed);
+  /// Runs SA from the given initial configuration (must be size() bits and
+  /// satisfy every constraint).  `run_seed` drives the SA randomness so
+  /// repeated calls explore independently.
+  SolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed);
 
-  /// Convenience: draws a random feasible initial configuration from
-  /// `seed` and solves.
-  QkpSolveResult solve_from_random(std::uint64_t seed);
+  /// The constrained form in use.
+  const ConstrainedQuboForm& form() const { return form_; }
+  /// Number of binary variables.
+  std::size_t size() const { return form_.size(); }
 
-  /// The inequality-QUBO form in use.
-  const InequalityQuboForm& form() const { return form_; }
-  /// The hardware filter (nullptr in software filter mode).
-  cim::InequalityFilter* filter() { return filter_.get(); }
+  /// The inequality filter bank (nullptr in software filter mode or when
+  /// the form has no inequality constraints).
+  cim::FilterBank* filter_bank() { return bank_.get(); }
+  /// Convenience for single-inequality problems (QKP): the first filter of
+  /// the bank, or nullptr when there is no bank.
+  cim::InequalityFilter* filter();
+  /// The equality filters (empty in software mode / no equalities).
+  std::vector<cim::EqualityFilter>& equality_filters() {
+    return equality_filters_;
+  }
   /// The VMV engine computing xᵀQx.
   cim::VmvEngine& engine() { return *engine_; }
-  /// The bound problem instance.
-  const cop::QkpInstance& instance() const { return inst_; }
 
-  /// Erases and re-programs filter + crossbars with fresh cycle-to-cycle
+  /// Erases and re-programs filters + crossbars with fresh cycle-to-cycle
   /// noise (the Fig. 7(f) repeated-measurement protocol).
   void reprogram();
 
  private:
   class Problem;
 
-  cop::QkpInstance inst_;
+  ConstrainedQuboForm form_;
   HyCimConfig config_;
-  InequalityQuboForm form_;
   std::unique_ptr<cim::VmvEngine> engine_;
-  std::unique_ptr<cim::InequalityFilter> filter_;
+  std::unique_ptr<cim::FilterBank> bank_;
+  std::vector<cim::EqualityFilter> equality_filters_;
   qubo::QuboMatrix eval_matrix_;  ///< matrix behind the incremental fast path
 };
 

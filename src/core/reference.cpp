@@ -1,5 +1,6 @@
 #include "core/reference.hpp"
 
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 
 namespace hycim::core {
@@ -17,11 +18,11 @@ ReferenceSolution reference_solution(const cop::QkpInstance& inst,
   config.fidelity = cim::VmvMode::kIdeal;
   config.filter_mode = FilterMode::kSoftware;
   config.sa.iterations = params.sa_iterations;
-  HyCimSolver solver(inst, config);
+  HyCimSolver solver(cop::to_constrained_form(inst), config);
 
   util::Rng rng(params.seed);
   for (std::size_t r = 0; r < params.sa_restarts; ++r) {
-    const auto result = solver.solve_from_random(rng.next_u64());
+    const auto result = cop::solve_qkp_from_random(solver, inst, rng.next_u64());
     if (!result.feasible) continue;
     // Polish each SA endpoint with local search before comparing.
     const qubo::BitVector polished =

@@ -1,0 +1,151 @@
+#include "runtime/batch_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hycim::runtime {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+unsigned resolve_threads(const BatchParams& params) {
+  unsigned threads = params.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (params.restarts < threads) {
+    threads = static_cast<unsigned>(params.restarts);
+  }
+  return threads == 0 ? 1 : threads;
+}
+
+}  // namespace
+
+BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
+  if (!fn) throw std::invalid_argument("run_batch: null run function");
+  if (params.restarts == 0) {
+    throw std::invalid_argument("run_batch: restarts must be > 0");
+  }
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  std::vector<RunRecord> records(params.restarts);
+
+  // Dynamic scheduling: workers pull the next run index from a shared
+  // counter.  Which thread executes which run is irrelevant to the result —
+  // every run's randomness comes from its own forked stream and records are
+  // stored by index.
+  std::atomic<std::size_t> next{0};
+  // An exception in any run (bad init vector, bad_alloc, ...) must reach the
+  // caller as a normal throw, not std::terminate from a detached stack: the
+  // first one is captured here and rethrown after the pool drains.
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t run = next.fetch_add(1, std::memory_order_relaxed);
+      if (run >= params.restarts) return;
+      try {
+        util::Rng rng = util::fork_stream(params.seed, run);
+        const auto run_start = std::chrono::steady_clock::now();
+        RunRecord record = fn(run, rng);
+        record.run = run;
+        record.seconds = seconds_since(run_start);
+        records[run] = std::move(record);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        next.store(params.restarts, std::memory_order_relaxed);  // drain
+        return;
+      }
+    }
+  };
+
+  const unsigned threads = resolve_threads(params);
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Sequential, order-fixed aggregation: identical for any thread count.
+  BatchResult result;
+  result.runs = std::move(records);
+  result.wall_seconds = seconds_since(batch_start);
+  const bool score_success = !std::isnan(params.success_energy);
+  bool have_best = false;
+  for (const RunRecord& r : result.runs) {
+    result.total_evaluated += r.evaluated;
+    result.total_proposed += r.proposed;
+    result.run_seconds_sum += r.seconds;
+    if (score_success && r.feasible &&
+        r.best_energy <= params.success_energy) {
+      ++result.successes;
+    }
+    if (r.feasible && (!have_best || r.best_energy < result.best_energy)) {
+      have_best = true;
+      result.feasible = true;
+      result.best_energy = r.best_energy;
+      result.best_x = r.best_x;
+      result.best_run = r.run;
+    }
+  }
+  if (score_success) {
+    result.success_rate = static_cast<double>(result.successes) /
+                          static_cast<double>(params.restarts);
+  }
+  // No feasible run: report the (infeasible) lowest-energy outcome so
+  // callers still see where the walk ended — mirroring the paper's
+  // "trapped" D-QUBO accounting.
+  if (!have_best && !result.runs.empty()) {
+    const RunRecord* best = &result.runs.front();
+    for (const RunRecord& r : result.runs) {
+      if (r.best_energy < best->best_energy) best = &r;
+    }
+    result.best_energy = best->best_energy;
+    result.best_x = best->best_x;
+    result.best_run = best->run;
+  }
+  return result;
+}
+
+BatchResult solve_batch(const core::ConstrainedQuboForm& form,
+                        const core::HyCimConfig& config, const InitFn& init,
+                        const BatchParams& params) {
+  if (!init) throw std::invalid_argument("solve_batch: null init function");
+  return run_batch(params, [&](std::size_t, util::Rng& rng) {
+    // Same fabricated chip every run (fab_seed untouched), but an
+    // independent comparator-noise stream per run — independent repeated
+    // measurements, which is what the success-rate statistics assume.
+    core::HyCimConfig run_config = config;
+    std::uint64_t decision_seed = rng.next_u64();
+    if (decision_seed == 0) decision_seed = 1;  // 0 means "derive from fab"
+    run_config.filter.decision_seed = decision_seed;
+    core::HyCimSolver solver(form, run_config);
+    const qubo::BitVector x0 = init(rng);
+    const core::SolveResult r = solver.solve(x0, rng.next_u64());
+    RunRecord record;
+    record.best_x = r.best_x;
+    record.best_energy = r.best_energy;
+    record.feasible = r.feasible;
+    record.evaluated = r.sa.evaluated;
+    record.proposed = r.sa.proposed;
+    return record;
+  });
+}
+
+}  // namespace hycim::runtime

@@ -1,0 +1,91 @@
+// Parallel batch-restart runner — the paper's Fig. 10 / Sec. 4.3 protocol
+// (N independent SA restarts, best-of-N and success-rate statistics) as a
+// reusable subsystem.
+//
+// Determinism contract: run r draws everything from util::fork_stream(seed,
+// r), a stateless splitmix64 fork, and results are aggregated in run-index
+// order after all workers join.  The per-run work function must be a pure
+// function of (run index, its forked rng) — under that contract the batch
+// result is bit-identical for any thread count, which is what lets a
+// laptop-thread sweep and a 128-core sweep reproduce each other's numbers.
+//
+// solve_batch() upholds the contract for the HyCiM facade by building one
+// solver instance per run on the same fabricated hardware (fab_seed fixed)
+// while seeding the comparator decision-noise stream from the run's forked
+// rng — N independent repeated measurements on one chip, not N replays of
+// the same noise and not a shared stream consumed in scheduling order.
+// Construction is O(n²) against O(iterations·n²) of annealing, so the
+// overhead is noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/constrained_form.hpp"
+#include "core/hycim_solver.hpp"
+#include "qubo/qubo_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::runtime {
+
+/// Batch configuration.
+struct BatchParams {
+  std::size_t restarts = 64;  ///< independent SA runs
+  unsigned threads = 0;       ///< worker threads; 0 = hardware_concurrency
+  std::uint64_t seed = 1;     ///< root seed; run r uses fork_stream(seed, r)
+  /// Runs with best_energy <= success_energy (and feasible) count as
+  /// successes; NaN disables success accounting.
+  double success_energy = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Outcome of one restart.
+struct RunRecord {
+  std::size_t run = 0;        ///< restart index
+  qubo::BitVector best_x;     ///< best configuration of this run
+  double best_energy = 0.0;
+  bool feasible = false;
+  std::size_t evaluated = 0;  ///< QUBO computations (feasible proposals)
+  std::size_t proposed = 0;   ///< all generated configurations
+  double seconds = 0.0;       ///< wall time of this run
+};
+
+/// Aggregated best-of-N statistics.
+struct BatchResult {
+  qubo::BitVector best_x;     ///< best feasible configuration over all runs
+  double best_energy = 0.0;
+  bool feasible = false;      ///< true iff any run ended feasible
+  std::size_t best_run = 0;   ///< winning run (lowest energy, ties → lowest
+                              ///< index — deterministic)
+  std::vector<RunRecord> runs;  ///< per-run records, ordered by run index
+  std::size_t successes = 0;  ///< runs reaching success_energy (0 if disabled)
+  double success_rate = 0.0;  ///< successes / restarts (0 if disabled)
+  std::size_t total_evaluated = 0;  ///< QUBO computations across the batch
+  std::size_t total_proposed = 0;
+  double wall_seconds = 0.0;      ///< elapsed wall time of the whole batch
+  double run_seconds_sum = 0.0;   ///< Σ per-run seconds (the serial cost)
+};
+
+/// One independent restart.  Must be thread-safe and a pure function of
+/// (run, rng) — see the determinism contract above.  The returned record's
+/// `run` and `seconds` fields are filled in by the runner.
+using RunFn = std::function<RunRecord(std::size_t run, util::Rng& rng)>;
+
+/// Runs `params.restarts` independent restarts across a thread pool and
+/// aggregates them deterministically.
+BatchResult run_batch(const BatchParams& params, const RunFn& fn);
+
+/// Initial-configuration generator for solver batches.  Called once per
+/// run with that run's forked rng; must return a feasible configuration of
+/// form.size() bits.
+using InitFn = std::function<qubo::BitVector(util::Rng&)>;
+
+/// The batch-restart protocol over the generic HyCiM facade: every run
+/// builds its own solver from (form, config), draws x0 = init(rng), and
+/// anneals with a run seed taken from the same stream.
+BatchResult solve_batch(const core::ConstrainedQuboForm& form,
+                        const core::HyCimConfig& config, const InitFn& init,
+                        const BatchParams& params);
+
+}  // namespace hycim::runtime

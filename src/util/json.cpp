@@ -1,0 +1,120 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hycim::util {
+
+void JsonWriter::newline() {
+  *out_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size(); ++i) *out_ << "  ";
+}
+
+void JsonWriter::prepare_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!scopes_.empty()) {
+    if (has_items_.back()) *out_ << ',';
+    has_items_.back() = true;
+    newline();
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  *out_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out_ << "\\\""; break;
+      case '\\': *out_ << "\\\\"; break;
+      case '\n': *out_ << "\\n"; break;
+      case '\t': *out_ << "\\t"; break;
+      case '\r': *out_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out_ << buf;
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+  *out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  *out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  *out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end() {
+  const bool had_items = has_items_.back();
+  const Scope scope = scopes_.back();
+  scopes_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline();
+  *out_ << (scope == Scope::kObject ? '}' : ']');
+  if (scopes_.empty()) *out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (has_items_.back()) *out_ << ',';
+  has_items_.back() = true;
+  newline();
+  write_escaped(name);
+  *out_ << ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prepare_value();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_value();
+  if (std::isnan(v) || std::isinf(v)) {
+    *out_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  *out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  prepare_value();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long v) {
+  prepare_value();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  *out_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace hycim::util

@@ -1,0 +1,64 @@
+// Minimal JSON emitter for machine-readable bench artifacts
+// (e.g. BENCH_fig10.json): future PRs diff these files to track the perf
+// trajectory, so the output must be stable and dependency-free.
+//
+// Usage is push-down: begin_object()/begin_array() open a scope,
+// end() closes the innermost one; key() names the next value inside an
+// object.  Commas and indentation are handled automatically.
+//
+//   JsonWriter j(out);
+//   j.begin_object();
+//   j.key("bench").value("fig10");
+//   j.key("runs").begin_array();
+//   j.value(1).value(2);
+//   j.end();   // array
+//   j.end();   // object
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace hycim::util {
+
+/// Streaming JSON writer with automatic separators and 2-space indentation.
+class JsonWriter {
+ public:
+  /// Writes to `out` (held by reference; must outlive the writer).
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& begin_array();
+  /// Closes the innermost object or array.
+  JsonWriter& end();
+
+  /// Names the next value (only valid directly inside an object).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(unsigned long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(long v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(bool v);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void prepare_value();
+  void newline();
+  void write_escaped(std::string_view s);
+
+  std::ostream* out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hycim::util

@@ -13,6 +13,20 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t fork_seed(std::uint64_t root_seed, std::uint64_t stream_id) {
+  // Whiten the root first so that adjacent roots do not produce related
+  // stream families, then inject the stream id and hash again.  Each step is
+  // a bijection of the 64-bit state, so (root, id) -> seed never collides
+  // for a fixed root.
+  std::uint64_t state = root_seed;
+  state = splitmix64(state) ^ stream_id;
+  return splitmix64(state);
+}
+
+Rng fork_stream(std::uint64_t root_seed, std::uint64_t stream_id) {
+  return Rng(fork_seed(root_seed, stream_id));
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

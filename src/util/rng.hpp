@@ -18,6 +18,22 @@ namespace hycim::util {
 /// Advances `state` and returns the next 64-bit output.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Derives the seed of child stream `stream_id` from `root_seed`.
+///
+/// Both inputs pass through the splitmix64 finalizer (a bijection of the
+/// 64-bit state), so distinct stream ids are guaranteed to yield distinct
+/// seeds for a fixed root, and the child streams are statistically
+/// independent of each other and of Rng(root_seed) itself.  Unlike
+/// Rng::split() this is stateless: stream r of root s is the same value no
+/// matter how many other streams were forked before it — the property the
+/// batch runner needs for thread-count-independent reproducibility.
+std::uint64_t fork_seed(std::uint64_t root_seed, std::uint64_t stream_id);
+
+class Rng;
+
+/// Convenience: an Rng positioned at the start of stream `stream_id`.
+Rng fork_stream(std::uint64_t root_seed, std::uint64_t stream_id);
+
 /// Deterministic pseudo-random generator (xoshiro256**).
 ///
 /// The class is a value type: copying an Rng duplicates its stream.  Use

@@ -139,5 +139,35 @@ TEST(InequalityFilter, AccessorsExposeGeometry) {
   EXPECT_EQ(filter.replica_input(), std::vector<std::uint8_t>(3, 1));
 }
 
+TEST(InequalityFilter, DecisionSeedGivesIndependentMeasurementNoise) {
+  // Same fabricated chip (fab_seed fixed), different decision_seed: the
+  // per-comparison noise streams must differ — this is how the batch runner
+  // models independent repeated measurements.  At the exact boundary with
+  // zero margin and no offset, each decision is a coin flip on the noise.
+  auto params = [](std::uint64_t decision_seed) {
+    InequalityFilterParams p;
+    p.variation = device::ideal_variation();
+    p.comparator.sigma_offset = 0.0;  // keep fabrication identical & silent
+    p.comparator.sigma_noise = 20e-6;
+    p.margin_units = 0.0;  // Σwx == C lands exactly on the threshold
+    p.fab_seed = 5;
+    p.decision_seed = decision_seed;
+    return p;
+  };
+  const std::vector<long long> weights{1, 1, 1, 1};
+  const std::vector<std::uint8_t> boundary{1, 1, 0, 0};  // Σ = C = 2
+
+  auto decisions = [&](std::uint64_t seed) {
+    InequalityFilter filter(params(seed), weights, 2);
+    std::vector<bool> out;
+    for (int i = 0; i < 100; ++i) out.push_back(filter.is_feasible(boundary));
+    return out;
+  };
+  EXPECT_EQ(decisions(111), decisions(111));  // reproducible per seed
+  EXPECT_NE(decisions(111), decisions(222));  // independent across seeds
+  // decision_seed = 0 keeps the legacy fab-derived stream.
+  EXPECT_EQ(decisions(0), decisions(0));
+}
+
 }  // namespace
 }  // namespace hycim::cim

@@ -1,0 +1,158 @@
+// The COP -> constrained-QUBO adapter layer: every problem class reaches
+// the generic facade through to_constrained_form().
+#include "cop/adapters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "core/inequality_qubo.hpp"
+
+namespace hycim::cop {
+namespace {
+
+TEST(QkpAdapter, MatchesInequalityQuboTransformation) {
+  QkpGeneratorParams params;
+  params.n = 18;
+  params.density_percent = 60;
+  const auto inst = generate_qkp(params, 11);
+  const auto form = to_constrained_form(inst);
+  const auto single = core::to_inequality_qubo(inst);
+
+  ASSERT_EQ(form.constraints.size(), 1u);
+  EXPECT_TRUE(form.equalities.empty());
+  EXPECT_EQ(form.constraints[0].weights, inst.weights);
+  EXPECT_EQ(form.constraints[0].capacity, inst.capacity);
+
+  util::Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto x = rng.random_bits(inst.n);
+    EXPECT_DOUBLE_EQ(form.q.energy(x), single.q.energy(x));
+    EXPECT_DOUBLE_EQ(form.q.energy(x),
+                     -static_cast<double>(inst.total_profit(x)));
+    EXPECT_EQ(form.feasible(x), inst.feasible(x));
+  }
+}
+
+TEST(QkpAdapter, SolveHelpersScoreExactly) {
+  QkpGeneratorParams params;
+  params.n = 12;
+  const auto inst = generate_qkp(params, 5);
+  core::HyCimConfig config;
+  config.sa.iterations = 2000;
+  config.filter_mode = core::FilterMode::kSoftware;
+  core::HyCimSolver solver(to_constrained_form(inst), config);
+
+  const auto result = solve_qkp_from_random(solver, inst, 3);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.profit, inst.total_profit(result.best_x));
+  EXPECT_TRUE(inst.feasible(result.best_x));
+
+  // Deterministic: the helper replays the classic solve_from_random
+  // protocol (rng(seed) -> random_feasible -> solve).
+  const auto replay = solve_qkp_from_random(solver, inst, 3);
+  EXPECT_EQ(result.best_x, replay.best_x);
+}
+
+TEST(QkpAdapter, InfeasibleConfigurationsScoreZero) {
+  QkpGeneratorParams params;
+  params.n = 8;
+  const auto inst = generate_qkp(params, 7);
+  core::SolveResult r;
+  r.best_x = qubo::BitVector(inst.n, 1);  // everything selected: overweight
+  r.best_energy = -1.0;
+  const auto scored = qkp_result(inst, std::move(r));
+  EXPECT_FALSE(scored.feasible);
+  EXPECT_EQ(scored.profit, 0);
+}
+
+TEST(ColoringAdapter, ValidColoringIsFeasibleWithZeroEnergy) {
+  // C4 cycle, 2 colors: bipartite, properly colorable.
+  ColoringInstance g;
+  g.name = "c4";
+  g.num_vertices = 4;
+  g.num_colors = 2;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const auto form = to_constrained_form(g);
+  EXPECT_EQ(form.form.equalities.size(), 4u);  // one per vertex
+  EXPECT_TRUE(form.form.constraints.empty());
+
+  const auto proper = encode_coloring(form, {0, 1, 0, 1});
+  EXPECT_TRUE(form.form.feasible(proper));
+  EXPECT_TRUE(g.valid_coloring(proper));
+  EXPECT_NEAR(form.form.q.energy(proper), 0.0, 1e-12);
+
+  // Monochromatic edge: still one-hot feasible, but pays conflict energy.
+  const auto clash = encode_coloring(form, {0, 0, 1, 1});
+  EXPECT_TRUE(form.form.feasible(clash));
+  EXPECT_GT(form.form.q.energy(clash), 0.0);
+
+  // Zero-hot vertex: violates that vertex's equality.
+  auto zero_hot = proper;
+  zero_hot[form.index(2, 0)] = 0;
+  EXPECT_FALSE(form.form.feasible(zero_hot));
+}
+
+TEST(ColoringAdapter, FacadeAnnealsToProperColoring) {
+  // 6-cycle with 2 colors: all-zero coloring has 6 conflicts; equality
+  // filters restrict SA to recoloring moves (swaps within a vertex) and the
+  // proper 2-coloring has energy 0.
+  ColoringInstance g;
+  g.name = "c6";
+  g.num_vertices = 6;
+  g.num_colors = 2;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}};
+  const auto form = to_constrained_form(g);
+
+  core::HyCimConfig config;
+  config.sa.iterations = 4000;
+  config.filter_mode = core::FilterMode::kSoftware;
+  core::HyCimSolver solver(form.form, config);
+
+  const auto x0 = encode_coloring(form, {0, 0, 0, 0, 0, 0});
+  bool solved = false;
+  for (std::uint64_t seed = 1; seed <= 4 && !solved; ++seed) {
+    const auto r = solver.solve(x0, seed);
+    EXPECT_TRUE(r.feasible);
+    if (r.best_energy < 0.5) {
+      solved = true;
+      EXPECT_TRUE(g.valid_coloring(r.best_x));
+    }
+  }
+  EXPECT_TRUE(solved);
+}
+
+TEST(ColoringAdapter, EncodeColoringValidates) {
+  ColoringInstance g;
+  g.num_vertices = 3;
+  g.num_colors = 2;
+  const auto form = to_constrained_form(g);
+  EXPECT_THROW(encode_coloring(form, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(encode_coloring(form, {0, 1, 5}), std::invalid_argument);
+}
+
+TEST(MdkpAdapter, SingleDimensionCoincidesWithQkpPath) {
+  // A 1-dimensional MDKP is a QKP: both adapters must produce the same
+  // generic form.
+  QkpGeneratorParams qp;
+  qp.n = 10;
+  const auto qkp = generate_qkp(qp, 13);
+  MdkpInstance mdkp;
+  mdkp.n = qkp.n;
+  mdkp.profits = qkp.profits;
+  mdkp.weights = {qkp.weights};
+  mdkp.capacities = {qkp.capacity};
+
+  const auto a = to_constrained_form(qkp);
+  const auto b = to_constrained_form(mdkp);
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  EXPECT_EQ(a.constraints[0].weights, b.constraints[0].weights);
+  EXPECT_EQ(a.constraints[0].capacity, b.constraints[0].capacity);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x = rng.random_bits(qkp.n);
+    EXPECT_DOUBLE_EQ(a.q.energy(x), b.q.energy(x));
+  }
+}
+
+}  // namespace
+}  // namespace hycim::cop

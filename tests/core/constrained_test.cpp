@@ -1,7 +1,11 @@
-#include "core/constrained.hpp"
+// The generic constrained form and the multi-constraint solve path of the
+// unified HyCimSolver facade (bin packing, MDKP, mixed equality problems).
+#include "core/constrained_form.hpp"
 
 #include <gtest/gtest.h>
 
+#include "cop/adapters.hpp"
+#include "core/hycim_solver.hpp"
 #include "qubo/brute_force.hpp"
 
 namespace hycim::core {
@@ -37,7 +41,7 @@ TEST(ConstrainedForm, EnergyIsZeroWhenInfeasible) {
 }
 
 TEST(BinPackingForm, DimensionsAndIndexing) {
-  const auto form = to_binpacking_form(tiny_instance());
+  const auto form = cop::to_constrained_form(tiny_instance());
   EXPECT_EQ(form.items, 4u);
   EXPECT_EQ(form.bins, 3u);
   EXPECT_EQ(form.form.size(), 4u * 3u + 3u);
@@ -49,9 +53,9 @@ TEST(BinPackingForm, DimensionsAndIndexing) {
 
 TEST(BinPackingForm, ValidAssignmentHasBinCountEnergy) {
   const auto inst = tiny_instance();
-  const auto form = to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   // (6,4) in bin 0, (5,3) in bin 1.
-  const auto v = encode_assignment(form, {0, 1, 0, 1});
+  const auto v = cop::encode_assignment(form, {0, 1, 0, 1});
   EXPECT_TRUE(form.form.feasible(v));
   // All penalties vanish; energy = 2 used bins * unit cost.
   EXPECT_NEAR(form.form.q.energy(v), 2.0, 1e-9);
@@ -59,14 +63,14 @@ TEST(BinPackingForm, ValidAssignmentHasBinCountEnergy) {
 }
 
 TEST(BinPackingForm, UnassignedItemPaysOneHotPenalty) {
-  const auto form = to_binpacking_form(tiny_instance());
+  const auto form = cop::to_constrained_form(tiny_instance());
   qubo::BitVector v(form.form.size(), 0);
   // Nothing assigned: each of the 4 items pays A = 6.
   EXPECT_NEAR(form.form.q.energy(v), 4.0 * 6.0, 1e-9);
 }
 
 TEST(BinPackingForm, UsageLinkPenalizesGhostAssignments) {
-  const auto form = to_binpacking_form(tiny_instance());
+  const auto form = cop::to_constrained_form(tiny_instance());
   // Item 0 in bin 0 but y_0 = 0: one-hot satisfied, link violated.
   qubo::BitVector v(form.form.size(), 0);
   v[form.x_index(0, 0)] = 1;
@@ -79,16 +83,17 @@ TEST(BinPackingForm, UsageLinkPenalizesGhostAssignments) {
 
 TEST(BinPackingForm, OverfullBinViolatesItsConstraint) {
   const auto inst = tiny_instance();
-  const auto form = to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   // 6 + 5 = 11 > 10 in bin 0.
-  const auto v = encode_assignment(form, {0, 0, 1, 1});
+  const auto v = cop::encode_assignment(form, {0, 0, 1, 1});
   EXPECT_FALSE(form.form.feasible(v));
 }
 
 TEST(BinPackingForm, EncodeAssignmentValidates) {
-  const auto form = to_binpacking_form(tiny_instance());
-  EXPECT_THROW(encode_assignment(form, {0, 1}), std::invalid_argument);
-  EXPECT_THROW(encode_assignment(form, {0, 1, 2, 9}), std::invalid_argument);
+  const auto form = cop::to_constrained_form(tiny_instance());
+  EXPECT_THROW(cop::encode_assignment(form, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(cop::encode_assignment(form, {0, 1, 2, 9}),
+               std::invalid_argument);
 }
 
 TEST(BinPackingForm, GroundStateUsesMinimumBins) {
@@ -97,7 +102,7 @@ TEST(BinPackingForm, GroundStateUsesMinimumBins) {
   inst.bin_capacity = 10;
   inst.max_bins = 2;
   inst.item_sizes = {4, 5};  // both fit in one bin
-  const auto form = to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   ASSERT_LE(form.form.size(), 20u);
   const auto result = qubo::brute_force_minimize(
       form.form.q, [&](std::span<const std::uint8_t> x) {
@@ -112,7 +117,7 @@ TEST(MdkpForm, EnergyIsNegatedProfit) {
   p.n = 12;
   p.dimensions = 3;
   const auto inst = cop::generate_mdkp(p, 3);
-  const auto form = to_constrained_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   util::Rng rng(4);
   for (int trial = 0; trial < 40; ++trial) {
     const auto x = rng.random_bits(inst.n);
@@ -127,9 +132,9 @@ TEST(MdkpForm, CoefficientRangeIndependentOfDimensions) {
   cop::MdkpGeneratorParams p;
   p.n = 20;
   p.dimensions = 1;
-  const auto one = to_constrained_form(cop::generate_mdkp(p, 5));
+  const auto one = cop::to_constrained_form(cop::generate_mdkp(p, 5));
   p.dimensions = 8;
-  const auto eight = to_constrained_form(cop::generate_mdkp(p, 5));
+  const auto eight = cop::to_constrained_form(cop::generate_mdkp(p, 5));
   EXPECT_EQ(one.size(), eight.size());
   EXPECT_LE(eight.q.quantization_bits(), 7);
   EXPECT_LE(one.q.quantization_bits(), 7);
@@ -141,7 +146,7 @@ TEST(MdkpForm, ConstrainedMinimumMatchesExhaustiveOptimum) {
   p.dimensions = 2;
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
     const auto inst = cop::generate_mdkp(p, seed);
-    const auto form = to_constrained_form(inst);
+    const auto form = cop::to_constrained_form(inst);
     const auto result = qubo::brute_force_minimize(
         form.q,
         [&](std::span<const std::uint8_t> x) { return form.feasible(x); });
@@ -161,7 +166,7 @@ TEST(MdkpSolver, SolvesSmallInstancesNearOptimally) {
   p.n = 14;
   p.dimensions = 2;
   const auto inst = cop::generate_mdkp(p, 6);
-  const auto form = to_constrained_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   // Exhaustive optimum.
   long long best = 0;
   qubo::BitVector x(inst.n, 0);
@@ -172,7 +177,7 @@ TEST(MdkpSolver, SolvesSmallInstancesNearOptimally) {
   HyCimConfig config;
   config.sa.iterations = 4000;
   config.filter_mode = FilterMode::kSoftware;
-  ConstrainedQuboSolver solver(form, config);
+  HyCimSolver solver(form, config);
   util::Rng rng(7);
   long long found = 0;
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
@@ -183,23 +188,34 @@ TEST(MdkpSolver, SolvesSmallInstancesNearOptimally) {
   EXPECT_GE(found, best * 95 / 100);
 }
 
-TEST(ConstrainedSolver, RejectsCircuitFidelity) {
-  const auto form = to_binpacking_form(tiny_instance());
+TEST(ConstrainedSolver, CircuitFidelitySolvesTinyForm) {
+  // The unified facade extends the circuit-level crossbar path to
+  // multi-constraint forms (the old one-off solver rejected it).
+  cop::MdkpGeneratorParams p;
+  p.n = 8;
+  p.dimensions = 2;
+  const auto inst = cop::generate_mdkp(p, 9);
   HyCimConfig config;
+  config.sa.iterations = 300;
   config.fidelity = cim::VmvMode::kCircuit;
-  EXPECT_THROW(ConstrainedQuboSolver(form.form, config),
-               std::invalid_argument);
+  config.filter_mode = FilterMode::kSoftware;
+  config.vmv.variation = device::ideal_variation();
+  config.vmv.adc.bits = 8;
+  HyCimSolver solver(cop::to_constrained_form(inst), config);
+  util::Rng rng(3);
+  const auto r = solver.solve(cop::random_feasible(inst, rng), 5);
+  EXPECT_TRUE(r.feasible);
 }
 
 TEST(ConstrainedSolver, SolvesTinyBinPackingToFfdQuality) {
   const auto inst = tiny_instance();
-  const auto form = to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   HyCimConfig config;
   config.sa.iterations = 4000;
   config.filter_mode = FilterMode::kSoftware;
-  ConstrainedQuboSolver solver(form.form, config);
+  HyCimSolver solver(form.form, config);
   const auto ffd = cop::first_fit_decreasing(inst);
-  const auto x0 = encode_assignment(form, ffd);
+  const auto x0 = cop::encode_assignment(form, ffd);
   const auto result = solver.solve(x0, 7);
   EXPECT_TRUE(result.feasible);
   // Decoded assignment is valid and uses no more bins than FFD.
@@ -212,16 +228,16 @@ TEST(ConstrainedSolver, SolvesTinyBinPackingToFfdQuality) {
 
 TEST(ConstrainedSolver, HardwareFilterBankInTheLoop) {
   const auto inst = tiny_instance();
-  const auto form = to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   HyCimConfig config;
   config.sa.iterations = 800;
   config.filter_mode = FilterMode::kHardware;
   config.filter.variation = device::ideal_variation();
   config.filter.comparator.sigma_offset = 0.0;
   config.filter.comparator.sigma_noise = 0.0;
-  ConstrainedQuboSolver solver(form.form, config);
+  HyCimSolver solver(form.form, config);
   ASSERT_NE(solver.filter_bank(), nullptr);
-  const auto x0 = encode_assignment(form, cop::first_fit_decreasing(inst));
+  const auto x0 = cop::encode_assignment(form, cop::first_fit_decreasing(inst));
   const auto result = solver.solve(x0, 3);
   EXPECT_TRUE(result.feasible);
   EXPECT_GT(solver.filter_bank()->total_evaluations(), 0u);
@@ -249,7 +265,7 @@ TEST(ConstrainedSolver, EqualityConstraintHoldsThroughout) {
   HyCimConfig config;
   config.sa.iterations = 2000;
   config.filter_mode = FilterMode::kSoftware;
-  ConstrainedQuboSolver solver(form, config);
+  HyCimSolver solver(form, config);
 
   qubo::BitVector x0(inst.n, 0);
   for (std::size_t i = 0; i < k; ++i) x0[i] = 1;
@@ -280,7 +296,7 @@ TEST(ConstrainedSolver, HardwareEqualityFilterInTheLoop) {
   config.filter.variation = device::ideal_variation();
   config.filter.comparator.sigma_offset = 0.0;
   config.filter.comparator.sigma_noise = 0.0;
-  ConstrainedQuboSolver solver(form, config);
+  HyCimSolver solver(form, config);
   EXPECT_EQ(solver.equality_filters().size(), 1u);
   EXPECT_EQ(solver.filter_bank(), nullptr);  // no inequalities
 
@@ -295,12 +311,13 @@ TEST(ConstrainedSolver, HardwareEqualityFilterInTheLoop) {
 
 TEST(ConstrainedSolver, StateStaysFeasibleThroughout) {
   const auto inst = tiny_instance();
-  const auto form = to_binpacking_form(inst);
+  const auto form = cop::to_constrained_form(inst);
   HyCimConfig config;
   config.sa.iterations = 2000;
   config.filter_mode = FilterMode::kSoftware;
-  ConstrainedQuboSolver solver(form.form, config);
-  const auto x0 = encode_assignment(form, cop::first_fit_decreasing(inst));
+  HyCimSolver solver(form.form, config);
+  const auto x0 =
+      cop::encode_assignment(form, cop::first_fit_decreasing(inst));
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const auto result = solver.solve(x0, seed);
     EXPECT_TRUE(result.feasible) << "seed " << seed;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cop/adapters.hpp"
 #include "core/exact.hpp"
 
 namespace hycim::core {
@@ -24,9 +25,9 @@ HyCimConfig fast_config(std::size_t iterations = 3000) {
 
 TEST(HyCimSolver, ResultIsAlwaysFeasible) {
   const auto inst = small_instance(1);
-  HyCimSolver solver(inst, fast_config());
+  HyCimSolver solver(cop::to_constrained_form(inst), fast_config());
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-    const auto result = solver.solve_from_random(seed);
+    const auto result = cop::solve_qkp_from_random(solver, inst, seed);
     EXPECT_TRUE(result.feasible);
     EXPECT_TRUE(inst.feasible(result.best_x));
     EXPECT_EQ(result.profit, inst.total_profit(result.best_x));
@@ -37,10 +38,10 @@ TEST(HyCimSolver, ReachesExactOptimumOnSmallInstances) {
   for (std::uint64_t seed = 2; seed <= 4; ++seed) {
     const auto inst = small_instance(seed, 14);
     const auto truth = exact_qkp(inst);
-    HyCimSolver solver(inst, fast_config(8000));
+    HyCimSolver solver(cop::to_constrained_form(inst), fast_config(8000));
     long long best = 0;
     for (std::uint64_t run = 1; run <= 4; ++run) {
-      best = std::max(best, solver.solve_from_random(run).profit);
+      best = std::max(best, cop::solve_qkp_from_random(solver, inst, run).profit);
     }
     EXPECT_GE(best, truth.best_profit * 95 / 100) << "seed " << seed;
   }
@@ -48,15 +49,15 @@ TEST(HyCimSolver, ReachesExactOptimumOnSmallInstances) {
 
 TEST(HyCimSolver, EnergyProfitConsistency) {
   const auto inst = small_instance(5);
-  HyCimSolver solver(inst, fast_config());
-  const auto result = solver.solve_from_random(9);
+  HyCimSolver solver(cop::to_constrained_form(inst), fast_config());
+  const auto result = cop::solve_qkp_from_random(solver, inst, 9);
   // best_energy is the (quantized == exact for integer) QUBO energy.
   EXPECT_NEAR(result.best_energy, -static_cast<double>(result.profit), 1e-9);
 }
 
 TEST(HyCimSolver, RejectsWrongInitialSize) {
   const auto inst = small_instance(6);
-  HyCimSolver solver(inst, fast_config());
+  HyCimSolver solver(cop::to_constrained_form(inst), fast_config());
   EXPECT_THROW(solver.solve(qubo::BitVector(3, 0), 1), std::invalid_argument);
 }
 
@@ -67,9 +68,10 @@ TEST(HyCimSolver, HardwareFilterModeSolves) {
   config.filter.variation = device::ideal_variation();
   config.filter.comparator.sigma_offset = 0.0;
   config.filter.comparator.sigma_noise = 0.0;
-  HyCimSolver solver(inst, config);
+  HyCimSolver solver(cop::to_constrained_form(inst), config);
   ASSERT_NE(solver.filter(), nullptr);
-  const auto result = solver.solve_from_random(3);
+  ASSERT_NE(solver.filter_bank(), nullptr);
+  const auto result = cop::solve_qkp_from_random(solver, inst, 3);
   EXPECT_TRUE(result.feasible);
   EXPECT_GT(result.profit, 0);
   // The filter was actually exercised.
@@ -78,8 +80,9 @@ TEST(HyCimSolver, HardwareFilterModeSolves) {
 
 TEST(HyCimSolver, SoftwareModeHasNoFilter) {
   const auto inst = small_instance(8);
-  HyCimSolver solver(inst, fast_config());
+  HyCimSolver solver(cop::to_constrained_form(inst), fast_config());
   EXPECT_EQ(solver.filter(), nullptr);
+  EXPECT_EQ(solver.filter_bank(), nullptr);
 }
 
 TEST(HyCimSolver, CircuitFidelitySolvesTinyInstance) {
@@ -90,8 +93,8 @@ TEST(HyCimSolver, CircuitFidelitySolvesTinyInstance) {
   config.filter_mode = FilterMode::kSoftware;
   config.vmv.variation = device::ideal_variation();
   config.vmv.adc.bits = 8;
-  HyCimSolver solver(inst, config);
-  const auto result = solver.solve_from_random(2);
+  HyCimSolver solver(cop::to_constrained_form(inst), config);
+  const auto result = cop::solve_qkp_from_random(solver, inst, 2);
   EXPECT_TRUE(result.feasible);
   const auto truth = exact_qkp(inst);
   EXPECT_GE(result.profit, truth.best_profit / 2);
@@ -99,9 +102,9 @@ TEST(HyCimSolver, CircuitFidelitySolvesTinyInstance) {
 
 TEST(HyCimSolver, DeterministicForFixedSeeds) {
   const auto inst = small_instance(10);
-  HyCimSolver solver(inst, fast_config(500));
-  const auto a = solver.solve_from_random(77);
-  const auto b = solver.solve_from_random(77);
+  HyCimSolver solver(cop::to_constrained_form(inst), fast_config(500));
+  const auto a = cop::solve_qkp_from_random(solver, inst, 77);
+  const auto b = cop::solve_qkp_from_random(solver, inst, 77);
   EXPECT_EQ(a.best_x, b.best_x);
   EXPECT_EQ(a.profit, b.profit);
 }
@@ -110,8 +113,8 @@ TEST(HyCimSolver, InfeasibleRejectionsCounted) {
   // Tight capacity: most add-flips are infeasible and must be filtered.
   auto inst = small_instance(11, 20);
   inst.capacity = inst.max_weight();  // roughly one item fits
-  HyCimSolver solver(inst, fast_config(1000));
-  const auto result = solver.solve_from_random(5);
+  HyCimSolver solver(cop::to_constrained_form(inst), fast_config(1000));
+  const auto result = cop::solve_qkp_from_random(solver, inst, 5);
   EXPECT_GT(result.sa.rejected_infeasible, 0u);
   EXPECT_TRUE(result.feasible);
 }
@@ -120,17 +123,43 @@ TEST(HyCimSolver, TraceCanBeRecorded) {
   const auto inst = small_instance(12);
   HyCimConfig config = fast_config(300);
   config.sa.record_trace = true;
-  HyCimSolver solver(inst, config);
-  const auto result = solver.solve_from_random(1);
+  HyCimSolver solver(cop::to_constrained_form(inst), config);
+  const auto result = cop::solve_qkp_from_random(solver, inst, 1);
   EXPECT_EQ(result.sa.trace.size(), 300u);
 }
 
 TEST(HyCimSolver, FormExposesTransformation) {
   const auto inst = small_instance(13);
-  HyCimSolver solver(inst, fast_config());
+  const auto form = cop::to_constrained_form(inst);
+  HyCimSolver solver(form, fast_config());
   EXPECT_EQ(solver.form().size(), inst.n);
-  EXPECT_EQ(solver.form().capacity, inst.capacity);
-  EXPECT_EQ(solver.instance().n, inst.n);
+  ASSERT_EQ(solver.form().constraints.size(), 1u);
+  EXPECT_EQ(solver.form().constraints[0].capacity, inst.capacity);
+  EXPECT_EQ(solver.form().constraints[0].weights, inst.weights);
+  EXPECT_TRUE(solver.form().equalities.empty());
+}
+
+TEST(HyCimSolver, PublicHeaderIsProblemAgnostic) {
+  // The facade never sees the QKP: an equivalent hand-built form produces
+  // bit-identical walks.
+  const auto inst = small_instance(15, 12);
+  ConstrainedQuboForm manual;
+  manual.q = qubo::QuboMatrix(inst.n);
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    for (std::size_t j = i; j < inst.n; ++j) {
+      const long long p = inst.profit(i, j);
+      if (p != 0) manual.q.set(i, j, -static_cast<double>(p));
+    }
+  }
+  manual.constraints.push_back({inst.weights, inst.capacity});
+
+  HyCimSolver from_adapter(cop::to_constrained_form(inst), fast_config(600));
+  HyCimSolver from_manual(manual, fast_config(600));
+  qubo::BitVector x0(inst.n, 0);
+  const auto a = from_adapter.solve(x0, 99);
+  const auto b = from_manual.solve(x0, 99);
+  EXPECT_EQ(a.best_x, b.best_x);
+  EXPECT_DOUBLE_EQ(a.best_energy, b.best_energy);
 }
 
 TEST(HyCimSolver, ReprogramKeepsSolvingInIdealCorner) {
@@ -138,10 +167,10 @@ TEST(HyCimSolver, ReprogramKeepsSolvingInIdealCorner) {
   HyCimConfig config = fast_config(1000);
   config.filter_mode = FilterMode::kHardware;
   config.filter.variation = device::ideal_variation();
-  HyCimSolver solver(inst, config);
-  const auto before = solver.solve_from_random(4);
+  HyCimSolver solver(cop::to_constrained_form(inst), config);
+  const auto before = cop::solve_qkp_from_random(solver, inst, 4);
   solver.reprogram();
-  const auto after = solver.solve_from_random(4);
+  const auto after = cop::solve_qkp_from_random(solver, inst, 4);
   EXPECT_EQ(before.profit, after.profit);
 }
 

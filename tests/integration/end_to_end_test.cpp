@@ -6,6 +6,7 @@
 #include "core/coloring_qubo.hpp"
 #include "core/dqubo_solver.hpp"
 #include "core/exact.hpp"
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/maxcut_qubo.hpp"
 #include "core/metrics.hpp"
@@ -41,18 +42,18 @@ TEST(EndToEnd, HyCimBeatsDquboOnMiniSuite) {
     reference_sum += truth.best_profit;
 
     core::HyCimConfig hconfig;
-    hconfig.sa.iterations = 2000;
+    hconfig.sa.iterations = 4000;
     hconfig.filter_mode = core::FilterMode::kSoftware;
-    core::HyCimSolver hycim(inst, hconfig);
+    core::HyCimSolver hycim(cop::to_constrained_form(inst), hconfig);
 
     core::DquboConfig dconfig;
-    dconfig.sa.iterations = 2000;
+    dconfig.sa.iterations = 4000;
     dconfig.fidelity = cim::VmvMode::kIdeal;
     core::DquboSolver dqubo(inst, dconfig);
 
     for (std::uint64_t run = 1; run <= 5; ++run) {
       hycim_values.push_back(
-          core::is_success(hycim.solve_from_random(run).profit,
+          core::is_success(cop::solve_qkp_from_random(hycim, inst, run).profit,
                            truth.best_profit)
               ? 1
               : 0);
@@ -94,8 +95,8 @@ TEST(EndToEnd, FullHardwareInTheLoopSolve) {
   config.fidelity = cim::VmvMode::kCircuit;
   config.filter_mode = core::FilterMode::kHardware;
   config.vmv.adc.bits = 8;
-  core::HyCimSolver solver(inst, config);
-  const auto result = solver.solve_from_random(11);
+  core::HyCimSolver solver(cop::to_constrained_form(inst), config);
+  const auto result = cop::solve_qkp_from_random(solver, inst, 11);
   EXPECT_TRUE(result.feasible);
   EXPECT_GT(result.profit, 0);
   const auto truth = core::exact_qkp(inst);
@@ -182,10 +183,10 @@ TEST(EndToEnd, SuccessRateMetricsComposeWithSolvers) {
   core::HyCimConfig config;
   config.sa.iterations = 3000;
   config.filter_mode = core::FilterMode::kSoftware;
-  core::HyCimSolver solver(inst, config);
+  core::HyCimSolver solver(cop::to_constrained_form(inst), config);
   std::vector<long long> values;
   for (std::uint64_t run = 1; run <= 10; ++run) {
-    values.push_back(solver.solve_from_random(run).profit);
+    values.push_back(cop::solve_qkp_from_random(solver, inst, run).profit);
   }
   const double rate = core::success_rate_percent(values, truth.best_profit);
   EXPECT_GE(rate, 50.0);

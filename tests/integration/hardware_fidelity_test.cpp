@@ -5,7 +5,9 @@
 
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cim/filter/inequality_filter.hpp"
+#include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
+#include "core/inequality_qubo.hpp"
 #include "util/rng.hpp"
 
 namespace hycim {
@@ -70,17 +72,17 @@ TEST(HardwareFidelity, SolverResultsAgreeAcrossFidelitiesIdealCorner) {
   fast.sa.iterations = 500;
   fast.fidelity = cim::VmvMode::kQuantized;
   fast.filter_mode = core::FilterMode::kSoftware;
-  core::HyCimSolver fast_solver(inst, fast);
+  core::HyCimSolver fast_solver(cop::to_constrained_form(inst), fast);
 
   core::HyCimConfig slow = fast;
   slow.fidelity = cim::VmvMode::kCircuit;
   slow.vmv.variation = device::ideal_variation();
   slow.vmv.adc.bits = 8;
-  core::HyCimSolver slow_solver(inst, slow);
+  core::HyCimSolver slow_solver(cop::to_constrained_form(inst), slow);
 
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    const auto a = fast_solver.solve_from_random(seed);
-    const auto b = slow_solver.solve_from_random(seed);
+    const auto a = cop::solve_qkp_from_random(fast_solver, inst, seed);
+    const auto b = cop::solve_qkp_from_random(slow_solver, inst, seed);
     EXPECT_EQ(a.profit, b.profit) << "seed " << seed;
     EXPECT_EQ(a.best_x, b.best_x) << "seed " << seed;
   }
@@ -118,10 +120,10 @@ TEST(HardwareFidelity, LowAdcResolutionDegradesSolutionQuality) {
     config.filter_mode = core::FilterMode::kSoftware;
     config.vmv.variation = device::ideal_variation();
     config.vmv.adc.bits = adc_bits;
-    core::HyCimSolver solver(inst, config);
+    core::HyCimSolver solver(cop::to_constrained_form(inst), config);
     long long best = 0;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-      best = std::max(best, solver.solve_from_random(seed).profit);
+      best = std::max(best, cop::solve_qkp_from_random(solver, inst, seed).profit);
     }
     return best;
   };
