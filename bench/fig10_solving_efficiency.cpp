@@ -14,6 +14,7 @@
 // Results are also emitted machine-readably (default BENCH_fig10.json:
 // per-config success rate, QUBO computations, wall time) so successive
 // PRs can diff the performance trajectory.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -59,7 +60,21 @@ int main(int argc, char** argv) {
   cli.add_int("seed", 2024, "suite base seed");
   cli.add_string("csv", "fig10_normalized_values.csv", "scatter CSV path");
   cli.add_string("json", "BENCH_fig10.json", "machine-readable results path");
+  cli.add_string("out", "",
+                 "output directory for the CSV/JSON artifacts (created if "
+                 "missing; empty = paths as given)");
   if (!cli.parse(argc, argv)) return 0;
+
+  // --out redirects both artifacts into one directory — what the scheduled
+  // CI bench job uses so the scaled-down run needs no code edits.
+  std::filesystem::path csv_path = cli.get_string("csv");
+  std::filesystem::path json_path = cli.get_string("json");
+  if (!cli.get_string("out").empty()) {
+    const std::filesystem::path out_dir = cli.get_string("out");
+    std::filesystem::create_directories(out_dir);
+    csv_path = out_dir / csv_path.filename();
+    json_path = out_dir / json_path.filename();
+  }
 
   auto suite = cop::generate_paper_suite(
       static_cast<std::size_t>(cli.get_int("items")),
@@ -80,13 +95,13 @@ int main(int argc, char** argv) {
                "reaching " << core::kSuccessFraction * 100
             << "% of the best-known value.\n\n";
 
-  util::CsvWriter csv(cli.get_string("csv"),
+  util::CsvWriter csv(csv_path.string(),
                       {"instance", "solver", "init", "run",
                        "normalized_value", "feasible"});
   util::Table table({"instance", "reference", "HyCiM succ %", "D-QUBO succ %",
                      "HyCiM trapped %", "D-QUBO trapped %"});
 
-  std::ofstream json_out(cli.get_string("json"));
+  std::ofstream json_out(json_path);
   util::JsonWriter json(json_out);
   json.begin_object();
   json.key("bench").value("fig10_solving_efficiency");
@@ -256,8 +271,8 @@ int main(int argc, char** argv) {
   json.end();
   json.end();  // root
 
-  std::cout << "\nScatter data in " << cli.get_string("csv")
-            << "; machine-readable results in " << cli.get_string("json")
+  std::cout << "\nScatter data in " << csv_path.string()
+            << "; machine-readable results in " << json_path.string()
             << ".\n";
   // Shape check: HyCiM must dominate D-QUBO decisively.
   return hycim_rates.mean() > dqubo_rates.mean() + 30.0 ? 0 : 1;

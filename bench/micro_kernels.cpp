@@ -4,6 +4,8 @@
 // mode choices documented in DESIGN.md.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cim/filter/inequality_filter.hpp"
 #include "core/inequality_qubo.hpp"
@@ -69,7 +71,42 @@ void BM_FilterEvaluate(benchmark::State& state) {
     benchmark::DoNotOptimize(filter.is_feasible(x));
   }
 }
-BENCHMARK(BM_FilterEvaluate)->Arg(100);
+BENCHMARK(BM_FilterEvaluate)->Arg(100)->Arg(400);
+
+void BM_FilterTrialFlip(benchmark::State& state) {
+  // The SA hot call after the incremental refactor: one flipped column
+  // against the bound matchline state — O(phases) versus
+  // BM_FilterEvaluate's O(n·phases) full re-discharge.
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  cim::InequalityFilterParams params;
+  params.fab_seed = 5;
+  cim::InequalityFilter filter(params, inst.weights, inst.capacity);
+  util::Rng rng(4);
+  filter.bind(rng.random_bits(inst.n, 0.4));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const std::array<std::size_t, 1> flips{k};
+    benchmark::DoNotOptimize(filter.trial_feasible(flips));
+    k = (k + 1) % inst.n;
+  }
+}
+BENCHMARK(BM_FilterTrialFlip)->Arg(100)->Arg(400);
+
+void BM_FilterCommit(benchmark::State& state) {
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  cim::InequalityFilterParams params;
+  params.fab_seed = 5;
+  cim::InequalityFilter filter(params, inst.weights, inst.capacity);
+  util::Rng rng(4);
+  filter.bind(rng.random_bits(inst.n, 0.4));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const std::array<std::size_t, 1> flips{k};
+    filter.apply(flips);
+    k = (k + 1) % inst.n;
+  }
+}
+BENCHMARK(BM_FilterCommit)->Arg(100)->Arg(400);
 
 void BM_CircuitVmvEnergy(benchmark::State& state) {
   const auto inst = instance(static_cast<std::size_t>(state.range(0)));
@@ -85,6 +122,27 @@ void BM_CircuitVmvEnergy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CircuitVmvEnergy)->Arg(32)->Arg(100);
+
+void BM_CircuitTrialDelta(benchmark::State& state) {
+  // Circuit-mode SA delta on the bound-state evaluator: cached per-column
+  // currents + ADC reconversion, O(n·bits) versus BM_CircuitVmvEnergy's
+  // O(n²·bits) full VMV.
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  cim::VmvEngineParams params;
+  params.mode = cim::VmvMode::kCircuit;
+  params.fab_seed = 6;
+  cim::VmvEngine engine(params, form.q);
+  util::Rng rng(5);
+  engine.bind(rng.random_bits(inst.n, 0.4));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const std::array<std::size_t, 1> flips{k};
+    benchmark::DoNotOptimize(engine.trial(flips) - engine.bound_energy());
+    k = (k + 1) % inst.n;
+  }
+}
+BENCHMARK(BM_CircuitTrialDelta)->Arg(32)->Arg(100);
 
 void BM_QuantizedEnergy(benchmark::State& state) {
   const auto inst = instance(static_cast<std::size_t>(state.range(0)));

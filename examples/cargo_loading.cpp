@@ -38,7 +38,7 @@ int main() {
 
   std::size_t loaded = 0;
   for (auto b : best.best_x) loaded += b;
-  const auto& stats = solver.filter()->stats();
+  const auto& stats = solver.filter_bank()->filter(0).stats();
 
   util::Table table({"metric", "value"});
   table.add_row({"pallets loaded", util::Table::num(

@@ -24,8 +24,10 @@ class PlainQubo final : public anneal::SaProblem {
     eval_.reset(x);
     return eval_.energy();
   }
-  double delta(std::size_t k) override { return eval_.delta(k); }
-  void commit(std::size_t k) override { eval_.flip(k); }
+  double trial_delta(const anneal::Move& m) override {
+    return eval_.delta(m.bits[0]);
+  }
+  void commit(const anneal::Move& m) override { eval_.flip(m.bits[0]); }
   const qubo::BitVector& state() const override { return eval_.state(); }
 
  private:

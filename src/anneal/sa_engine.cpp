@@ -6,19 +6,9 @@
 
 namespace hycim::anneal {
 
-bool SaProblem::flip_feasible(std::size_t /*k*/) { return true; }
+bool SaProblem::trial_feasible(const Move& /*m*/) { return true; }
 
-double SaProblem::delta_swap(std::size_t /*i*/, std::size_t /*j*/) {
-  throw std::logic_error("SaProblem: swap moves not supported");
-}
-
-bool SaProblem::swap_feasible(std::size_t /*i*/, std::size_t /*j*/) {
-  return true;
-}
-
-void SaProblem::commit_swap(std::size_t /*i*/, std::size_t /*j*/) {
-  throw std::logic_error("SaProblem: swap moves not supported");
-}
+void SaProblem::revert(const Move& /*m*/) {}
 
 namespace {
 
@@ -29,7 +19,7 @@ double calibrate_t0(SaProblem& problem, util::Rng& rng) {
   double acc = 0.0;
   std::size_t count = 0;
   for (std::size_t s = 0; s < samples; ++s) {
-    const double d = std::abs(problem.delta(rng.index(n)));
+    const double d = std::abs(problem.trial_delta(Move::flip(rng.index(n))));
     if (d > 0) {
       acc += d;
       ++count;
@@ -95,25 +85,19 @@ SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
       }
     }
     if (!is_swap) bit = rng.index(n);
+    const Move move = is_swap ? Move::swap(bit_out, bit) : Move::flip(bit);
 
-    const bool feasible = is_swap ? problem.swap_feasible(bit_out, bit)
-                                  : problem.flip_feasible(bit);
-    if (!feasible) {
+    if (!problem.trial_feasible(move)) {
       // Filtered out: no QUBO computation, no temperature update.
       ++result.rejected_infeasible;
       continue;
     }
     ++result.evaluated;
-    const double d =
-        is_swap ? problem.delta_swap(bit_out, bit) : problem.delta(bit);
+    const double d = problem.trial_delta(move);
     const bool accept =
         d <= 0.0 || rng.uniform() < std::exp(-d / temperature);
     if (accept) {
-      if (is_swap) {
-        problem.commit_swap(bit_out, bit);
-      } else {
-        problem.commit(bit);
-      }
+      problem.commit(move);
       current += d;
       ++result.accepted;
       if (current < result.best_energy) {
@@ -121,6 +105,7 @@ SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
         result.best_x = problem.state();
       }
     } else {
+      problem.revert(move);
       ++result.rejected_metropolis;
     }
     if (params.record_trace) result.trace.push_back(current);

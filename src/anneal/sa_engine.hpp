@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "anneal/moves.hpp"
 #include "anneal/schedule.hpp"
 #include "qubo/qubo_matrix.hpp"
 #include "util/rng.hpp"
@@ -21,6 +22,21 @@ namespace hycim::anneal {
 
 /// The problem-side interface the SA logic drives.  Implementations wrap
 /// either ideal software evaluation or the CiM circuit models.
+///
+/// The engine runs the trial-move pipeline of paper Fig. 3/6(b) per
+/// proposal:
+///
+///   trial_feasible(m)  — the inequality-filter hook; a rejected move costs
+///                        no QUBO computation;
+///   trial_delta(m)     — the QUBO computation for the candidate;
+///   commit(m)/revert(m) — adopt or discard the move.
+///
+/// A Move covers both single-bit flips and two-bit swaps, so each problem
+/// implements the pipeline once instead of once per move arity.  Trials
+/// must leave the observable state() unchanged; implementations that cache
+/// speculative evaluations internally finalize them in commit() and drop
+/// them in revert() (the default revert is a no-op for implementations
+/// whose trials are pure).
 class SaProblem {
  public:
   virtual ~SaProblem() = default;
@@ -31,35 +47,28 @@ class SaProblem {
   /// (Re)initializes the internal state to `x` and returns its energy.
   virtual double reset(const qubo::BitVector& x) = 0;
 
-  /// Energy change of flipping bit k of the current state (state unchanged).
-  virtual double delta(std::size_t k) = 0;
-
-  /// Whether the configuration obtained by flipping bit k is feasible.
+  /// Whether the configuration obtained by applying `m` is feasible.
   /// The default (unconstrained QUBO / D-QUBO) accepts everything.
-  virtual bool flip_feasible(std::size_t k);
+  virtual bool trial_feasible(const Move& m);
 
-  /// Commits the flip of bit k.
-  virtual void commit(std::size_t k) = 0;
+  /// Energy change of applying `m` to the current state (state unchanged).
+  virtual double trial_delta(const Move& m) = 0;
+
+  /// Commits `m`: the candidate becomes the current state.
+  virtual void commit(const Move& m) = 0;
+
+  /// Discards a trialed move (after a Metropolis rejection).  Default no-op.
+  virtual void revert(const Move& m);
 
   /// Current state.
   virtual const qubo::BitVector& state() const = 0;
 
-  // --- Optional swap (one-in/one-out) moves. ------------------------------
   // The paper's SA logic only specifies that a *new input configuration* is
   // generated each iteration (Fig. 6(b)); a swap of a selected and an
   // unselected bit is the standard knapsack neighborhood — single flips
-  // alone cannot exchange items through a tight capacity constraint.
-  // Problems that can evaluate joint flips override these; the engine only
-  // proposes swaps when supports_swaps() is true.
-
-  /// Whether delta_swap/swap_feasible/commit_swap are implemented.
+  // alone cannot exchange items through a tight capacity constraint.  The
+  // engine only proposes swap moves when supports_swaps() is true.
   virtual bool supports_swaps() const { return false; }
-  /// Energy change of flipping both bits (i selected, j unselected).
-  virtual double delta_swap(std::size_t i, std::size_t j);
-  /// Feasibility of the configuration with both bits flipped.
-  virtual bool swap_feasible(std::size_t i, std::size_t j);
-  /// Commits the joint flip.
-  virtual void commit_swap(std::size_t i, std::size_t j);
 };
 
 /// SA hyper-parameters.

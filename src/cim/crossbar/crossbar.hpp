@@ -48,6 +48,16 @@ class CrossbarArray {
   double column_current(std::span<const std::uint8_t> x_rows,
                         std::size_t col) const;
 
+  /// Change in column `col`'s current when row `row`'s word line toggles
+  /// from 0 to 1 (ON current minus leakage of that cell) [A].  The hook the
+  /// incremental VMV evaluator uses: a single-bit input flip shifts every
+  /// column's current by exactly this much, so cached column currents can
+  /// be updated without re-summing the whole column.
+  double row_toggle_delta(std::size_t row, std::size_t col) const {
+    const std::size_t k = row * cols_ + col;
+    return cell_current_[k] - leak_current_[k];
+  }
+
   /// Current with `count` arbitrary cells of column 0..cols-1 activated —
   /// the Fig. 7(d) linearity experiment: activates the first `count`
   /// programmed cells in row-major order and sums their currents.

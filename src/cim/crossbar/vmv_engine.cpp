@@ -1,5 +1,6 @@
 #include "cim/crossbar/vmv_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,6 +35,27 @@ VmvEngine::~VmvEngine() = default;
 VmvEngine::VmvEngine(VmvEngine&&) noexcept = default;
 VmvEngine& VmvEngine::operator=(VmvEngine&&) noexcept = default;
 
+VmvEngine::VmvEngine(const VmvEngine& other)
+    : params_(other.params_),
+      n_(other.n_),
+      original_(other.original_),
+      quantized_(other.quantized_),
+      pos_planes_(other.pos_planes_),
+      neg_planes_(other.neg_planes_),
+      fab_(other.fab_
+               ? std::make_unique<device::VariationModel>(*other.fab_)
+               : nullptr),
+      adc_(other.adc_ ? std::make_unique<Adc>(*other.adc_) : nullptr),
+      reprogram_rng_(other.reprogram_rng_),
+      bound_(other.bound_),
+      bound_x_(other.bound_x_),
+      currents_(other.currents_),
+      bound_acc_(other.bound_acc_),
+      commits_since_rebuild_(other.commits_since_rebuild_),
+      trial_flips_(other.trial_flips_),
+      trial_acc_(other.trial_acc_),
+      trial_valid_(other.trial_valid_) {}
+
 double VmvEngine::energy(std::span<const std::uint8_t> x) {
   if (x.size() != n_) throw std::invalid_argument("VmvEngine::energy: size");
   switch (params_.mode) {
@@ -47,27 +69,156 @@ double VmvEngine::energy(std::span<const std::uint8_t> x) {
   return 0.0;  // unreachable
 }
 
-double VmvEngine::circuit_energy(std::span<const std::uint8_t> x) {
-  // For every selected column j (x_j = 1), the word lines carry x and the
-  // column current of each bit plane is digitized; codes are shift-added
-  // across planes and summed over columns, positive minus negative.
+template <typename CurrentFn>
+long long VmvEngine::convert_columns(std::span<const std::uint8_t> x,
+                                     CurrentFn&& current_of) {
+  // For every selected column j (x_j = 1), each bit plane's column current
+  // is digitized; codes are shift-added across planes and summed over
+  // columns, positive minus negative.  Both the full and the incremental
+  // paths convert in this exact order, so the ADC noise stream (and the
+  // clip counter) advance identically on either path.
   long long acc = 0;
+  const int bits = quantized_.magnitude_bits;
   for (std::size_t j = 0; j < n_; ++j) {
     if (!x[j]) continue;
-    for (int b = 0; b < quantized_.magnitude_bits; ++b) {
-      const long long pos_code =
-          adc_->convert(pos_planes_[static_cast<std::size_t>(b)].column_current(x, j));
+    for (int b = 0; b < bits; ++b) {
+      const auto p = static_cast<std::size_t>(b);
+      const long long pos_code = adc_->convert(current_of(p, j));
       const long long neg_code =
-          adc_->convert(neg_planes_[static_cast<std::size_t>(b)].column_current(x, j));
+          adc_->convert(current_of(static_cast<std::size_t>(bits) + p, j));
       acc += (pos_code - neg_code) << b;
     }
   }
+  return acc;
+}
+
+double VmvEngine::circuit_energy(std::span<const std::uint8_t> x) {
+  const auto bits = static_cast<std::size_t>(quantized_.magnitude_bits);
+  const long long acc =
+      convert_columns(x, [&](std::size_t p, std::size_t j) {
+        return p < bits ? pos_planes_[p].column_current(x, j)
+                        : neg_planes_[p - bits].column_current(x, j);
+      });
   return static_cast<double>(acc) * quantized_.scale + quantized_.offset;
+}
+
+void VmvEngine::bind(std::span<const std::uint8_t> x) {
+  if (params_.mode != VmvMode::kCircuit) {
+    throw std::logic_error("VmvEngine::bind: only meaningful in kCircuit");
+  }
+  if (x.size() != n_) throw std::invalid_argument("VmvEngine::bind: size");
+  bound_x_.assign(x.begin(), x.end());
+  bound_ = true;
+  trial_valid_ = false;
+  rebuild_bound_currents();
+  bound_acc_ = convert_columns(
+      bound_x_,
+      [&](std::size_t p, std::size_t j) { return currents_[p * n_ + j]; });
+}
+
+void VmvEngine::rebuild_bound_currents() {
+  const auto bits = static_cast<std::size_t>(quantized_.magnitude_bits);
+  currents_.resize(2 * bits * n_);
+  for (std::size_t p = 0; p < bits; ++p) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      currents_[p * n_ + j] = pos_planes_[p].column_current(bound_x_, j);
+      currents_[(bits + p) * n_ + j] =
+          neg_planes_[p].column_current(bound_x_, j);
+    }
+  }
+  commits_since_rebuild_ = 0;
+}
+
+void VmvEngine::unbind() {
+  bound_ = false;
+  trial_valid_ = false;
+  bound_x_.clear();
+  currents_.clear();
+}
+
+double VmvEngine::bound_energy() const {
+  if (!bound_) throw std::logic_error("VmvEngine::bound_energy: not bound");
+  return static_cast<double>(bound_acc_) * quantized_.scale +
+         quantized_.offset;
+}
+
+const std::vector<std::uint8_t>& VmvEngine::bound_input() const {
+  if (!bound_) throw std::logic_error("VmvEngine::bound_input: not bound");
+  return bound_x_;
+}
+
+double VmvEngine::trial(std::span<const std::size_t> flips) {
+  if (!bound_) throw std::logic_error("VmvEngine::trial: not bound");
+  const auto bits = static_cast<std::size_t>(quantized_.magnitude_bits);
+  trial_x_.assign(bound_x_.begin(), bound_x_.end());
+  for (const std::size_t k : flips) {
+    if (k >= n_) {
+      throw std::invalid_argument("VmvEngine::trial: bit out of range");
+    }
+    trial_x_[k] ^= 1;
+  }
+  const long long acc =
+      convert_columns(trial_x_, [&](std::size_t p, std::size_t j) {
+        double current = currents_[p * n_ + j];
+        const CrossbarArray& plane =
+            p < bits ? pos_planes_[p] : neg_planes_[p - bits];
+        for (const std::size_t k : flips) {
+          const double sign = bound_x_[k] ? -1.0 : 1.0;
+          current += sign * plane.row_toggle_delta(k, j);
+        }
+        return current;
+      });
+  trial_flips_.assign(flips.begin(), flips.end());
+  trial_acc_ = acc;
+  trial_valid_ = true;
+  return static_cast<double>(acc) * quantized_.scale + quantized_.offset;
+}
+
+void VmvEngine::apply(std::span<const std::size_t> flips) {
+  if (!bound_) throw std::logic_error("VmvEngine::apply: not bound");
+  const auto bits = static_cast<std::size_t>(quantized_.magnitude_bits);
+  const bool adopt_trial =
+      trial_valid_ && std::equal(flips.begin(), flips.end(),
+                                 trial_flips_.begin(), trial_flips_.end());
+  for (const std::size_t k : flips) {
+    if (k >= n_) {
+      throw std::invalid_argument("VmvEngine::apply: bit out of range");
+    }
+    const double sign = bound_x_[k] ? -1.0 : 1.0;
+    for (std::size_t p = 0; p < bits; ++p) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        currents_[p * n_ + j] += sign * pos_planes_[p].row_toggle_delta(k, j);
+        currents_[(bits + p) * n_ + j] +=
+            sign * neg_planes_[p].row_toggle_delta(k, j);
+      }
+    }
+    bound_x_[k] ^= 1;
+  }
+  if (adopt_trial) {
+    bound_acc_ = trial_acc_;
+  } else {
+    bound_acc_ = convert_columns(
+        bound_x_,
+        [&](std::size_t p, std::size_t j) { return currents_[p * n_ + j]; });
+  }
+  trial_valid_ = false;
+  if (++commits_since_rebuild_ >= kCurrentRebuildInterval) {
+    rebuild_bound_currents();
+  }
 }
 
 void VmvEngine::reprogram() {
   for (auto& plane : pos_planes_) plane.reprogram(reprogram_rng_);
   for (auto& plane : neg_planes_) plane.reprogram(reprogram_rng_);
+  if (bound_) {
+    // The stored conductances changed under the bound state: refresh the
+    // cached currents and re-digitize the bound configuration.
+    trial_valid_ = false;
+    rebuild_bound_currents();
+    bound_acc_ = convert_columns(
+        bound_x_,
+        [&](std::size_t p, std::size_t j) { return currents_[p * n_ + j]; });
+  }
 }
 
 std::size_t VmvEngine::adc_clips() const {

@@ -56,9 +56,50 @@ class VmvEngine {
   VmvEngine(VmvEngine&&) noexcept;
   VmvEngine& operator=(VmvEngine&&) noexcept;
 
+  /// Deep copy: duplicates the fabricated crossbars, ADC, and bound state.
+  /// A copy behaves exactly like re-fabricating with the same seeds, minus
+  /// the fabrication cost — the "program once, solve many" hook for batch
+  /// protocols.
+  VmvEngine(const VmvEngine& other);
+
   /// QUBO energy of configuration `x` at the configured fidelity
   /// (original-matrix units; includes the matrix's constant offset).
   double energy(std::span<const std::uint8_t> x);
+
+  // --- Bound-state (incremental trial-move) evaluation, kCircuit mode. -----
+  // A full circuit energy() re-sums every cell of every selected column:
+  // O(n² · bits).  For SA, successive candidates differ by one or two bits,
+  // and a bit flip shifts each column's analog current by exactly that
+  // row's cell-vs-leak difference.  bind(x) caches all column currents
+  // once; trial() then adjusts the touched rows' contributions and re-runs
+  // only the ADC conversions: O(n · bits) per proposal.  Conversions happen
+  // in the same column/plane order as energy(), so with a noiseless ADC the
+  // trial result equals a full recompute of the candidate (energy() stays
+  // available as the cross-check oracle), and with ADC noise the stream
+  // advances exactly as a full evaluation would.
+  // kIdeal/kQuantized callers keep using qubo::IncrementalEvaluator; these
+  // methods throw std::logic_error outside kCircuit mode.
+
+  /// Caches per-column analog currents and the energy of `x`.
+  void bind(std::span<const std::uint8_t> x);
+  /// Drops the bound state.
+  void unbind();
+  /// Whether a configuration is bound.
+  bool bound() const { return bound_; }
+  /// Energy of the bound configuration (original-matrix units).
+  double bound_energy() const;
+  /// The bound configuration.
+  const std::vector<std::uint8_t>& bound_input() const;
+  /// Energy of the bound configuration with the bits in `flips` toggled
+  /// (bound state unchanged).  The result is memoized so an immediately
+  /// following apply() of the same flips adopts it without reconverting.
+  double trial(std::span<const std::size_t> flips);
+  /// Commits `flips` into the bound state, updating the cached currents.
+  void apply(std::span<const std::size_t> flips);
+
+  /// Commits between exact recomputations of the cached column currents
+  /// (bounds float drift from repeated incremental updates).
+  static constexpr std::size_t kCurrentRebuildInterval = 64;
 
   /// Number of variables.
   std::size_t size() const { return n_; }
@@ -80,6 +121,13 @@ class VmvEngine {
 
  private:
   double circuit_energy(std::span<const std::uint8_t> x);
+  void rebuild_bound_currents();
+  /// Shift-added ADC accumulation over the candidate's selected columns,
+  /// reading analog currents through `current_of(plane_index, col)` where
+  /// plane_index runs over [0, bits) positive then [bits, 2·bits) negative.
+  template <typename CurrentFn>
+  long long convert_columns(std::span<const std::uint8_t> x,
+                            CurrentFn&& current_of);
 
   VmvEngineParams params_;
   std::size_t n_ = 0;
@@ -90,6 +138,18 @@ class VmvEngine {
   std::unique_ptr<device::VariationModel> fab_;
   std::unique_ptr<Adc> adc_;
   util::Rng reprogram_rng_;
+  // Bound state: analog current of every (plane, column) under bound_x_,
+  // positive planes first, then negative: currents_[(p)·n + col].
+  bool bound_ = false;
+  std::vector<std::uint8_t> bound_x_;
+  std::vector<double> currents_;
+  long long bound_acc_ = 0;  ///< shift-added code sum of bound_x_
+  std::size_t commits_since_rebuild_ = 0;
+  // Memoized last trial (flips + code sum) so apply() can adopt it.
+  std::vector<std::size_t> trial_flips_;
+  long long trial_acc_ = 0;
+  bool trial_valid_ = false;
+  std::vector<std::uint8_t> trial_x_;  // scratch candidate configuration
 };
 
 }  // namespace hycim::cim

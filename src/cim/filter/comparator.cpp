@@ -10,6 +10,11 @@ Comparator::Comparator(const ComparatorParams& params, util::Rng& fab_rng,
                   : 0.0),
       noise_rng_(decision_seed) {}
 
+Comparator::Comparator(const Comparator& proto, std::uint64_t decision_seed)
+    : params_(proto.params_),
+      offset_(proto.offset_),
+      noise_rng_(decision_seed) {}
+
 bool Comparator::compare(double v_plus, double v_minus) {
   const double noise = params_.sigma_noise > 0
                            ? noise_rng_.gaussian(0.0, params_.sigma_noise)

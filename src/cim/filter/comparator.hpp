@@ -29,6 +29,11 @@ class Comparator {
   Comparator(const ComparatorParams& params, util::Rng& fab_rng,
              std::uint64_t decision_seed);
 
+  /// Same fabricated instance (params + realized offset) as `proto`, with
+  /// the per-decision noise stream restarted from `decision_seed` — an
+  /// independent repeated measurement on the same chip.
+  Comparator(const Comparator& proto, std::uint64_t decision_seed);
+
   /// True when v_plus exceeds v_minus beyond offset + fresh noise.
   bool compare(double v_plus, double v_minus);
 

@@ -55,14 +55,34 @@ EqualityFilter::EqualityFilter(const InequalityFilterParams& params,
       params.array, replica_weights_for(target, weights_.size(), column_max),
       *fab_);
   replica_x_.assign(weights_.size(), 1);
-  const std::uint64_t decision_seed = params.decision_seed != 0
-                                          ? params.decision_seed
-                                          : params.fab_seed * 0x9e3779b9ULL;
+  decision_stream_seed_ = params.decision_seed != 0
+                              ? params.decision_seed
+                              : params.fab_seed * 0x9e3779b9ULL;
   upper_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
-                                        decision_seed + 1);
+                                        decision_stream_seed_ + 1);
   lower_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
-                                        decision_seed + 2);
+                                        decision_stream_seed_ + 2);
   refresh_thresholds();
+}
+
+EqualityFilter::EqualityFilter(const EqualityFilter& proto,
+                               std::uint64_t decision_seed)
+    : weights_(proto.weights_),
+      target_(proto.target_),
+      working_(std::make_unique<FilterArray>(*proto.working_)),
+      replica_(std::make_unique<FilterArray>(*proto.replica_)),
+      replica_x_(proto.replica_x_),
+      fab_(std::make_unique<device::VariationModel>(*proto.fab_)),
+      reprogram_rng_(proto.reprogram_rng_),
+      replica_ml_(proto.replica_ml_),
+      window_v_(proto.window_v_),
+      margin_units_(proto.margin_units_),
+      decision_stream_seed_(decision_seed != 0 ? decision_seed
+                                               : proto.decision_stream_seed_) {
+  upper_ = std::make_unique<Comparator>(*proto.upper_,
+                                        decision_stream_seed_ + 1);
+  lower_ = std::make_unique<Comparator>(*proto.lower_,
+                                        decision_stream_seed_ + 2);
 }
 
 EqualityFilter::~EqualityFilter() = default;
@@ -76,12 +96,37 @@ void EqualityFilter::refresh_thresholds() {
 }
 
 bool EqualityFilter::is_satisfied(std::span<const std::uint8_t> x) {
-  const double ml = working_->evaluate(x);
+  return decide(working_->evaluate(x));
+}
+
+bool EqualityFilter::decide(double ml) {
   // Window comparator: inside [Replica − window, Replica + window].
   const bool not_above = upper_->compare(replica_ml_ + window_v_, ml);
   const bool not_below = lower_->compare(ml + window_v_, replica_ml_);
   return not_above && not_below;
 }
+
+void EqualityFilter::bind(std::span<const std::uint8_t> x) {
+  working_->bind(x);
+}
+
+void EqualityFilter::unbind() { working_->unbind(); }
+
+bool EqualityFilter::bound() const { return working_->bound(); }
+
+bool EqualityFilter::trial_satisfied(std::span<const std::size_t> flips) {
+  return decide(working_->trial(flips));
+}
+
+void EqualityFilter::apply(std::span<const std::size_t> flips) {
+  working_->apply(flips);
+}
+
+double EqualityFilter::trial_ml(std::span<const std::size_t> flips) const {
+  return working_->trial(flips);
+}
+
+double EqualityFilter::bound_ml() const { return working_->bound_voltage(); }
 
 bool EqualityFilter::exact_satisfied(std::span<const std::uint8_t> x) const {
   long long total = 0;

@@ -37,12 +37,36 @@ class EqualityFilter {
   EqualityFilter(const InequalityFilterParams& params,
                  const std::vector<long long>& weights, long long target);
 
+  /// "Same chip, fresh measurement" duplicate — see InequalityFilter.
+  /// `decision_seed` restarts the window comparators' noise streams (the
+  /// usual +1/+2 strides off the base); 0 keeps the fab-derived default.
+  EqualityFilter(const EqualityFilter& proto, std::uint64_t decision_seed);
+
   ~EqualityFilter();
   EqualityFilter(EqualityFilter&&) noexcept;
   EqualityFilter& operator=(EqualityFilter&&) noexcept;
 
   /// Hardware verdict: true iff the ML lands inside the window.
   bool is_satisfied(std::span<const std::uint8_t> x);
+
+  // --- Bound-state (incremental trial-move) API — see InequalityFilter. ----
+
+  /// Binds the working array to configuration `x`.
+  void bind(std::span<const std::uint8_t> x);
+  /// Drops the bound state.
+  void unbind();
+  /// Whether a configuration is bound.
+  bool bound() const;
+  /// Window verdict for the bound configuration with `flips` toggled; the
+  /// two comparators draw their noise exactly as in is_satisfied().
+  bool trial_satisfied(std::span<const std::size_t> flips);
+  /// Commits `flips` into the bound state.
+  void apply(std::span<const std::size_t> flips);
+  /// Incremental ML of the bound configuration with `flips` toggled [V]
+  /// (no comparators) — for check_incremental cross-checks.
+  double trial_ml(std::span<const std::size_t> flips) const;
+  /// ML voltage of the bound configuration itself [V].
+  double bound_ml() const;
 
   /// Ground-truth check (software).
   bool exact_satisfied(std::span<const std::uint8_t> x) const;
@@ -70,6 +94,8 @@ class EqualityFilter {
 
  private:
   void refresh_thresholds();
+  /// Window-comparator decision for an already-evaluated working ML.
+  bool decide(double ml);
 
   std::vector<long long> weights_;
   long long target_ = 0;
@@ -83,6 +109,9 @@ class EqualityFilter {
   double replica_ml_ = 0.0;
   double window_v_ = 0.0;
   double margin_units_ = 0.5;
+  /// The resolved decision-stream base in force (explicit or fab-derived)
+  /// — what a clone with decision_seed = 0 restarts from.
+  std::uint64_t decision_stream_seed_ = 0;
 };
 
 }  // namespace hycim::cim

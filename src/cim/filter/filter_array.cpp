@@ -54,6 +54,106 @@ void FilterArray::rebuild_cache() {
     }
     isat_idle_total_ += isat_idle_[col];
   }
+  // Device state changed (program / age): re-aggregate any bound state so
+  // the cached loads reflect the fresh per-column caches.
+  if (bound_) rebuild_bound();
+}
+
+void FilterArray::bind(std::span<const std::uint8_t> x) {
+  if (x.size() != columns_) {
+    throw std::invalid_argument("FilterArray::bind: input size mismatch");
+  }
+  bound_x_.assign(x.begin(), x.end());
+  bound_ = true;
+  rebuild_bound();
+}
+
+void FilterArray::rebuild_bound() {
+  const std::size_t phases = read_voltages_.size();
+  bound_g_.assign(phases, 0.0);
+  bound_isink_.assign(phases, 0.0);
+  // Same accumulation order as run(): per phase, selected columns in
+  // ascending order — bound_voltage() is bit-identical to evaluate().
+  for (std::size_t p = 0; p < phases; ++p) {
+    double g = 0.0;
+    double i_sink = isat_idle_total_;
+    for (std::size_t col = 0; col < columns_; ++col) {
+      if (!bound_x_[col]) continue;
+      g += g_cache_[p][col];
+      i_sink += isat_cache_[p][col] - isat_idle_[col];
+    }
+    bound_g_[p] = g;
+    bound_isink_[p] = i_sink;
+  }
+  commits_since_rebind_ = 0;
+}
+
+void FilterArray::unbind() {
+  bound_ = false;
+  bound_x_.clear();
+  bound_g_.clear();
+  bound_isink_.clear();
+}
+
+const std::vector<std::uint8_t>& FilterArray::bound_input() const {
+  if (!bound_) throw std::logic_error("FilterArray: no bound input");
+  return bound_x_;
+}
+
+double FilterArray::bound_voltage() const {
+  if (!bound_) throw std::logic_error("FilterArray: not bound");
+  return settle(bound_g_, bound_isink_);
+}
+
+double FilterArray::trial(std::span<const std::size_t> flips) const {
+  if (!bound_) throw std::logic_error("FilterArray::trial: not bound");
+  const std::size_t phases = read_voltages_.size();
+  trial_g_.assign(bound_g_.begin(), bound_g_.end());
+  trial_isink_.assign(bound_isink_.begin(), bound_isink_.end());
+  for (const std::size_t col : flips) {
+    if (col >= columns_) {
+      throw std::invalid_argument("FilterArray::trial: column out of range");
+    }
+    const double sign = bound_x_[col] ? -1.0 : 1.0;
+    for (std::size_t p = 0; p < phases; ++p) {
+      trial_g_[p] += sign * g_cache_[p][col];
+      trial_isink_[p] += sign * (isat_cache_[p][col] - isat_idle_[col]);
+    }
+  }
+  return settle(trial_g_, trial_isink_);
+}
+
+void FilterArray::apply(std::span<const std::size_t> flips) {
+  if (!bound_) throw std::logic_error("FilterArray::apply: not bound");
+  const std::size_t phases = read_voltages_.size();
+  for (const std::size_t col : flips) {
+    if (col >= columns_) {
+      throw std::invalid_argument("FilterArray::apply: column out of range");
+    }
+    const double sign = bound_x_[col] ? -1.0 : 1.0;
+    for (std::size_t p = 0; p < phases; ++p) {
+      bound_g_[p] += sign * g_cache_[p][col];
+      bound_isink_[p] += sign * (isat_cache_[p][col] - isat_idle_[col]);
+    }
+    bound_x_[col] ^= 1;
+  }
+  if (++commits_since_rebind_ >= kRebindInterval) rebuild_bound();
+}
+
+double FilterArray::settle(std::span<const double> g,
+                           std::span<const double> i_sink) const {
+  double v_ml = params_.v_dd;  // precharged
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    if (g[p] > 1e-18) {
+      const double v_inf = -i_sink[p] / g[p];
+      v_ml = (v_ml - v_inf) * std::exp(-g[p] * params_.t_phase / params_.c_ml)
+             + v_inf;
+    } else {
+      v_ml -= i_sink[p] * params_.t_phase / params_.c_ml;
+    }
+    v_ml = std::max(0.0, v_ml);
+  }
+  return v_ml;
 }
 
 double FilterArray::evaluate(std::span<const std::uint8_t> x) const {
@@ -75,19 +175,27 @@ double FilterArray::run(std::span<const std::uint8_t> x,
   }
   if (samples_per_phase < 1) samples_per_phase = 1;
 
-  double v_ml = params_.v_dd;  // precharged
-  double t = 0.0;
-  if (waveform) waveform->push_back({t, v_ml});
-
-  for (std::size_t p = 0; p < g_cache_.size(); ++p) {
-    // Aggregate the phase's linear conductance and current-sink loads.
-    double g = 0.0;
-    double i_sink = isat_idle_total_;  // unselected columns leak at VG = 0
+  // Aggregate each phase's linear conductance and current-sink loads, then
+  // settle the transient — the same closed form the bound-state trial path
+  // evaluates, so the two paths cannot diverge.
+  const std::size_t phases = g_cache_.size();
+  trial_g_.assign(phases, 0.0);
+  trial_isink_.assign(phases, isat_idle_total_);  // unselected leak at VG = 0
+  for (std::size_t p = 0; p < phases; ++p) {
     for (std::size_t col = 0; col < columns_; ++col) {
       if (!x[col]) continue;
-      g += g_cache_[p][col];
-      i_sink += isat_cache_[p][col] - isat_idle_[col];
+      trial_g_[p] += g_cache_[p][col];
+      trial_isink_[p] += isat_cache_[p][col] - isat_idle_[col];
     }
+  }
+  if (!waveform) return settle(trial_g_, trial_isink_);
+
+  double v_ml = params_.v_dd;  // precharged
+  double t = 0.0;
+  waveform->push_back({t, v_ml});
+  for (std::size_t p = 0; p < phases; ++p) {
+    const double g = trial_g_[p];
+    const double i_sink = trial_isink_[p];
     // Exact solution of C·dv/dt = −(g·v + i_sink) over the phase.
     auto v_at = [&](double dt_local) {
       if (g > 1e-18) {
@@ -96,12 +204,10 @@ double FilterArray::run(std::span<const std::uint8_t> x,
       }
       return v_ml - i_sink * dt_local / params_.c_ml;
     };
-    if (waveform) {
-      for (int s = 1; s <= samples_per_phase; ++s) {
-        const double dt_local =
-            params_.t_phase * static_cast<double>(s) / samples_per_phase;
-        waveform->push_back({t + dt_local, std::max(0.0, v_at(dt_local))});
-      }
+    for (int s = 1; s <= samples_per_phase; ++s) {
+      const double dt_local =
+          params_.t_phase * static_cast<double>(s) / samples_per_phase;
+      waveform->push_back({t + dt_local, std::max(0.0, v_at(dt_local))});
     }
     v_ml = std::max(0.0, v_at(params_.t_phase));
     t += params_.t_phase;

@@ -68,6 +68,38 @@ class FilterArray {
   /// applied to the column gates.  Returns the final ML voltage [V].
   double evaluate(std::span<const std::uint8_t> x) const;
 
+  // --- Bound-state (incremental trial-move) evaluation. -------------------
+  // The SA hot loop evaluates candidates that differ from the current
+  // configuration by one or two columns.  bind(x) aggregates the per-phase
+  // matchline loads of x once; a trial then adjusts only the touched
+  // columns' cached contributions and re-settles the (num_levels-1)-phase
+  // transient in O(phases) instead of re-discharging all n columns.
+  // bound_voltage() is bit-identical to evaluate(bound_input()): bind()
+  // accumulates the per-phase loads in the same column order as the full
+  // evaluation.  Trial and committed voltages can drift from a fresh
+  // re-sum by float-rounding ulps (vastly below any comparator margin);
+  // apply() re-aggregates exactly every kRebindInterval commits to stop
+  // the drift from accumulating over long anneals.
+
+  /// Caches the per-phase aggregate loads of configuration `x`.
+  void bind(std::span<const std::uint8_t> x);
+  /// Drops the bound state.
+  void unbind();
+  /// Whether a configuration is currently bound.
+  bool bound() const { return bound_; }
+  /// The bound configuration.
+  const std::vector<std::uint8_t>& bound_input() const;
+  /// ML voltage of the bound configuration [V] (O(phases)).
+  double bound_voltage() const;
+  /// ML voltage of the bound configuration with the columns in `flips`
+  /// toggled [V] (O(phases · |flips|); the bound state is not modified).
+  double trial(std::span<const std::size_t> flips) const;
+  /// Toggles `flips` in the bound state, updating the cached aggregates.
+  void apply(std::span<const std::size_t> flips);
+
+  /// Commits between exact re-aggregations of the bound loads.
+  static constexpr std::size_t kRebindInterval = 64;
+
   /// Same as evaluate() but records the ML waveform (including the
   /// precharge sample at t=0).  `samples_per_phase` >= 1.
   double evaluate_waveform(std::span<const std::uint8_t> x,
@@ -102,6 +134,12 @@ class FilterArray {
   double run(std::span<const std::uint8_t> x, std::vector<MlSample>* waveform,
              int samples_per_phase) const;
   void rebuild_cache();
+  void rebuild_bound();
+  /// Final ML voltage of the staircase read given per-phase aggregate
+  /// conductance and sink-current loads — the same closed-form transient
+  /// run() evaluates, factored out so full and incremental paths share it.
+  double settle(std::span<const double> g, std::span<const double> i_sink)
+      const;
 
   FilterArrayParams params_;
   std::size_t columns_ = 0;
@@ -113,6 +151,16 @@ class FilterArray {
   std::vector<std::vector<double>> isat_cache_;  // [phase][col]
   std::vector<double> isat_idle_;  // per-column sink current at VG = 0
   double isat_idle_total_ = 0.0;
+  // Bound state: per-phase aggregate loads of bound_x_ plus trial scratch.
+  bool bound_ = false;
+  std::vector<std::uint8_t> bound_x_;
+  std::vector<double> bound_g_;      // [phase]
+  std::vector<double> bound_isink_;  // [phase]
+  std::size_t commits_since_rebind_ = 0;
+  // Per-phase scratch shared by evaluate()/trial(); makes evaluation
+  // allocation-free but means one FilterArray must not be evaluated from
+  // several threads at once (solver instances are per-run already).
+  mutable std::vector<double> trial_g_, trial_isink_;
 };
 
 }  // namespace hycim::cim

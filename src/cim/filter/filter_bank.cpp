@@ -29,11 +29,44 @@ FilterBank::FilterBank(const InequalityFilterParams& params,
   }
 }
 
+FilterBank::FilterBank(const FilterBank& proto, std::uint64_t decision_seed) {
+  filters_.reserve(proto.filters_.size());
+  for (std::size_t i = 0; i < proto.filters_.size(); ++i) {
+    filters_.emplace_back(proto.filters_[i],
+                          decision_seed != 0
+                              ? util::fork_seed(decision_seed, i)
+                              : 0);
+  }
+}
+
 bool FilterBank::is_feasible(std::span<const std::uint8_t> x) {
   for (auto& f : filters_) {
     if (!f.is_feasible(x)) return false;  // short-circuit like the AND gate
   }
   return true;
+}
+
+void FilterBank::bind(std::span<const std::uint8_t> x) {
+  for (auto& f : filters_) f.bind(x);
+}
+
+void FilterBank::unbind() {
+  for (auto& f : filters_) f.unbind();
+}
+
+bool FilterBank::bound() const {
+  return !filters_.empty() && filters_.front().bound();
+}
+
+bool FilterBank::trial_feasible(std::span<const std::size_t> flips) {
+  for (auto& f : filters_) {
+    if (!f.trial_feasible(flips)) return false;  // short-circuit AND
+  }
+  return true;
+}
+
+void FilterBank::apply(std::span<const std::size_t> flips) {
+  for (auto& f : filters_) f.apply(flips);
 }
 
 std::vector<bool> FilterBank::verdicts(std::span<const std::uint8_t> x) {

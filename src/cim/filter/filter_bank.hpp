@@ -34,8 +34,32 @@ class FilterBank {
              const std::vector<LinearConstraint>& constraints,
              std::size_t variables);
 
+  /// "Same chip, fresh measurement" duplicate of `proto`: copies every
+  /// fabricated filter and restarts the per-filter comparator noise
+  /// streams from fork_seed(decision_seed, i) — the same derivation the
+  /// fabricating constructor applies — so a clone is bit-identical to a
+  /// refabrication with that decision_seed.  0 keeps the fab-derived
+  /// default streams.
+  FilterBank(const FilterBank& proto, std::uint64_t decision_seed);
+
   /// Hardware verdict: true iff every filter accepts `x`.
   bool is_feasible(std::span<const std::uint8_t> x);
+
+  // --- Bound-state (incremental trial-move) API. ---------------------------
+
+  /// Binds every filter in the bank to configuration `x`.
+  void bind(std::span<const std::uint8_t> x);
+  /// Drops all bound state.
+  void unbind();
+  /// Whether the bank is bound.
+  bool bound() const;
+  /// Incremental verdict for the bound configuration with `flips` toggled.
+  /// Short-circuits on the first rejecting filter, exactly like
+  /// is_feasible() (the hardware AND gate), so the per-filter comparator
+  /// streams advance identically on both paths.
+  bool trial_feasible(std::span<const std::size_t> flips);
+  /// Commits `flips` into every filter's bound state.
+  void apply(std::span<const std::size_t> flips);
 
   /// Per-filter hardware verdicts (same order as the constraints).
   std::vector<bool> verdicts(std::span<const std::uint8_t> x);

@@ -54,15 +54,35 @@ InequalityFilter::InequalityFilter(const InequalityFilterParams& params,
       params.array, replica_weights(capacity, weights_.size(), column_max),
       *fab_);
   replica_x_.assign(weights_.size(), 1);
-  const std::uint64_t decision_seed = params.decision_seed != 0
-                                          ? params.decision_seed
-                                          : params.fab_seed * 0x9e3779b9ULL;
+  decision_stream_seed_ = params.decision_seed != 0
+                              ? params.decision_seed
+                              : params.fab_seed * 0x9e3779b9ULL;
   comparator_ = std::make_unique<Comparator>(params.comparator, fab_->rng(),
-                                             decision_seed);
+                                             decision_stream_seed_);
   margin_units_ = params.margin_units;
   replica_ml_ = replica_->evaluate(replica_x_);
   margin_v_ = margin_units_ * replica_ml_ *
               working_->nominal_unit_drop_fraction();
+}
+
+InequalityFilter::InequalityFilter(const InequalityFilter& proto,
+                                   std::uint64_t decision_seed)
+    : weights_(proto.weights_),
+      capacity_(proto.capacity_),
+      working_(std::make_unique<FilterArray>(*proto.working_)),
+      replica_(std::make_unique<FilterArray>(*proto.replica_)),
+      replica_x_(proto.replica_x_),
+      comparator_(std::make_unique<Comparator>(
+          *proto.comparator_, decision_seed != 0
+                                  ? decision_seed
+                                  : proto.decision_stream_seed_)),
+      fab_(std::make_unique<device::VariationModel>(*proto.fab_)),
+      reprogram_rng_(proto.reprogram_rng_),
+      replica_ml_(proto.replica_ml_),
+      margin_v_(proto.margin_v_),
+      margin_units_(proto.margin_units_),
+      decision_stream_seed_(decision_seed != 0 ? decision_seed
+                                               : proto.decision_stream_seed_) {
 }
 
 InequalityFilter::~InequalityFilter() = default;
@@ -71,7 +91,10 @@ InequalityFilter& InequalityFilter::operator=(InequalityFilter&&) noexcept =
     default;
 
 bool InequalityFilter::is_feasible(std::span<const std::uint8_t> x) {
-  const double ml = working_->evaluate(x);
+  return decide(working_->evaluate(x));
+}
+
+bool InequalityFilter::decide(double ml) {
   // The design margin skews the decision threshold by half a weight unit so
   // the <= boundary (ML == ReplicaML) resolves to "feasible" robustly.
   const bool feasible = comparator_->compare(ml + margin_v_, replica_ml_);
@@ -83,6 +106,28 @@ bool InequalityFilter::is_feasible(std::span<const std::uint8_t> x) {
   }
   return feasible;
 }
+
+void InequalityFilter::bind(std::span<const std::uint8_t> x) {
+  working_->bind(x);
+}
+
+void InequalityFilter::unbind() { working_->unbind(); }
+
+bool InequalityFilter::bound() const { return working_->bound(); }
+
+bool InequalityFilter::trial_feasible(std::span<const std::size_t> flips) {
+  return decide(working_->trial(flips));
+}
+
+void InequalityFilter::apply(std::span<const std::size_t> flips) {
+  working_->apply(flips);
+}
+
+double InequalityFilter::trial_ml(std::span<const std::size_t> flips) const {
+  return working_->trial(flips);
+}
+
+double InequalityFilter::bound_ml() const { return working_->bound_voltage(); }
 
 double InequalityFilter::ml_voltage(std::span<const std::uint8_t> x) const {
   return working_->evaluate(x);

@@ -61,12 +61,46 @@ class InequalityFilter {
   InequalityFilter(const InequalityFilterParams& params,
                    const std::vector<long long>& weights, long long capacity);
 
+  /// "Same chip, fresh measurement": duplicates `proto`'s fabricated
+  /// arrays and comparator offset (bit-identical to refabricating with the
+  /// same fab_seed, at the cost of a copy instead of a device-by-device
+  /// fabrication), zeroes the statistics, and restarts the comparator's
+  /// per-decision noise stream from `decision_seed` (0 = the fab-derived
+  /// default stream).  This is what lets batch protocols run N independent
+  /// measurements on one programmed chip without N fabrications.
+  InequalityFilter(const InequalityFilter& proto, std::uint64_t decision_seed);
+
   ~InequalityFilter();
   InequalityFilter(InequalityFilter&&) noexcept;
   InequalityFilter& operator=(InequalityFilter&&) noexcept;
 
   /// Hardware feasibility decision for configuration `x`.
   bool is_feasible(std::span<const std::uint8_t> x);
+
+  // --- Bound-state (incremental trial-move) API. ---------------------------
+  // bind(x) caches the working array's per-column matchline contributions;
+  // trial_feasible() then judges a candidate that differs by the flipped
+  // columns in O(phases) instead of re-discharging all n columns.  The
+  // comparator decision (noise stream, margin, stats) is identical to
+  // is_feasible() — only the analog ML evaluation is incremental.
+
+  /// Binds the working array to configuration `x`.
+  void bind(std::span<const std::uint8_t> x);
+  /// Drops the bound state.
+  void unbind();
+  /// Whether a configuration is bound.
+  bool bound() const;
+  /// Feasibility verdict for the bound configuration with `flips` toggled.
+  /// Counts one evaluation in stats(), like is_feasible().
+  bool trial_feasible(std::span<const std::size_t> flips);
+  /// Commits `flips` into the bound state.
+  void apply(std::span<const std::size_t> flips);
+  /// ML voltage of the bound configuration with `flips` toggled [V] — the
+  /// incremental counterpart of ml_voltage(); no comparator, no stats.
+  /// Used by check_incremental cross-checks.
+  double trial_ml(std::span<const std::size_t> flips) const;
+  /// ML voltage of the bound configuration itself [V].
+  double bound_ml() const;
 
   /// Working-array ML voltage for `x` [V] (no comparator).
   double ml_voltage(std::span<const std::uint8_t> x) const;
@@ -107,6 +141,9 @@ class InequalityFilter {
   const std::vector<std::uint8_t>& replica_input() const { return replica_x_; }
 
  private:
+  /// Comparator decision + stats for an already-evaluated working ML.
+  bool decide(double ml);
+
   std::vector<long long> weights_;
   long long capacity_ = 0;
   std::unique_ptr<FilterArray> working_;
@@ -119,6 +156,10 @@ class InequalityFilter {
   double margin_v_ = 0.0;
   FilterStats stats_;
   double margin_units_ = 0.5;
+  /// The resolved per-decision stream seed in force (explicit
+  /// params.decision_seed, or the fab-derived default) — what a clone with
+  /// decision_seed = 0 restarts from.
+  std::uint64_t decision_stream_seed_ = 0;
 };
 
 }  // namespace hycim::cim

@@ -38,24 +38,19 @@ class DquboSolver::Problem final : public anneal::SaProblem {
     return eval_.energy();
   }
 
-  double delta(std::size_t k) override { return eval_.delta(k); }
-  void commit(std::size_t k) override {
-    apply_item_flip(k);
-    eval_.flip(k);
+  double trial_delta(const anneal::Move& m) override {
+    return m.is_swap() ? eval_.delta_pair(m.bits[0], m.bits[1])
+                       : eval_.delta(m.bits[0]);
+  }
+  void commit(const anneal::Move& m) override {
+    for (const std::size_t k : m.indices()) {
+      apply_item_flip(k);
+      eval_.flip(k);
+    }
     note_if_feasible();
   }
   const qubo::BitVector& state() const override { return eval_.state(); }
   bool supports_swaps() const override { return true; }
-  double delta_swap(std::size_t i, std::size_t j) override {
-    return eval_.delta_pair(i, j);
-  }
-  void commit_swap(std::size_t i, std::size_t j) override {
-    apply_item_flip(i);
-    eval_.flip(i);
-    apply_item_flip(j);
-    eval_.flip(j);
-    note_if_feasible();
-  }
 
   /// Best feasible QKP profit visited (-1 if the walk never was feasible).
   long long best_feasible_profit() const { return best_feasible_profit_; }

@@ -1,6 +1,8 @@
 #include "core/hycim_solver.hpp"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "qubo/energy.hpp"
@@ -9,9 +11,19 @@
 namespace hycim::core {
 
 /// SaProblem adapter: energy via the configured fidelity path, feasibility
-/// via the hardware filters or the exact predicates.  Constraint totals are
-/// tracked incrementally so the software feasibility check is O(#constraints)
-/// per proposal, mirroring the O(1)-per-filter hardware evaluation.
+/// via the hardware filters or the exact predicates.  The whole pipeline is
+/// incremental per trial move:
+///   * software feasibility — constraint totals tracked per commit,
+///     O(#constraints) per proposal;
+///   * hardware feasibility — filters bound to the current configuration,
+///     each trial adjusts only the flipped columns' matchline charge
+///     (O(phases) per filter) instead of re-discharging the whole array;
+///   * circuit energies — the VMV engine's bound state updates per-column
+///     currents on a flip instead of re-running the full O(n²) VMV;
+///   * ideal/quantized energies — qubo::IncrementalEvaluator local fields.
+/// No per-proposal BitVector copies remain; candidates exist only as flip
+/// index sets.  check_incremental re-derives everything from scratch at
+/// every step and throws on divergence.
 class HyCimSolver::Problem final : public anneal::SaProblem {
  public:
   explicit Problem(HyCimSolver& owner)
@@ -32,124 +44,180 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
     for (std::size_t c = 0; c < es.size(); ++c) {
       eq_totals_[c] = constraint_total(es[c], x);
     }
+    if (hardware()) {
+      if (owner_.bank_) owner_.bank_->bind(x);
+      for (auto& eq : owner_.equality_filters_) eq.bind(x);
+    }
     if (circuit()) {
-      state_ = x;
-      circuit_energy_ = owner_.engine_->energy(state_);
-      return circuit_energy_;
+      owner_.engine_->bind(x);
+      return owner_.engine_->bound_energy();
     }
     eval_.reset(x);
     return eval_.energy();
   }
 
-  double delta(std::size_t k) override {
-    if (circuit()) {
-      qubo::BitVector candidate = state_;
-      candidate[k] ^= 1;
-      return owner_.engine_->energy(candidate) - circuit_energy_;
-    }
-    return eval_.delta(k);
-  }
-
-  bool flip_feasible(std::size_t k) override {
-    const auto& x = state();
+  bool trial_feasible(const anneal::Move& m) override {
+    const auto flips = m.indices();
     if (owner_.config_.filter_mode == FilterMode::kSoftware) {
-      const bool removing = x[k];
-      const auto& cs = owner_.form_.constraints;
-      for (std::size_t c = 0; c < cs.size(); ++c) {
-        const long long w = cs[c].weights[k];
-        if ((removing ? totals_[c] - w : totals_[c] + w) > cs[c].capacity) {
-          return false;
-        }
-      }
-      const auto& es = owner_.form_.equalities;
-      for (std::size_t c = 0; c < es.size(); ++c) {
-        const long long w = es[c].weights[k];
-        if ((removing ? eq_totals_[c] - w : eq_totals_[c] + w) !=
-            es[c].capacity) {
-          return false;
-        }
-      }
-      return true;
-    }
-    qubo::BitVector candidate(x.begin(), x.end());
-    candidate[k] ^= 1;
-    return hardware_feasible(candidate);
-  }
-
-  void commit(std::size_t k) override {
-    apply_totals(k);
-    if (circuit()) {
-      state_[k] ^= 1;
-      circuit_energy_ = owner_.engine_->energy(state_);
-      return;
-    }
-    eval_.flip(k);
-  }
-
-  const qubo::BitVector& state() const override {
-    return circuit() ? state_ : eval_.state();
-  }
-
-  bool supports_swaps() const override { return true; }
-
-  double delta_swap(std::size_t i, std::size_t j) override {
-    if (circuit()) {
-      qubo::BitVector candidate = state_;
-      candidate[i] ^= 1;
-      candidate[j] ^= 1;
-      return owner_.engine_->energy(candidate) - circuit_energy_;
-    }
-    return eval_.delta_pair(i, j);
-  }
-
-  bool swap_feasible(std::size_t i, std::size_t j) override {
-    const auto& x = state();
-    if (owner_.config_.filter_mode == FilterMode::kSoftware) {
+      const auto& x = state();
       const auto& cs = owner_.form_.constraints;
       for (std::size_t c = 0; c < cs.size(); ++c) {
         long long t = totals_[c];
-        t += x[i] ? -cs[c].weights[i] : cs[c].weights[i];
-        t += x[j] ? -cs[c].weights[j] : cs[c].weights[j];
+        for (const std::size_t k : flips) {
+          t += x[k] ? -cs[c].weights[k] : cs[c].weights[k];
+        }
         if (t > cs[c].capacity) return false;
       }
       const auto& es = owner_.form_.equalities;
       for (std::size_t c = 0; c < es.size(); ++c) {
         long long t = eq_totals_[c];
-        t += x[i] ? -es[c].weights[i] : es[c].weights[i];
-        t += x[j] ? -es[c].weights[j] : es[c].weights[j];
+        for (const std::size_t k : flips) {
+          t += x[k] ? -es[c].weights[k] : es[c].weights[k];
+        }
         if (t != es[c].capacity) return false;
       }
       return true;
     }
-    qubo::BitVector candidate(x.begin(), x.end());
-    candidate[i] ^= 1;
-    candidate[j] ^= 1;
-    return hardware_feasible(candidate);
+    if (owner_.config_.check_incremental) check_filter_trials(m);
+    // Same evaluation order (and hence comparator noise-stream consumption)
+    // as the full-recompute path: the bank's AND short-circuit first, then
+    // the equality windows.
+    if (owner_.bank_ && !owner_.bank_->trial_feasible(flips)) return false;
+    for (auto& eq : owner_.equality_filters_) {
+      if (!eq.trial_satisfied(flips)) return false;
+    }
+    return true;
   }
 
-  void commit_swap(std::size_t i, std::size_t j) override {
-    apply_totals(i);
-    apply_totals(j);
+  double trial_delta(const anneal::Move& m) override {
+    const auto flips = m.indices();
+    double d;
     if (circuit()) {
-      state_[i] ^= 1;
-      state_[j] ^= 1;
-      circuit_energy_ = owner_.engine_->energy(state_);
-      return;
+      d = owner_.engine_->trial(flips) - owner_.engine_->bound_energy();
+    } else {
+      d = m.is_swap() ? eval_.delta_pair(m.bits[0], m.bits[1])
+                      : eval_.delta(m.bits[0]);
     }
-    eval_.flip_pair(i, j);
+    if (owner_.config_.check_incremental) check_trial_delta(m, d);
+    return d;
   }
+
+  void commit(const anneal::Move& m) override {
+    const auto flips = m.indices();
+    for (const std::size_t k : flips) apply_totals(k);
+    if (hardware()) {
+      if (owner_.bank_) owner_.bank_->apply(flips);
+      for (auto& eq : owner_.equality_filters_) eq.apply(flips);
+    }
+    if (circuit()) {
+      owner_.engine_->apply(flips);
+    } else if (m.is_swap()) {
+      eval_.flip_pair(m.bits[0], m.bits[1]);
+    } else {
+      eval_.flip(m.bits[0]);
+    }
+    if (owner_.config_.check_incremental) check_committed_state();
+  }
+
+  const qubo::BitVector& state() const override {
+    return circuit() ? owner_.engine_->bound_input() : eval_.state();
+  }
+
+  bool supports_swaps() const override { return true; }
 
  private:
   bool circuit() const {
     return owner_.config_.fidelity == cim::VmvMode::kCircuit;
   }
 
-  bool hardware_feasible(const qubo::BitVector& candidate) {
-    if (owner_.bank_ && !owner_.bank_->is_feasible(candidate)) return false;
-    for (auto& eq : owner_.equality_filters_) {
-      if (!eq.is_satisfied(candidate)) return false;
+  bool hardware() const {
+    return owner_.config_.filter_mode == FilterMode::kHardware;
+  }
+
+  bool adc_noiseless() const {
+    return owner_.engine_->params().adc.sigma_noise_a == 0.0;
+  }
+
+  qubo::BitVector candidate_of(const anneal::Move& m) const {
+    qubo::BitVector candidate = state();
+    for (const std::size_t k : m.indices()) candidate[k] ^= 1;
+    return candidate;
+  }
+
+  static void check_near(double incremental, double full, double tol,
+                         const char* what) {
+    if (std::abs(incremental - full) > tol) {
+      throw std::logic_error(
+          std::string("HyCimSolver check_incremental: ") + what +
+          " diverged: incremental=" + std::to_string(incremental) +
+          " full=" + std::to_string(full));
     }
-    return true;
+  }
+
+  /// Cross-checks every filter's incremental trial matchline voltage
+  /// against a full re-discharge of the candidate.  Uses the analog,
+  /// comparator-free paths so the decision noise streams are untouched.
+  void check_filter_trials(const anneal::Move& m) {
+    const auto flips = m.indices();
+    const qubo::BitVector candidate = candidate_of(m);
+    if (owner_.bank_) {
+      for (std::size_t i = 0; i < owner_.bank_->size(); ++i) {
+        auto& f = owner_.bank_->filter(i);
+        check_near(f.trial_ml(flips), f.ml_voltage(candidate), kMlTolVolts,
+                   "inequality-filter trial ML");
+      }
+    }
+    for (const auto& eq : owner_.equality_filters_) {
+      check_near(eq.trial_ml(flips), eq.ml_voltage(candidate), kMlTolVolts,
+                 "equality-filter trial ML");
+    }
+  }
+
+  /// Cross-checks the incremental energy delta against full recomputation.
+  void check_trial_delta(const anneal::Move& m, double d) {
+    const double tol = 1e-6 * std::max(1.0, std::abs(d));
+    if (circuit()) {
+      // A fresh full evaluation redraws ADC noise; only the noiseless
+      // corner is comparable.
+      if (!adc_noiseless()) return;
+      const double full = owner_.engine_->energy(candidate_of(m)) -
+                          owner_.engine_->energy(state());
+      check_near(d, full, tol, "circuit trial delta");
+      return;
+    }
+    const double full = owner_.eval_matrix_.energy(candidate_of(m)) -
+                        owner_.eval_matrix_.energy(state());
+    check_near(d, full, tol, "eval trial delta");
+  }
+
+  /// After a commit: cached energies and filter matchlines must still match
+  /// a from-scratch evaluation of the new state.
+  void check_committed_state() {
+    const auto& x = state();
+    if (circuit()) {
+      if (adc_noiseless()) {
+        const double e = owner_.engine_->bound_energy();
+        check_near(e, owner_.engine_->energy(x),
+                   1e-6 * std::max(1.0, std::abs(e)), "committed energy");
+      }
+    } else {
+      const double e = eval_.energy();
+      check_near(e, eval_.recompute(), 1e-6 * std::max(1.0, std::abs(e)),
+                 "committed energy");
+    }
+    if (hardware()) {
+      if (owner_.bank_) {
+        for (std::size_t i = 0; i < owner_.bank_->size(); ++i) {
+          auto& f = owner_.bank_->filter(i);
+          check_near(f.bound_ml(), f.ml_voltage(x), kMlTolVolts,
+                     "committed filter ML");
+        }
+      }
+      for (const auto& eq : owner_.equality_filters_) {
+        check_near(eq.bound_ml(), eq.ml_voltage(x), kMlTolVolts,
+                   "committed equality ML");
+      }
+    }
   }
 
   void apply_totals(std::size_t k) {
@@ -164,10 +232,13 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
     }
   }
 
+  /// Incremental-vs-full matchline agreement bound [V]: float-rounding
+  /// drift over at most kRebindInterval commits, orders of magnitude under
+  /// any comparator margin.
+  static constexpr double kMlTolVolts = 1e-9;
+
   HyCimSolver& owner_;
   qubo::IncrementalEvaluator eval_;
-  qubo::BitVector state_;      // circuit mode only
-  double circuit_energy_ = 0;  // circuit mode only
   std::vector<long long> totals_;
   std::vector<long long> eq_totals_;
 };
@@ -207,13 +278,30 @@ HyCimSolver::HyCimSolver(const ConstrainedQuboForm& form,
   }
 }
 
+HyCimSolver::HyCimSolver(const HyCimSolver& proto,
+                         std::uint64_t decision_seed)
+    : form_(proto.form_),
+      config_(proto.config_),
+      engine_(std::make_unique<cim::VmvEngine>(*proto.engine_)),
+      eval_matrix_(proto.eval_matrix_) {
+  if (decision_seed != 0) config_.filter.decision_seed = decision_seed;
+  if (proto.bank_) {
+    bank_ = std::make_unique<cim::FilterBank>(*proto.bank_, decision_seed);
+  }
+  equality_filters_.reserve(proto.equality_filters_.size());
+  for (std::size_t e = 0; e < proto.equality_filters_.size(); ++e) {
+    // Same hash-derived per-filter stream the fabricating constructor uses.
+    const std::uint64_t seed =
+        decision_seed != 0
+            ? util::fork_seed(decision_seed, 0x80000000ULL + e)
+            : 0;
+    equality_filters_.emplace_back(proto.equality_filters_[e], seed);
+  }
+}
+
 HyCimSolver::~HyCimSolver() = default;
 HyCimSolver::HyCimSolver(HyCimSolver&&) noexcept = default;
 HyCimSolver& HyCimSolver::operator=(HyCimSolver&&) noexcept = default;
-
-cim::InequalityFilter* HyCimSolver::filter() {
-  return bank_ && bank_->size() > 0 ? &bank_->filter(0) : nullptr;
-}
 
 SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
                                std::uint64_t run_seed) {

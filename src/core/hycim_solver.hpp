@@ -44,6 +44,13 @@ struct HyCimConfig {
   FilterMode filter_mode = FilterMode::kHardware;
   cim::InequalityFilterParams filter{};
   cim::VmvEngineParams vmv{};  ///< mode/matrix_bits overridden by the above
+  /// Debug mode: cross-check every incremental trial/commit against a full
+  /// recomputation (filter matchline voltages, energies) and throw
+  /// std::logic_error on divergence.  O(n²) per SA step — enable in tests
+  /// and when validating new device corners, never in production sweeps.
+  /// Circuit-mode energy checks are skipped when ADC noise is enabled (a
+  /// fresh full evaluation would draw different noise by design).
+  bool check_incremental = false;
 };
 
 /// Outcome of one solve on the generic facade.  Problem-level scores
@@ -60,6 +67,17 @@ struct SolveResult {
 class HyCimSolver {
  public:
   HyCimSolver(const ConstrainedQuboForm& form, const HyCimConfig& config);
+
+  /// "Program once, solve many": duplicates `proto`'s fabricated hardware
+  /// (filters, crossbars) without re-running fabrication and restarts the
+  /// comparator decision-noise streams from `decision_seed` (0 keeps the
+  /// proto's streams).  Bit-identical to constructing a fresh solver from
+  /// (proto.form(), proto config with filter.decision_seed = decision_seed)
+  /// — batch protocols use this to model N independent repeated
+  /// measurements on one programmed chip at copy cost instead of N
+  /// fabrications.
+  HyCimSolver(const HyCimSolver& proto, std::uint64_t decision_seed);
+
   ~HyCimSolver();
   HyCimSolver(HyCimSolver&&) noexcept;
   HyCimSolver& operator=(HyCimSolver&&) noexcept;
@@ -75,11 +93,9 @@ class HyCimSolver {
   std::size_t size() const { return form_.size(); }
 
   /// The inequality filter bank (nullptr in software filter mode or when
-  /// the form has no inequality constraints).
+  /// the form has no inequality constraints).  Per-constraint filters are
+  /// reached through FilterBank::filter(i).
   cim::FilterBank* filter_bank() { return bank_.get(); }
-  /// Convenience for single-inequality problems (QKP): the first filter of
-  /// the bank, or nullptr when there is no bank.
-  cim::InequalityFilter* filter();
   /// The equality filters (empty in software mode / no equalities).
   std::vector<cim::EqualityFilter>& equality_filters() {
     return equality_filters_;

@@ -19,8 +19,17 @@ class QuboProblem : public SaProblem {
     eval_.reset(x);
     return eval_.energy();
   }
-  double delta(std::size_t k) override { return eval_.delta(k); }
-  void commit(std::size_t k) override { eval_.flip(k); }
+  double trial_delta(const Move& m) override {
+    return m.is_swap() ? eval_.delta_pair(m.bits[0], m.bits[1])
+                       : eval_.delta(m.bits[0]);
+  }
+  void commit(const Move& m) override {
+    if (m.is_swap()) {
+      eval_.flip_pair(m.bits[0], m.bits[1]);
+    } else {
+      eval_.flip(m.bits[0]);
+    }
+  }
   const qubo::BitVector& state() const override { return eval_.state(); }
 
  private:
@@ -33,11 +42,13 @@ class ConstrainedProblem : public QuboProblem {
  public:
   ConstrainedProblem(const qubo::QuboMatrix& q, std::size_t limit)
       : QuboProblem(q), limit_(limit) {}
-  bool flip_feasible(std::size_t k) override {
+  bool trial_feasible(const Move& m) override {
     std::size_t ones = 0;
     for (auto b : state()) ones += b;
-    const std::size_t after = state()[k] ? ones - 1 : ones + 1;
-    return after <= limit_;
+    for (const std::size_t k : m.indices()) {
+      ones = state()[k] ? ones - 1 : ones + 1;
+    }
+    return ones <= limit_;
   }
 
  private:

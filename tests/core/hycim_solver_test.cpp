@@ -69,19 +69,20 @@ TEST(HyCimSolver, HardwareFilterModeSolves) {
   config.filter.comparator.sigma_offset = 0.0;
   config.filter.comparator.sigma_noise = 0.0;
   HyCimSolver solver(cop::to_constrained_form(inst), config);
-  ASSERT_NE(solver.filter(), nullptr);
   ASSERT_NE(solver.filter_bank(), nullptr);
+  ASSERT_EQ(solver.filter_bank()->size(), 1u);
   const auto result = cop::solve_qkp_from_random(solver, inst, 3);
   EXPECT_TRUE(result.feasible);
   EXPECT_GT(result.profit, 0);
   // The filter was actually exercised.
-  EXPECT_GT(solver.filter()->stats().evaluations, 0u);
+  EXPECT_GT(solver.filter_bank()->filter(0).stats().evaluations, 0u);
+  EXPECT_EQ(solver.filter_bank()->total_evaluations(),
+            solver.filter_bank()->filter(0).stats().evaluations);
 }
 
 TEST(HyCimSolver, SoftwareModeHasNoFilter) {
   const auto inst = small_instance(8);
   HyCimSolver solver(cop::to_constrained_form(inst), fast_config());
-  EXPECT_EQ(solver.filter(), nullptr);
   EXPECT_EQ(solver.filter_bank(), nullptr);
 }
 

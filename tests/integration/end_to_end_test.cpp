@@ -124,16 +124,19 @@ class PlainQubo final : public anneal::SaProblem {
     eval_.reset(x);
     return eval_.energy();
   }
-  double delta(std::size_t k) override { return eval_.delta(k); }
-  void commit(std::size_t k) override { eval_.flip(k); }
+  double trial_delta(const anneal::Move& m) override {
+    return m.is_swap() ? eval_.delta_pair(m.bits[0], m.bits[1])
+                       : eval_.delta(m.bits[0]);
+  }
+  void commit(const anneal::Move& m) override {
+    if (m.is_swap()) {
+      eval_.flip_pair(m.bits[0], m.bits[1]);
+    } else {
+      eval_.flip(m.bits[0]);
+    }
+  }
   const qubo::BitVector& state() const override { return eval_.state(); }
   bool supports_swaps() const override { return true; }
-  double delta_swap(std::size_t i, std::size_t j) override {
-    return eval_.delta_pair(i, j);
-  }
-  void commit_swap(std::size_t i, std::size_t j) override {
-    eval_.flip_pair(i, j);
-  }
 
  private:
   qubo::IncrementalEvaluator eval_;

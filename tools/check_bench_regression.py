@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_fig10.json against the committed baseline.
+
+Fails (exit 1) when the HyCiM success rate regresses beyond --max-drop
+percentage points — either in the summary average or on any individual
+instance — or when the QUBO-computation count changed (the filter's whole
+point is that hardware feasibility rejection costs no QUBO computations, so
+this count is a deterministic fingerprint of the walk).  Wall-time deltas
+are reported but never fail the check: CI machines differ, and the
+per-commit trajectory is what the scheduled job archives.
+
+The success-rate tolerance exists because SA walks are bit-reproducible
+only on one platform: a one-ulp libm difference can flip a Metropolis
+accept and change individual runs.  Rates aggregated over the suite move
+far less than --max-drop unless something is actually broken.
+
+Usage: check_bench_regression.py BASELINE FRESH [--max-drop 5.0]
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-drop", type=float, default=5.0,
+                    help="max tolerated success-rate drop in % points")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    # A truncated or flag-drifted run must not pass silently: the protocol
+    # (minus thread count, which the results are invariant to) and the
+    # instance sets must match the baseline exactly.
+    def protocol_key(doc):
+        return {k: v for k, v in doc["protocol"].items() if k != "threads"}
+
+    if protocol_key(base) != protocol_key(fresh):
+        failures.append(f"protocol mismatch: baseline {protocol_key(base)} "
+                        f"vs fresh {protocol_key(fresh)} — align the bench "
+                        "flags or regenerate the baseline")
+    base_names = [i["name"] for i in base["per_instance"]]
+    fresh_names = [i["name"] for i in fresh["per_instance"]]
+    if base_names != fresh_names:
+        failures.append(f"instance set mismatch: baseline {base_names} vs "
+                        f"fresh {fresh_names}")
+
+    def compare_rate(name, b, f):
+        delta = f - b
+        print(f"{name}: {b:.2f}% -> {f:.2f}% ({delta:+.2f} points)")
+        if delta < -args.max_drop:
+            failures.append(f"{name} dropped {-delta:.2f} points "
+                            f"(tolerance {args.max_drop})")
+
+    compare_rate("hycim avg success",
+                 base["summary"]["hycim_avg_success_percent"],
+                 fresh["summary"]["hycim_avg_success_percent"])
+
+    base_by_name = {i["name"]: i for i in base["per_instance"]}
+    for inst in fresh["per_instance"]:
+        ref = base_by_name.get(inst["name"])
+        if ref is None:
+            continue  # already reported by the instance-set check
+        compare_rate(f"  {inst['name']} hycim success",
+                     ref["hycim"]["success_rate_percent"],
+                     inst["hycim"]["success_rate_percent"])
+        bq = ref["hycim"]["qubo_computations"]
+        fq = inst["hycim"]["qubo_computations"]
+        if bq != fq:
+            failures.append(
+                f"{inst['name']}: QUBO computations changed {bq} -> {fq} "
+                "(the anneal protocol itself changed; regenerate the "
+                "baseline if intentional)")
+
+    bw = base["summary"]["hycim_wall_seconds"]
+    fw = fresh["summary"]["hycim_wall_seconds"]
+    ratio = fw / bw if bw > 0 else float("inf")
+    print(f"hycim wall seconds: {bw:.3f} -> {fw:.3f} ({ratio:.2f}x baseline; "
+          "informational only)")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: no success-rate regression.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
