@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <vector>
 
+#include "anneal/index_sampler.hpp"
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cim/filter/inequality_filter.hpp"
 #include "core/inequality_qubo.hpp"
@@ -143,6 +145,45 @@ void BM_CircuitTrialDelta(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CircuitTrialDelta)->Arg(32)->Arg(100);
+
+void BM_SwapIndexRebuild(benchmark::State& state) {
+  // The pre-sampler SA move generator: rebuild the ones/zeros index lists
+  // from the state (O(n)) for every swap proposal, then sample both lists.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const auto x = rng.random_bits(n, 0.4);
+  std::vector<std::size_t> ones, zeros;
+  ones.reserve(n);
+  zeros.reserve(n);
+  for (auto _ : state) {
+    ones.clear();
+    zeros.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      (x[i] ? ones : zeros).push_back(i);
+    }
+    benchmark::DoNotOptimize(ones[rng.index(ones.size())] +
+                             zeros[rng.index(zeros.size())]);
+  }
+}
+BENCHMARK(BM_SwapIndexRebuild)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_SwapIndexSampler(benchmark::State& state) {
+  // The incremental generator: O(log n) order-statistic picks plus the
+  // O(log n) commit that keeps the sampler in sync — the cost the SA engine
+  // now pays per swap proposal instead of BM_SwapIndexRebuild's O(n).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  anneal::IndexSampler sampler;
+  sampler.reset(rng.random_bits(n, 0.4));
+  for (auto _ : state) {
+    const std::size_t out = sampler.kth_one(rng.index(sampler.ones()));
+    const std::size_t in = sampler.kth_zero(rng.index(sampler.zeros()));
+    sampler.flip(out);  // commit the swap so the walk keeps moving
+    sampler.flip(in);
+    benchmark::DoNotOptimize(out + in);
+  }
+}
+BENCHMARK(BM_SwapIndexSampler)->Arg(100)->Arg(400)->Arg(1600);
 
 void BM_QuantizedEnergy(benchmark::State& state) {
   const auto inst = instance(static_cast<std::size_t>(state.range(0)));

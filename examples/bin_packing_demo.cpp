@@ -1,14 +1,14 @@
-// Bin packing on HyCiM's multi-filter extension: n parcels into bins of
-// fixed capacity, minimizing bins used.  Each bin's capacity constraint
-// maps to its own inequality-filter array (a cim::FilterBank); the one-hot
-// "each parcel in exactly one bin" structure stays as a cheap equality
-// penalty inside the QUBO — the division of labor the inequality-QUBO
-// transformation prescribes.  Restarts run on the parallel batch runner.
+// Bin packing through the serving front door: n parcels into bins of fixed
+// capacity, minimizing bins used.  The registry's lowering maps each bin's
+// capacity constraint to its own inequality-filter array (a
+// cim::FilterBank); the one-hot "each parcel in exactly one bin" structure
+// stays as a cheap equality penalty inside the QUBO — the division of
+// labor the inequality-QUBO transformation prescribes.  Every restart
+// starts from the first-fit-decreasing packing (the registry's feasible
+// start) and SA consolidates bins.
 #include <iostream>
 
-#include "cop/adapters.hpp"
-#include "core/hycim_solver.hpp"
-#include "runtime/batch_runner.hpp"
+#include "hycim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -18,37 +18,30 @@ int main() {
                                               /*size_max=*/12, /*seed=*/5);
   std::cout << "Bin packing: " << inst.num_items() << " parcels, bins of "
             << inst.bin_capacity << ", lower bound " << inst.lower_bound()
-            << " bins, FFD budget " << inst.max_bins << " bins\n\n";
+            << " bins, FFD budget " << inst.max_bins << " bins\n"
+            << "Encoding: " << inst.num_items() << "x" << inst.max_bins
+            << " assignment + " << inst.max_bins << " usage variables, "
+            << inst.max_bins << " inequality constraints -> " << inst.max_bins
+            << " filter arrays\n\n";
 
-  const auto form = cop::to_constrained_form(inst);
-  std::cout << "Encoding: " << form.form.size() << " variables ("
-            << form.items << "x" << form.bins << " assignment + "
-            << form.bins << " usage), " << form.form.constraints.size()
-            << " inequality constraints -> " << form.form.constraints.size()
-            << " filter arrays\n";
+  service::Service service;
+  service::Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 6000;
+  request.config.filter_mode = core::FilterMode::kHardware;
+  request.batch.restarts = 5;
+  request.batch.seed = 1;
+  const auto reply = service.solve(request);
+  const auto& best_x = reply.batch.best_x;
 
-  core::HyCimConfig config;
-  config.sa.iterations = 6000;
-  config.filter_mode = core::FilterMode::kHardware;
-
-  // Start every restart from the classical first-fit-decreasing packing and
-  // let SA consolidate bins; the batch runner fans the restarts out.
-  const auto ffd = cop::first_fit_decreasing(inst);
-  runtime::BatchParams batch;
-  batch.restarts = 5;
-  batch.seed = 1;
-  const auto result = runtime::solve_batch(
-      form.form, config,
-      [x0 = cop::encode_assignment(form, ffd)](util::Rng&) { return x0; },
-      batch);
-
-  const auto assignment = form.decode_assignment(result.best_x);
+  // The assignment block is item-major: x[i*max_bins + b] = parcel i in
+  // bin b (the usage bits y_b follow it).
   util::Table table({"bin", "load / capacity", "parcels"});
-  for (std::size_t b = 0; b < form.bins; ++b) {
+  for (std::size_t b = 0; b < inst.max_bins; ++b) {
     std::string parcels;
     long long load = 0;
-    for (std::size_t i = 0; i < form.items; ++i) {
-      if (assignment[form.x_index(i, b)]) {
+    for (std::size_t i = 0; i < inst.num_items(); ++i) {
+      if (best_x[i * inst.max_bins + b]) {
         parcels += std::to_string(i) + " ";
         load += inst.item_sizes[i];
       }
@@ -61,16 +54,14 @@ int main() {
   }
   table.print(std::cout);
 
+  const auto ffd = cop::first_fit_decreasing(inst);
   std::size_t ffd_bins = 0;
   for (auto b : ffd) ffd_bins = std::max(ffd_bins, b + 1);
-  std::cout << "\nBins used: " << form.used_bins(result.best_x) << " (FFD: "
-            << ffd_bins << ", lower bound: " << inst.lower_bound() << ")\n"
-            << "Valid assignment: "
-            << (inst.valid_assignment(assignment) ? "yes" : "NO")
-            << ", restarts: " << result.runs.size()
-            << ", QUBO computations: " << result.total_evaluated << "\n";
-  return inst.valid_assignment(assignment) &&
-                 form.used_bins(result.best_x) <= ffd_bins
-             ? 0
-             : 1;
+  const auto bins_used = static_cast<std::size_t>(reply.problem.value);
+  std::cout << "\nBins used: " << bins_used << " (FFD: " << ffd_bins
+            << ", lower bound: " << inst.lower_bound() << ")\n"
+            << "Valid assignment: " << (reply.problem.feasible ? "yes" : "NO")
+            << ", restarts: " << reply.batch.runs.size()
+            << ", QUBO computations: " << reply.batch.total_evaluated << "\n";
+  return reply.problem.feasible && bins_used <= ffd_bins ? 0 : 1;
 }

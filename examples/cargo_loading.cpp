@@ -1,13 +1,13 @@
 // Cargo loading: pack freight into a truck with a hard weight limit, where
 // co-shipping related pallets saves handling cost (pairwise profits).  Uses
 // a generated 100-item instance — the paper's evaluation scale — and runs
-// the HyCiM pipeline with the 16x100 inequality filter, reporting the
-// filter's work alongside the solution.
+// the serving front door with the 16x100 inequality filter, reporting the
+// filter's work (proposals bounced without a QUBO computation) alongside
+// the solution.
 #include <iostream>
 
-#include "cop/adapters.hpp"
-#include "core/hycim_solver.hpp"
 #include "core/reference.hpp"
+#include "hycim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -24,33 +24,33 @@ int main() {
             << inst.capacity << " (total freight " << inst.weight_sum()
             << ")\n\n";
 
-  core::HyCimConfig config;
-  config.sa.iterations = 1000;  // the paper's per-run budget
-  config.filter_mode = core::FilterMode::kHardware;
-  core::HyCimSolver solver(cop::to_constrained_form(inst), config);
-
-  cop::QkpSolveResult best;
-  const int restarts = 10;
-  for (std::uint64_t seed = 1; seed <= restarts; ++seed) {
-    auto r = cop::solve_qkp_from_random(solver, inst, seed);
-    if (r.profit > best.profit) best = std::move(r);
-  }
+  service::Service service;
+  service::Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 1000;  // the paper's per-run budget
+  request.config.filter_mode = core::FilterMode::kHardware;
+  request.batch.restarts = 10;
+  request.batch.seed = 1;
+  const auto reply = service.solve(request);
+  const auto& result = reply.batch;
+  const auto profit = static_cast<long long>(reply.problem.value);
 
   std::size_t loaded = 0;
-  for (auto b : best.best_x) loaded += b;
-  const auto& stats = solver.filter_bank()->filter(0).stats();
+  for (auto b : result.best_x) loaded += b;
 
   util::Table table({"metric", "value"});
   table.add_row({"pallets loaded", util::Table::num(
                                        static_cast<long long>(loaded))});
   table.add_row({"weight used", util::Table::num(inst.total_weight(
-                                    best.best_x)) +
+                                    result.best_x)) +
                                     " / " + util::Table::num(inst.capacity)});
-  table.add_row({"shipping value", util::Table::num(best.profit)});
+  table.add_row({"shipping value", util::Table::num(profit)});
   table.add_row({"filter evaluations",
-                 util::Table::num(static_cast<long long>(stats.evaluations))});
+                 util::Table::num(static_cast<long long>(
+                     result.total_proposed))});
   table.add_row({"infeasible filtered",
-                 util::Table::num(static_cast<long long>(stats.infeasible))});
+                 util::Table::num(static_cast<long long>(
+                     result.total_infeasible))});
   table.print(std::cout);
 
   core::ReferenceParams ref_params;
@@ -59,9 +59,9 @@ int main() {
   std::cout << "\nClassical reference value: " << ref.profit
             << "  (HyCiM reached "
             << util::Table::num(
-                   100.0 * static_cast<double>(best.profit) /
+                   100.0 * static_cast<double>(profit) /
                        static_cast<double>(ref.profit),
                    1)
             << "%)\n";
-  return best.profit >= ref.profit * 90 / 100 ? 0 : 1;
+  return profit >= ref.profit * 90 / 100 ? 0 : 1;
 }

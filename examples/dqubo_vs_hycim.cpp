@@ -2,15 +2,17 @@
 // transformation vs HyCiM's inequality-QUBO, with the same SA budget —
 // a single-instance version of the paper's headline experiment, printing
 // the search-space, precision, and quality numbers next to each other.
+// The HyCiM side runs through the serving front door (one request, 20
+// restarts on the programmed chip); the D-QUBO baseline keeps its own
+// solver, which is the point of the comparison.
 #include <iostream>
 
-#include "cop/adapters.hpp"
 #include "core/dqubo_solver.hpp"
-#include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/search_space.hpp"
+#include "hycim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -28,10 +30,6 @@ int main() {
   const auto reference = core::reference_solution(inst);
 
   // --- Build both formulations. ---------------------------------------------
-  core::HyCimConfig hconfig;
-  hconfig.sa.iterations = 1000;
-  core::HyCimSolver hycim(cop::to_constrained_form(inst), hconfig);
-
   core::DquboConfig dconfig;
   dconfig.sa.iterations = 1000;
   core::DquboSolver dqubo(inst, dconfig);
@@ -64,11 +62,22 @@ int main() {
   shape.print(std::cout);
 
   // --- Dynamic comparison: same budget, 20 runs each. -----------------------
+  service::Service service;
+  service::Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 1000;
+  request.batch.restarts = 20;
+  request.batch.seed = 1;
+  const auto reply = service.solve(request);
+
   std::vector<long long> hycim_vals, dqubo_vals;
+  for (const auto& run : reply.batch.runs) {
+    hycim_vals.push_back(run.feasible ? inst.total_profit(run.best_x) : 0);
+  }
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-    hycim_vals.push_back(cop::solve_qkp_from_random(hycim, inst, seed).profit);
     dqubo_vals.push_back(dqubo.solve_from_random(seed).profit);
   }
+
   util::Table quality({"solver", "success %", "best normalized value"});
   auto best_norm = [&](const std::vector<long long>& vals) {
     long long best = 0;

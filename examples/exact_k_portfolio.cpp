@@ -4,10 +4,15 @@
 // hardware) combined with an inequality filter (risk budget) — the
 // "equality constraints are special cases" remark of paper Sec. 3.2 made
 // concrete.
+//
+// This problem is not one of the registry COP classes, so it enters the
+// service through the raw-form door: Service::solve_form() takes a
+// hand-built ConstrainedQuboForm plus an initial-configuration generator
+// and still gets the programmed-chip cache and the batch protocol.
 #include <algorithm>
 #include <iostream>
 
-#include "core/hycim_solver.hpp"
+#include "hycim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -38,11 +43,6 @@ int main() {
   form.equalities.push_back({std::vector<long long>(n, 1),
                              static_cast<long long>(k)});          // = filter
 
-  core::HyCimConfig config;
-  config.sa.iterations = 5000;
-  config.filter_mode = core::FilterMode::kHardware;
-  core::HyCimSolver solver(form, config);
-
   // Feasible start: k lowest-risk assets.
   std::vector<std::size_t> order(n);
   for (std::size_t i = 0; i < n; ++i) order[i] = i;
@@ -59,12 +59,17 @@ int main() {
     return 1;
   }
 
-  core::SolveResult best;
-  best.best_energy = 1e18;
-  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    auto r = solver.solve(x0, seed);
-    if (r.feasible && r.best_energy < best.best_energy) best = std::move(r);
-  }
+  core::HyCimConfig config;
+  config.sa.iterations = 5000;
+  config.filter_mode = core::FilterMode::kHardware;
+
+  runtime::BatchParams batch;
+  batch.restarts = 6;
+  batch.seed = 1;
+  service::Service service;
+  const auto reply = service.solve_form(
+      form, config, [x0](util::Rng&) { return x0; }, batch);
+  const auto& best = reply.batch;
 
   std::cout << "Exactly-" << k << " portfolio from " << n
             << " assets (risk budget " << risk_budget << ")\n\n";
@@ -84,5 +89,7 @@ int main() {
             << ", objective (return + synergies): " << -best.best_energy
             << "\nCardinality held by the equality filter; budget by the "
                "inequality filter.\n";
-  return held == k && total_risk <= risk_budget ? 0 : 1;
+  return reply.problem.feasible && held == k && total_risk <= risk_budget
+             ? 0
+             : 1;
 }

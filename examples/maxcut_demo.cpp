@@ -1,65 +1,44 @@
-// Max-Cut on the CiM annealer: the unconstrained COP path (paper Sec. 2.1,
-// Table 1).  No inequality filter is needed — the QUBO maps straight onto
-// the crossbar and SA explores the full 2^n space.  Demonstrates using the
-// anneal engine directly on a custom QUBO.
+// Max-Cut through the serving front door: the unconstrained COP path
+// (paper Sec. 2.1, Table 1).  The registry lowers the graph straight onto
+// the crossbar QUBO — the generic form with empty constraint lists, so the
+// filter bank stays dark and SA explores the full 2^n space — and the
+// reply's problem report carries the exact cut weight of the best
+// partition.
 #include <iostream>
 
-#include "anneal/sa_engine.hpp"
-#include "cop/maxcut.hpp"
 #include "core/maxcut_qubo.hpp"
+#include "hycim.hpp"
 #include "qubo/brute_force.hpp"
-#include "qubo/energy.hpp"
-
-namespace {
-
-using namespace hycim;
-
-/// Minimal SaProblem adapter for a plain (unconstrained) QUBO.
-class PlainQubo final : public anneal::SaProblem {
- public:
-  explicit PlainQubo(const qubo::QuboMatrix& q)
-      : eval_(q, qubo::BitVector(q.size(), 0)) {}
-  std::size_t num_bits() const override { return eval_.state().size(); }
-  double reset(const qubo::BitVector& x) override {
-    eval_.reset(x);
-    return eval_.energy();
-  }
-  double trial_delta(const anneal::Move& m) override {
-    return eval_.delta(m.bits[0]);
-  }
-  void commit(const anneal::Move& m) override { eval_.flip(m.bits[0]); }
-  const qubo::BitVector& state() const override { return eval_.state(); }
-
- private:
-  qubo::IncrementalEvaluator eval_;
-};
-
-}  // namespace
 
 int main() {
+  using namespace hycim;
+
   // A 20-vertex weighted graph.
   const auto graph = cop::generate_maxcut(20, 0.35, /*seed=*/11, 1.0, 5.0);
   std::cout << "Max-Cut demo: " << graph.num_vertices << " vertices, "
             << graph.edges.size() << " edges\n";
 
-  // Transform to QUBO (energy = -cut) and anneal.
-  const auto q = core::to_maxcut_qubo(graph);
-  PlainQubo problem(q);
-  anneal::SaParams params;
-  params.iterations = 20000;
-  params.seed = 3;
-  util::Rng rng(5);
-  const auto result =
-      anneal::simulated_annealing(problem, rng.random_bits(q.size()), params);
+  service::Service service;
+  service::Request request;
+  request.instance = graph;
+  request.config.sa.iterations = 20000;
+  request.config.fidelity = cim::VmvMode::kQuantized;
+  request.batch.restarts = 4;
+  request.batch.seed = 3;
+  const auto reply = service.solve(request);
 
-  const double cut = core::cut_from_energy(result.best_energy);
-  std::cout << "Best cut found by SA: " << cut << "\n";
+  const double cut = reply.problem.value;
+  std::cout << "Best cut found by SA: " << cut << "  ("
+            << reply.batch.total_evaluated << " QUBO computations, "
+            << reply.batch.total_infeasible
+            << " filter rejections — unconstrained, so always 0)\n";
 
   // Exact optimum for this size is still brute-forceable.
+  const auto q = core::to_maxcut_qubo(graph);
   const auto truth = qubo::brute_force_minimize(q);
   std::cout << "Exact maximum cut:    " << -truth.best_energy << "\n";
   std::cout << "Partition: ";
-  for (auto side : result.best_x) std::cout << int(side);
+  for (auto side : reply.batch.best_x) std::cout << int(side);
   std::cout << "\n";
   return cut >= -truth.best_energy * 0.99 ? 0 : 1;
 }

@@ -1,16 +1,15 @@
-// Multi-dimensional quadratic knapsack on HyCiM: select shipments under
-// simultaneous weight, volume, and handling-time budgets, with pairwise
-// consolidation profits.  Each resource dimension gets its own inequality-
-// filter array (filter bank); the objective QUBO keeps its 7-bit
-// coefficients no matter how many dimensions are added — whereas D-QUBO
-// would need a slack vector per dimension.  The multi-start protocol runs
-// on the parallel batch runner: one seed reproduces the whole sweep on any
-// thread count.
+// Multi-dimensional quadratic knapsack through the serving front door:
+// select shipments under simultaneous weight, volume, and handling-time
+// budgets, with pairwise consolidation profits.  Each resource dimension
+// gets its own inequality-filter array (filter bank); the objective QUBO
+// keeps its 7-bit coefficients no matter how many dimensions are added —
+// whereas D-QUBO would need a slack vector per dimension.  The service
+// lowers the instance, programs the chip, and fans the multi-start
+// protocol out on the batch runner: one seed reproduces the whole sweep on
+// any thread count.
 #include <iostream>
 
-#include "cop/adapters.hpp"
-#include "core/hycim_solver.hpp"
-#include "runtime/batch_runner.hpp"
+#include "hycim.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -24,28 +23,20 @@ int main() {
   const char* dims[] = {"weight", "volume", "handling"};
 
   std::cout << "Multi-dimensional knapsack: " << inst.n << " shipments, "
-            << inst.dimensions() << " resource budgets\n\n";
+            << inst.dimensions() << " resource budgets ("
+            << inst.dimensions() << " filter arrays on the chip)\n\n";
 
-  const auto form = cop::to_constrained_form(inst);
-  std::cout << "Inequality-QUBO: " << form.size() << " variables, (Qij)MAX = "
-            << form.q.max_abs_coefficient() << " ("
-            << form.q.quantization_bits() << " bits), "
-            << form.constraints.size() << " filter arrays\n\n";
+  service::Service service;
+  service::Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 4000;
+  request.config.filter_mode = core::FilterMode::kHardware;
+  request.batch.restarts = 6;
+  request.batch.seed = 5;
+  const auto reply = service.solve(request);
+  const auto& result = reply.batch;
 
-  core::HyCimConfig config;
-  config.sa.iterations = 4000;
-  config.filter_mode = core::FilterMode::kHardware;
-
-  // Multi-start from random feasible configurations, in parallel.
-  runtime::BatchParams batch;
-  batch.restarts = 6;
-  batch.seed = 5;
-  const auto result = runtime::solve_batch(
-      form, config,
-      [&inst](util::Rng& rng) { return cop::random_feasible(inst, rng); },
-      batch);
-
-  const long long profit = inst.total_profit(result.best_x);
+  const auto profit = static_cast<long long>(reply.problem.value);
   util::Table table({"budget", "used", "capacity"});
   for (std::size_t d = 0; d < inst.dimensions(); ++d) {
     table.add_row({dims[d], util::Table::num(inst.usage(result.best_x, d)),
@@ -59,10 +50,14 @@ int main() {
   std::cout << "\nShipments selected: " << selected << " / " << inst.n
             << "\nConsolidated profit: " << profit
             << " (greedy heuristic: " << inst.total_profit(greedy) << ")\n"
-            << "All budgets respected: " << (result.feasible ? "yes" : "NO")
+            << "All budgets respected: "
+            << (reply.problem.feasible ? "yes" : "NO")
             << "\nBatch: " << result.runs.size() << " restarts, "
-            << result.total_evaluated << " QUBO computations, best from run "
+            << result.total_evaluated << " QUBO computations, "
+            << result.total_infeasible << " filtered, best from run "
             << result.best_run << "\n";
-  return result.feasible && profit >= inst.total_profit(greedy) * 9 / 10 ? 0
-                                                                         : 1;
+  return reply.problem.feasible &&
+                 profit >= inst.total_profit(greedy) * 9 / 10
+             ? 0
+             : 1;
 }

@@ -1,16 +1,17 @@
-// Quickstart: define a small quadratic knapsack problem, lower it to the
-// generic constrained-QUBO form, and solve it with the HyCiM pipeline
-// (inequality-QUBO transformation + FeFET inequality filter + CiM crossbar
-// + simulated annealing) through the parallel batch-restart runner.
+// Quickstart: define a small quadratic knapsack problem and solve it
+// through the serving front door — one hycim::service::Service request
+// carrying {instance, config, batch parameters}.  The service lowers the
+// QKP to the generic constrained-QUBO form (inequality-QUBO transformation
+// + FeFET inequality filter + CiM crossbar + SA), programs the chip, and
+// fans the restarts out on the parallel batch runner; a second request for
+// the same instance would reuse the programmed chip from the cache.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
 #include <iostream>
 
-#include "cop/adapters.hpp"
 #include "core/exact.hpp"
-#include "core/hycim_solver.hpp"
-#include "runtime/batch_runner.hpp"
+#include "hycim.hpp"
 
 int main() {
   using namespace hycim;
@@ -34,47 +35,44 @@ int main() {
   inst.set_profit(2, 3, 7);
   inst.validate();
 
-  // --- 2. Lower to the generic form and configure the solver. ---------------
-  // to_constrained_form(): Q = -P, the capacity constraint separated out for
-  // the FeFET inequality filter (paper Eq. (6)) — the same call every COP
-  // class in src/cop/ uses to reach the facade.
-  const auto form = cop::to_constrained_form(inst);
+  // --- 2. One request through the front door. -------------------------------
+  // The service applies to_constrained_form() (Q = -P, the capacity
+  // constraint separated out for the FeFET filter, paper Eq. (6)) and the
+  // registry's feasible-start generator; nothing is hand-assembled here.
+  service::Service service;
 
-  core::HyCimConfig config;
-  config.sa.iterations = 2000;                       // SA budget per restart
-  config.fidelity = cim::VmvMode::kQuantized;        // 7-bit crossbar matrix
-  config.filter_mode = core::FilterMode::kHardware;  // FeFET filter in loop
+  service::Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 2000;                 // SA budget per restart
+  request.config.fidelity = cim::VmvMode::kQuantized;  // 7-bit crossbar
+  request.config.filter_mode = core::FilterMode::kHardware;  // FeFET filter
+  request.batch.restarts = 8;  // independent restarts across a thread pool
+  request.batch.seed = 1;      // the whole batch reproduces from this seed
 
-  // --- 3. Batch of independent restarts across a thread pool. ---------------
-  runtime::BatchParams batch;
-  batch.restarts = 8;
-  batch.seed = 1;  // the whole batch is reproducible from this one seed
-  const auto result = runtime::solve_batch(
-      form, config,
-      [&inst](util::Rng& rng) { return cop::random_feasible(inst, rng); },
-      batch);
-  const auto best = cop::qkp_result(
-      inst, core::SolveResult{result.best_x, result.best_energy,
-                              result.feasible, {}});
+  const service::Reply reply = service.solve(request);
+  const auto& result = reply.batch;
 
   std::cout << "HyCiM quickstart\n"
             << "  items:    " << inst.n << ", capacity " << inst.capacity
             << "\n  selected: ";
   for (std::size_t i = 0; i < inst.n; ++i) {
-    if (best.best_x[i]) std::cout << i << " ";
+    if (result.best_x[i]) std::cout << i << " ";
   }
-  std::cout << "\n  weight:   " << inst.total_weight(best.best_x) << " / "
-            << inst.capacity << "\n  profit:   " << best.profit
-            << "\n  QUBO E:   " << best.best_energy
+  std::cout << "\n  weight:   " << inst.total_weight(result.best_x) << " / "
+            << inst.capacity << "\n  profit:   "
+            << static_cast<long long>(reply.problem.value)
+            << "\n  QUBO E:   " << result.best_energy
             << "  (E = -profit, paper Eq. (6))\n"
             << "  restarts: " << result.runs.size() << " (best from run "
             << result.best_run << "), QUBO computations: "
-            << result.total_evaluated << "\n";
+            << result.total_evaluated << "\n"
+            << "  chip:     " << (reply.cache_hit ? "cache hit" : "programmed")
+            << " (key " << std::hex << reply.chip_key << std::dec << ")\n";
 
-  // --- 4. Cross-check against the exact optimum (tiny instance). ------------
+  // --- 3. Cross-check against the exact optimum (tiny instance). ------------
   const auto truth = core::exact_qkp(inst);
+  const auto profit = static_cast<long long>(reply.problem.value);
   std::cout << "  exact optimum: " << truth.best_profit
-            << (best.profit == truth.best_profit ? "  -- matched!" : "")
-            << "\n";
-  return best.profit == truth.best_profit ? 0 : 1;
+            << (profit == truth.best_profit ? "  -- matched!" : "") << "\n";
+  return profit == truth.best_profit ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "anneal/index_sampler.hpp"
+
 namespace hycim::anneal {
 
 bool SaProblem::trial_feasible(const Move& /*m*/) { return true; }
@@ -55,10 +57,14 @@ SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
   const std::size_t proposal_cap =
       params.max_proposals > 0 ? params.max_proposals
                                : params.iterations * 100;
-  // Scratch index lists for swap proposals, reused across iterations.
-  std::vector<std::size_t> ones, zeros;
-  ones.reserve(n);
-  zeros.reserve(n);
+  // Swap proposals need a uniformly random (selected, unselected) index
+  // pair.  The sampler answers k-th order statistics over the state's bits
+  // in O(log n) and is maintained incrementally against commits — replacing
+  // the O(n) ones/zeros list rebuild per proposal — while sampling the
+  // exact indices those ascending lists would have produced, so walks are
+  // bit-identical to the rebuild implementation.
+  IndexSampler sampler;
+  if (swaps_enabled) sampler.reset(problem.state());
 
   // The iteration index (and hence the temperature) advances per QUBO
   // computation; filtered configurations loop straight back to the move
@@ -72,16 +78,10 @@ SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
     bool is_swap = false;
     std::size_t bit = 0, bit_out = 0;
     if (swaps_enabled && rng.uniform() < params.swap_probability) {
-      ones.clear();
-      zeros.clear();
-      const auto& x = problem.state();
-      for (std::size_t i = 0; i < n; ++i) {
-        (x[i] ? ones : zeros).push_back(i);
-      }
-      if (!ones.empty() && !zeros.empty()) {
+      if (sampler.ones() != 0 && sampler.zeros() != 0) {
         is_swap = true;
-        bit_out = ones[rng.index(ones.size())];
-        bit = zeros[rng.index(zeros.size())];
+        bit_out = sampler.kth_one(rng.index(sampler.ones()));
+        bit = sampler.kth_zero(rng.index(sampler.zeros()));
       }
     }
     if (!is_swap) bit = rng.index(n);
@@ -98,6 +98,9 @@ SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
         d <= 0.0 || rng.uniform() < std::exp(-d / temperature);
     if (accept) {
       problem.commit(move);
+      if (swaps_enabled) {
+        for (const std::size_t k : move.indices()) sampler.flip(k);
+      }
       current += d;
       ++result.accepted;
       if (current < result.best_energy) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/inequality_qubo.hpp"
+#include "core/maxcut_qubo.hpp"
 
 namespace hycim::cop {
 
@@ -134,6 +135,14 @@ qubo::BitVector encode_assignment(const BinPackingForm& form,
     v[form.y_index(bins[i])] = 1;
   }
   return v;
+}
+
+// --- Max-Cut ------------------------------------------------------------
+
+core::ConstrainedQuboForm to_constrained_form(const MaxCutInstance& inst) {
+  core::ConstrainedQuboForm form;
+  form.q = core::to_maxcut_qubo(inst);
+  return form;
 }
 
 // --- Graph coloring ----------------------------------------------------

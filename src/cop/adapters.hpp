@@ -21,6 +21,7 @@
 #include "core/hycim_solver.hpp"
 #include "cop/bin_packing.hpp"
 #include "cop/graph_coloring.hpp"
+#include "cop/maxcut.hpp"
 #include "cop/mdkp.hpp"
 #include "cop/qkp.hpp"
 #include "cop/qkp_result.hpp"
@@ -93,6 +94,15 @@ BinPackingForm to_constrained_form(const BinPackingInstance& inst,
 /// the form's variable vector, with consistent y bits.
 qubo::BitVector encode_assignment(const BinPackingForm& form,
                                   const std::vector<std::size_t>& bins);
+
+// --- Max-Cut ------------------------------------------------------------
+
+/// Max-Cut → constrained QUBO: the degenerate (unconstrained) case of the
+/// generic form — Q from core::to_maxcut_qubo, empty constraint lists, so
+/// the solver facade runs crossbar + SA with the filter bank dark.  This
+/// is the paper's "maps seamlessly to QUBO" COP class routed through the
+/// same front door as the inequality-constrained ones.
+core::ConstrainedQuboForm to_constrained_form(const MaxCutInstance& inst);
 
 // --- Graph coloring ----------------------------------------------------
 

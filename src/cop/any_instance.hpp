@@ -1,0 +1,78 @@
+// The uniform COP front door: one variant type over every problem class in
+// src/cop/ plus the registry that maps each of them to its
+// to_constrained_form() lowering, a feasible initial-configuration
+// generator, and a problem-level scorer.
+//
+// This is the request side of the serving API (service::Service): a caller
+// hands over *a problem instance*, not a hand-assembled form → config →
+// solver → x0 pipeline, and gets back both QUBO-level results and the
+// problem's own objective (profit, bins used, cut weight, ...) recovered
+// from the best configuration.  Adding a COP to the repository means adding
+// a variant alternative and one registry entry here — nothing else in the
+// serving stack changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+#include <variant>
+
+#include "core/constrained_form.hpp"
+#include "cop/bin_packing.hpp"
+#include "cop/graph_coloring.hpp"
+#include "cop/maxcut.hpp"
+#include "cop/mdkp.hpp"
+#include "cop/qkp.hpp"
+#include "qubo/qubo_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::cop {
+
+/// Any COP the generic facade can solve.  Max-Cut is the unconstrained
+/// alternative (empty constraint lists — the filter bank stays dark);
+/// graph coloring exercises the equality-filter path.
+using AnyInstance = std::variant<QkpInstance, MdkpInstance,
+                                 BinPackingInstance, ColoringInstance,
+                                 MaxCutInstance>;
+
+/// Problem-level view of a solved configuration, scored by the instance's
+/// own objective rather than QUBO energy (the two rank slightly differently
+/// once quantization is in play — the paper records problem values).
+struct ProblemReport {
+  std::string_view kind;    ///< registry entry, e.g. "qkp"
+  std::string_view metric;  ///< objective name, e.g. "profit", "cut_weight"
+  double value = 0.0;       ///< the objective at best_x
+  bool higher_is_better = true;  ///< direction of `value`
+  bool feasible = false;    ///< exact problem-level feasibility of best_x
+};
+
+/// Draws a feasible initial configuration from the run's forked rng (the
+/// runtime::InitFn contract: a pure function of the rng argument).
+using FeasibleInitFn = std::function<qubo::BitVector(util::Rng&)>;
+
+/// Scores a full variable vector (form-sized) at the problem level.
+using ScoreFn = std::function<ProblemReport(std::span<const std::uint8_t>)>;
+
+/// One COP lowered through its registry entry.  `init` and `score` are
+/// self-contained — they share ownership of whatever instance data they
+/// need, so a LoweredProblem outlives the AnyInstance it came from (async
+/// submissions move requests across threads).
+struct LoweredProblem {
+  std::string_view kind;
+  core::ConstrainedQuboForm form;
+  FeasibleInitFn init;
+  ScoreFn score;
+};
+
+/// The registry lookup: lowers `instance` through its entry.
+LoweredProblem lower(const AnyInstance& instance);
+
+/// Registry name of the instance's problem class ("qkp", "mdkp",
+/// "bin_packing", "coloring", "maxcut").
+std::string_view kind_name(const AnyInstance& instance);
+
+/// The instance's display name (empty when unnamed).
+std::string_view instance_name(const AnyInstance& instance);
+
+}  // namespace hycim::cop

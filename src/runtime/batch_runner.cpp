@@ -18,24 +18,28 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-unsigned resolve_threads(const BatchParams& params) {
-  unsigned threads = params.threads;
+}  // namespace
+
+unsigned resolve_thread_count(unsigned requested, std::size_t restarts) {
+  unsigned threads = requested;
   if (threads == 0) {
+    // hardware_concurrency() is allowed to return 0 when the host cannot
+    // report a core count; a single worker is the only safe fallback.
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
-  if (params.restarts < threads) {
-    threads = static_cast<unsigned>(params.restarts);
+  if (restarts < threads) {
+    threads = static_cast<unsigned>(restarts);
   }
   return threads == 0 ? 1 : threads;
 }
 
-}  // namespace
-
 BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
   if (!fn) throw std::invalid_argument("run_batch: null run function");
   if (params.restarts == 0) {
-    throw std::invalid_argument("run_batch: restarts must be > 0");
+    throw std::invalid_argument(
+        "run_batch: BatchParams.restarts must be > 0 (a batch of zero "
+        "restarts has no result to aggregate)");
   }
 
   const auto batch_start = std::chrono::steady_clock::now();
@@ -71,7 +75,7 @@ BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
     }
   };
 
-  const unsigned threads = resolve_threads(params);
+  const unsigned threads = resolve_thread_count(params.threads, params.restarts);
   if (threads <= 1) {
     worker();
   } else {
@@ -91,6 +95,7 @@ BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
   for (const RunRecord& r : result.runs) {
     result.total_evaluated += r.evaluated;
     result.total_proposed += r.proposed;
+    result.total_infeasible += r.infeasible;
     result.run_seconds_sum += r.seconds;
     if (score_success && r.feasible &&
         r.best_energy <= params.success_energy) {
@@ -133,6 +138,12 @@ BatchResult solve_batch(const core::ConstrainedQuboForm& form,
   // results are unchanged — construction just stops dominating the wall
   // time of short anneals.
   const core::HyCimSolver prototype(form, config);
+  return solve_batch(prototype, init, params);
+}
+
+BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
+                        const BatchParams& params) {
+  if (!init) throw std::invalid_argument("solve_batch: null init function");
   return run_batch(params, [&](std::size_t, util::Rng& rng) {
     // Same fabricated chip every run (fab_seed untouched), but an
     // independent comparator-noise stream per run — independent repeated
@@ -148,6 +159,7 @@ BatchResult solve_batch(const core::ConstrainedQuboForm& form,
     record.feasible = r.feasible;
     record.evaluated = r.sa.evaluated;
     record.proposed = r.sa.proposed;
+    record.infeasible = r.sa.rejected_infeasible;
     return record;
   });
 }

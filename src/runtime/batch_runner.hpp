@@ -48,6 +48,7 @@ struct RunRecord {
   bool feasible = false;
   std::size_t evaluated = 0;  ///< QUBO computations (feasible proposals)
   std::size_t proposed = 0;   ///< all generated configurations
+  std::size_t infeasible = 0; ///< proposals rejected by the filters
   double seconds = 0.0;       ///< wall time of this run
 };
 
@@ -63,9 +64,16 @@ struct BatchResult {
   double success_rate = 0.0;  ///< successes / restarts (0 if disabled)
   std::size_t total_evaluated = 0;  ///< QUBO computations across the batch
   std::size_t total_proposed = 0;
+  std::size_t total_infeasible = 0;  ///< filter rejections across the batch
   double wall_seconds = 0.0;      ///< elapsed wall time of the whole batch
   double run_seconds_sum = 0.0;   ///< Σ per-run seconds (the serial cost)
 };
+
+/// The worker-thread count a batch with these parameters actually uses:
+/// `requested` when non-zero, otherwise hardware_concurrency() — which is
+/// allowed to report 0 on exotic hosts, falling back to 1 — capped by
+/// `restarts` (extra workers would only spin on an empty queue).
+unsigned resolve_thread_count(unsigned requested, std::size_t restarts);
 
 /// One independent restart.  Must be thread-safe and a pure function of
 /// (run, rng) — see the determinism contract above.  The returned record's
@@ -86,6 +94,16 @@ using InitFn = std::function<qubo::BitVector(util::Rng&)>;
 /// anneals with a run seed taken from the same stream.
 BatchResult solve_batch(const core::ConstrainedQuboForm& form,
                         const core::HyCimConfig& config, const InitFn& init,
+                        const BatchParams& params);
+
+/// Same protocol on an already-programmed chip: every run clones
+/// `prototype` ("program once, solve many") instead of fabricating.  The
+/// overload above is exactly this after fabricating the prototype itself,
+/// so a cached chip — the service layer's case — yields bit-identical
+/// batches to a cold fabrication with the same seeds.  `prototype` is only
+/// read (clone construction), never solved on, so concurrent batches may
+/// share one instance.
+BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
                         const BatchParams& params);
 
 }  // namespace hycim::runtime

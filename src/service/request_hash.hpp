@@ -1,0 +1,44 @@
+// Content hashing for the service's programmed-chip cache.
+//
+// A programmed chip is a pure function of (ConstrainedQuboForm, HyCimConfig)
+// — the config carries the fabrication seeds (filter.fab_seed,
+// vmv.fab_seed) and every device/circuit corner, the form carries the
+// matrix and constraints the chip is programmed with.  Two requests with
+// equal keys therefore fabricate bit-identical hardware, which is what
+// lets the cache hand out one prototype for both: cloning it is
+// indistinguishable from refabricating.
+//
+// The key is 128 bits (two independent 64-bit mixes over the same field
+// stream), so accidental collisions are out of reach for any realistic
+// cache population; this is a cache key, not a cryptographic commitment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/constrained_form.hpp"
+#include "core/hycim_solver.hpp"
+
+namespace hycim::service {
+
+/// 128-bit content key of a (form, config) pair.
+struct ChipKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const ChipKey&) const = default;
+};
+
+/// Hash adaptor for unordered containers.
+struct ChipKeyHash {
+  std::size_t operator()(const ChipKey& k) const {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Content hash of everything the programmed chip depends on, plus the
+/// solve-time knobs (SA schedule etc.) so a cache entry is only reused for
+/// requests that would behave identically end to end.
+ChipKey chip_key(const core::ConstrainedQuboForm& form,
+                 const core::HyCimConfig& config);
+
+}  // namespace hycim::service

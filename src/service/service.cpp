@@ -1,0 +1,176 @@
+#include "service/service.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hycim::service {
+
+namespace {
+
+void validate_batch(const runtime::BatchParams& batch) {
+  if (batch.restarts == 0) {
+    throw std::invalid_argument(
+        "service::Service: batch.restarts must be > 0 — a request with no "
+        "restarts has no measurements to aggregate");
+  }
+}
+
+}  // namespace
+
+Service::Service(const ServiceConfig& config) : config_(config) {
+  stats_.capacity = config_.chip_cache_capacity;
+  const unsigned workers = config_.workers == 0 ? 1 : config_.workers;
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    std::packaged_task<Reply()> task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Graceful drain: pending submissions complete even during shutdown,
+      // so a future obtained before ~Service never deadlocks or breaks its
+      // promise.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::future<Reply> Service::submit(Request request) {
+  // Reject degenerate requests on the submitting thread — a clear throw at
+  // the call site beats a deferred broken future.
+  validate_batch(request.batch);
+  std::packaged_task<Reply()> task(
+      [this, request = std::move(request)] { return solve(request); });
+  std::future<Reply> future = task.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      throw std::runtime_error(
+          "service::Service::submit: service is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+Reply Service::solve(const Request& request) {
+  validate_batch(request.batch);
+  cop::LoweredProblem lowered = cop::lower(request.instance);
+  if (lowered.form.size() == 0) {
+    throw std::invalid_argument(
+        "service::Service: instance lowers to an empty form (no variables)");
+  }
+  const ChipKey key = chip_key(lowered.form, request.config);
+
+  Reply reply;
+  const auto chip =
+      programmed_chip(lowered.form, request.config, key, &reply.cache_hit);
+  const runtime::InitFn& init = request.init ? request.init : lowered.init;
+  reply.batch = runtime::solve_batch(*chip, init, request.batch);
+  reply.problem = lowered.score(reply.batch.best_x);
+  reply.chip_key = key.lo;
+  return reply;
+}
+
+Reply Service::solve_form(const core::ConstrainedQuboForm& form,
+                          const core::HyCimConfig& config,
+                          const runtime::InitFn& init,
+                          const runtime::BatchParams& batch) {
+  validate_batch(batch);
+  if (form.size() == 0) {
+    throw std::invalid_argument("service::Service::solve_form: empty form");
+  }
+  if (!init) {
+    throw std::invalid_argument(
+        "service::Service::solve_form: an initial-configuration generator "
+        "is required (custom forms have no registry entry to supply one)");
+  }
+  const ChipKey key = chip_key(form, config);
+  Reply reply;
+  const auto chip = programmed_chip(form, config, key, &reply.cache_hit);
+  reply.batch = runtime::solve_batch(*chip, init, batch);
+  reply.problem.kind = "form";
+  reply.problem.metric = "qubo_energy";
+  reply.problem.higher_is_better = false;
+  reply.problem.value = reply.batch.best_energy;
+  reply.problem.feasible = form.feasible(reply.batch.best_x);
+  reply.chip_key = key.lo;
+  return reply;
+}
+
+std::shared_ptr<const core::HyCimSolver> Service::programmed_chip(
+    const core::ConstrainedQuboForm& form, const core::HyCimConfig& config,
+    const ChipKey& key, bool* cache_hit) {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      *cache_hit = true;
+      return lru_.front().chip;
+    }
+    ++stats_.misses;
+  }
+  // Fabricate outside the lock — it is the expensive O(cells) step the
+  // cache exists to amortize, and must not serialize unrelated requests.
+  // Two threads missing the same key fabricate bit-identical chips (the
+  // key covers every fabrication input), so whichever insert wins below is
+  // interchangeable with the other's.
+  auto chip = std::make_shared<const core::HyCimSolver>(form, config);
+  *cache_hit = false;
+  if (config_.chip_cache_capacity == 0) return chip;
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced with another miss on the same key: adopt the cached twin.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().chip;
+  }
+  lru_.push_front(CacheEntry{key, chip});
+  index_[key] = lru_.begin();
+  if (lru_.size() > config_.chip_cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  return chip;
+}
+
+CacheStats Service::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheStats out = stats_;
+  out.entries = lru_.size();
+  out.capacity = config_.chip_cache_capacity;
+  return out;
+}
+
+void Service::clear_cache() {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace hycim::service

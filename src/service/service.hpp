@@ -1,0 +1,151 @@
+// The serving front door (paper Sec. 4.3's deployment story as an API):
+// "program once, solve many" behind a long-lived, thread-safe session.
+//
+// A request is just {problem instance, solver config, batch parameters}.
+// The service lowers the instance through the COP registry
+// (cop::any_instance), looks the resulting (form, config) up in an
+// LRU-bounded cache of *programmed chip prototypes* keyed by content hash,
+// and runs the batch-restart protocol on the (possibly cached) chip:
+//
+//   * a cache hit skips fabrication entirely — the cached prototype is
+//     cloned per run, which is bit-identical to refabricating, so replies
+//     are indistinguishable from a cold solve;
+//   * solve() is synchronous; submit() queues the same computation on a
+//     small worker pool and returns a std::future — bit-identical to
+//     solve() for the same request, because every run's randomness is a
+//     pure function of (batch seed, run index) regardless of which thread
+//     executes it (the runtime::run_batch determinism contract).
+//
+// Observability: cache_stats() reports hits / misses / evictions, and each
+// reply carries whether it was served from a cached chip.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cop/any_instance.hpp"
+#include "core/constrained_form.hpp"
+#include "core/hycim_solver.hpp"
+#include "runtime/batch_runner.hpp"
+#include "service/request_hash.hpp"
+
+namespace hycim::service {
+
+/// Session-level configuration.
+struct ServiceConfig {
+  /// Maximum number of programmed chip prototypes kept alive (LRU).  A
+  /// 100-item QKP prototype is ~1 MB of fabricated device state, so the
+  /// default bounds the cache to tens of MB.  0 disables caching (every
+  /// request fabricates, nothing is retained).
+  std::size_t chip_cache_capacity = 16;
+  /// Worker threads draining the async submission queue.  Each worker runs
+  /// one request at a time; the request's own batch.threads fan out below
+  /// it, so a couple of workers saturate a host without oversubscribing.
+  unsigned workers = 2;
+};
+
+/// One solve request: the uniform front-door shape for every COP.
+struct Request {
+  cop::AnyInstance instance;
+  core::HyCimConfig config{};
+  runtime::BatchParams batch{};
+  /// Optional override of the registry's feasible-x0 generator — e.g. the
+  /// fig10 Monte-Carlo protocol anneals every restart from one fixed
+  /// initial configuration.  Must return feasible form-sized vectors and
+  /// depend only on the rng argument (the determinism contract).
+  runtime::InitFn init{};
+};
+
+/// One reply: QUBO-level batch statistics plus the problem-level score of
+/// the best configuration.
+struct Reply {
+  runtime::BatchResult batch;
+  cop::ProblemReport problem;
+  bool cache_hit = false;     ///< served from a cached programmed chip
+  std::uint64_t chip_key = 0; ///< low word of the content hash (debugging)
+};
+
+/// Cache observability counters (monotonic over the service lifetime,
+/// except `entries` which is the current population).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+/// A long-lived solver session.  All public methods are thread-safe; one
+/// Service instance is meant to be shared by every caller in the process.
+class Service {
+ public:
+  explicit Service(const ServiceConfig& config = {});
+  /// Drains the async queue (pending futures still complete) and joins the
+  /// workers.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Solves synchronously: lower → cached/ fabricated chip → batch →
+  /// problem-level score.  Throws std::invalid_argument on degenerate
+  /// requests (zero restarts, empty instances).
+  Reply solve(const Request& request);
+
+  /// Queues the request for the worker pool and returns its future.  The
+  /// eventual Reply is bit-identical to solve(request) called at any time,
+  /// on any thread — only the cache_hit flag depends on scheduling.
+  std::future<Reply> submit(Request request);
+
+  /// The raw-form entry for custom problems that are not (yet) a registry
+  /// COP: same chip cache, same batch protocol; the reply's problem report
+  /// is the generic QUBO view (energy, exact feasibility).
+  Reply solve_form(const core::ConstrainedQuboForm& form,
+                   const core::HyCimConfig& config,
+                   const runtime::InitFn& init,
+                   const runtime::BatchParams& batch);
+
+  /// Cache counters at this instant.
+  CacheStats cache_stats() const;
+
+  /// Drops every cached prototype (counters keep accumulating).
+  void clear_cache();
+
+ private:
+  struct CacheEntry {
+    ChipKey key;
+    std::shared_ptr<const core::HyCimSolver> chip;
+  };
+
+  /// Returns the programmed chip for (form, config), from cache or by
+  /// fabricating (outside the cache lock).  Sets *cache_hit accordingly.
+  std::shared_ptr<const core::HyCimSolver> programmed_chip(
+      const core::ConstrainedQuboForm& form, const core::HyCimConfig& config,
+      const ChipKey& key, bool* cache_hit);
+
+  void worker_loop();
+
+  ServiceConfig config_;
+
+  mutable std::mutex cache_mutex_;
+  std::list<CacheEntry> lru_;  ///< front = most recently used
+  std::unordered_map<ChipKey, std::list<CacheEntry>::iterator, ChipKeyHash>
+      index_;
+  CacheStats stats_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::packaged_task<Reply()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace hycim::service

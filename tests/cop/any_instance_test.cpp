@@ -1,0 +1,122 @@
+// The uniform COP registry: every variant alternative lowers to a form the
+// facade accepts, generates feasible initial configurations, and scores
+// configurations with its own objective — including the max-cut path
+// through the generic facade (empty constraint lists) and the coloring
+// equality path.
+#include "cop/any_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cop/adapters.hpp"
+#include "core/maxcut_qubo.hpp"
+
+namespace hycim::cop {
+namespace {
+
+TEST(AnyInstance, KindNamesCoverEveryAlternative) {
+  EXPECT_EQ(kind_name(AnyInstance{QkpInstance{}}), "qkp");
+  EXPECT_EQ(kind_name(AnyInstance{MdkpInstance{}}), "mdkp");
+  EXPECT_EQ(kind_name(AnyInstance{BinPackingInstance{}}), "bin_packing");
+  EXPECT_EQ(kind_name(AnyInstance{ColoringInstance{}}), "coloring");
+  EXPECT_EQ(kind_name(AnyInstance{MaxCutInstance{}}), "maxcut");
+}
+
+TEST(AnyInstance, QkpEntryLowersInitializesAndScores) {
+  QkpGeneratorParams params;
+  params.n = 20;
+  const auto inst = generate_qkp(params, 3);
+  const auto lowered = lower(AnyInstance{inst});
+  EXPECT_EQ(lowered.kind, "qkp");
+  EXPECT_EQ(lowered.form.size(), inst.n);
+  ASSERT_EQ(lowered.form.constraints.size(), 1u);
+  EXPECT_TRUE(lowered.form.equalities.empty());
+
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const auto x0 = lowered.init(rng);
+    ASSERT_EQ(x0.size(), inst.n);
+    EXPECT_TRUE(inst.feasible(x0));
+    const auto report = lowered.score(x0);
+    EXPECT_TRUE(report.feasible);
+    EXPECT_EQ(static_cast<long long>(report.value), inst.total_profit(x0));
+  }
+  // Infeasible selections score 0 (the trapped convention).
+  const qubo::BitVector all_ones(inst.n, 1);
+  if (!inst.feasible(all_ones)) {
+    const auto trapped = lowered.score(all_ones);
+    EXPECT_FALSE(trapped.feasible);
+    EXPECT_EQ(trapped.value, 0.0);
+  }
+}
+
+TEST(AnyInstance, MaxCutLowersToUnconstrainedForm) {
+  const auto graph = generate_maxcut(12, 0.4, 7, 1.0, 3.0);
+  const auto lowered = lower(AnyInstance{graph});
+  EXPECT_EQ(lowered.kind, "maxcut");
+  EXPECT_TRUE(lowered.form.constraints.empty());
+  EXPECT_TRUE(lowered.form.equalities.empty());
+  EXPECT_EQ(lowered.form.size(), graph.num_vertices);
+
+  // energy(x) == -cut(x): the adapter is exactly the max-cut QUBO.
+  util::Rng rng(9);
+  for (int i = 0; i < 5; ++i) {
+    const auto x = lowered.init(rng);
+    EXPECT_NEAR(lowered.form.q.energy(x), -graph.cut_value(x), 1e-9);
+    const auto report = lowered.score(x);
+    EXPECT_TRUE(report.feasible);  // unconstrained: everything feasible
+    EXPECT_NEAR(report.value, graph.cut_value(x), 1e-9);
+  }
+}
+
+TEST(AnyInstance, BinPackingInitIsFeasibleAndScoresBins) {
+  const auto inst = generate_bin_packing(10, 18, 9, 4);
+  const auto lowered = lower(AnyInstance{inst});
+  EXPECT_EQ(lowered.kind, "bin_packing");
+  EXPECT_EQ(lowered.form.constraints.size(), inst.max_bins);
+
+  util::Rng rng(1);
+  const auto x0 = lowered.init(rng);
+  ASSERT_EQ(x0.size(), lowered.form.size());
+  EXPECT_TRUE(lowered.form.feasible(x0));  // FFD never overflows a bin
+  const auto report = lowered.score(x0);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_FALSE(report.higher_is_better);
+  EXPECT_GE(report.value, static_cast<double>(inst.lower_bound()));
+}
+
+TEST(AnyInstance, ColoringInitSatisfiesEveryEqualityConstraint) {
+  const auto inst = generate_coloring(8, 0.4, 3, 11);
+  const auto lowered = lower(AnyInstance{inst});
+  EXPECT_EQ(lowered.kind, "coloring");
+  EXPECT_EQ(lowered.form.equalities.size(), inst.num_vertices);
+  EXPECT_TRUE(lowered.form.constraints.empty());
+
+  util::Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const auto x0 = lowered.init(rng);
+    // One-hot by construction: every per-vertex equality holds.
+    EXPECT_TRUE(lowered.form.feasible(x0));
+    const auto report = lowered.score(x0);
+    EXPECT_EQ(report.metric, "violations");
+    EXPECT_EQ(report.feasible, inst.valid_coloring(x0));
+  }
+}
+
+TEST(AnyInstance, LoweredBundleOutlivesTheInstance) {
+  // init/score share ownership of the instance data: using them after the
+  // source AnyInstance is gone must be safe (async submissions rely on it).
+  LoweredProblem lowered;
+  {
+    QkpGeneratorParams params;
+    params.n = 12;
+    const AnyInstance any{generate_qkp(params, 8)};
+    lowered = lower(any);
+  }
+  util::Rng rng(3);
+  const auto x0 = lowered.init(rng);
+  EXPECT_EQ(x0.size(), 12u);
+  EXPECT_TRUE(lowered.score(x0).feasible);
+}
+
+}  // namespace
+}  // namespace hycim::cop

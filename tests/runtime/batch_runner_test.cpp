@@ -218,6 +218,74 @@ TEST(BatchRunner, RejectsDegenerateParams) {
                }),
                std::invalid_argument);
   EXPECT_THROW(run_batch(BatchParams{}, RunFn{}), std::invalid_argument);
+  // The solver entry points reject the same degenerate batches with a clear
+  // error instead of returning a default-constructed BatchResult.
+  const auto inst = qkp_instance(5, 8);
+  const auto form = cop::to_constrained_form(inst);
+  EXPECT_THROW(solve_batch(form, software_config(10), InitFn{}, BatchParams{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      solve_batch(
+          form, software_config(10),
+          [&inst](util::Rng& rng) { return cop::random_feasible(inst, rng); },
+          params),
+      std::invalid_argument);
+}
+
+TEST(BatchRunner, ResolveThreadCountFallsBackAndCaps) {
+  // threads == 0 resolves to hardware_concurrency(), which itself may
+  // report 0 on exotic hosts — either way the result is at least one
+  // worker, and never more workers than restarts.
+  EXPECT_GE(resolve_thread_count(0, 100), 1u);
+  EXPECT_LE(resolve_thread_count(0, 3), 3u);
+  EXPECT_EQ(resolve_thread_count(8, 2), 2u);
+  EXPECT_EQ(resolve_thread_count(4, 100), 4u);
+  EXPECT_EQ(resolve_thread_count(1, 1), 1u);
+}
+
+TEST(BatchRunner, PrototypeOverloadMatchesColdFabrication) {
+  // The service layer's cached-chip path: solving on a pre-programmed
+  // prototype must be bit-identical to the form overload that fabricates
+  // its own chip from the same (form, config).
+  const auto inst = qkp_instance(8, 16);
+  core::HyCimConfig config = software_config(400);
+  config.filter_mode = core::FilterMode::kHardware;
+  const auto form = cop::to_constrained_form(inst);
+  const auto init = [&inst](util::Rng& rng) {
+    return cop::random_feasible(inst, rng);
+  };
+  BatchParams params;
+  params.restarts = 6;
+  params.seed = 19;
+
+  const auto cold = solve_batch(form, config, init, params);
+  const core::HyCimSolver prototype(form, config);
+  const auto warm = solve_batch(prototype, init, params);
+
+  ASSERT_EQ(cold.runs.size(), warm.runs.size());
+  EXPECT_EQ(cold.best_x, warm.best_x);
+  EXPECT_EQ(cold.best_energy, warm.best_energy);
+  for (std::size_t r = 0; r < cold.runs.size(); ++r) {
+    EXPECT_EQ(cold.runs[r].best_x, warm.runs[r].best_x) << "run " << r;
+    EXPECT_EQ(cold.runs[r].best_energy, warm.runs[r].best_energy);
+    EXPECT_EQ(cold.runs[r].evaluated, warm.runs[r].evaluated);
+    EXPECT_EQ(cold.runs[r].infeasible, warm.runs[r].infeasible);
+  }
+}
+
+TEST(BatchRunner, AggregatesInfeasibleRejections) {
+  // Hardware filters reject infeasible proposals without QUBO computations;
+  // the batch surfaces that work as total_infeasible.
+  const auto inst = qkp_instance(9, 20);
+  core::HyCimConfig config = software_config(300);
+  config.filter_mode = core::FilterMode::kHardware;
+  const auto batch = qkp_batch(inst, config, 4, 2, 3);
+  std::size_t sum = 0;
+  for (const auto& r : batch.runs) sum += r.infeasible;
+  EXPECT_EQ(batch.total_infeasible, sum);
+  // Every proposal is either filtered or evaluated — nothing else.
+  EXPECT_EQ(batch.total_proposed,
+            batch.total_evaluated + batch.total_infeasible);
 }
 
 TEST(BatchRunner, ParallelSpeedupOnMultiCoreHosts) {

@@ -1,0 +1,280 @@
+// The serving front door: programmed-chip cache correctness (a hit must be
+// bit-identical to a cold solve), async/sync equivalence, thread-safety
+// under concurrent heterogeneous submissions, LRU bounding, and request
+// validation.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "cop/adapters.hpp"
+#include "runtime/batch_runner.hpp"
+#include "service/request_hash.hpp"
+
+namespace hycim::service {
+namespace {
+
+cop::QkpInstance qkp_instance(std::uint64_t seed, std::size_t n) {
+  cop::QkpGeneratorParams params;
+  params.n = n;
+  params.density_percent = 50;
+  return cop::generate_qkp(params, seed);
+}
+
+Request qkp_request(std::uint64_t instance_seed, std::size_t n,
+                    std::size_t iterations = 300, std::uint64_t batch_seed = 7,
+                    std::size_t restarts = 4) {
+  Request request;
+  request.instance = qkp_instance(instance_seed, n);
+  request.config.sa.iterations = iterations;
+  request.config.filter_mode = core::FilterMode::kHardware;
+  request.batch.restarts = restarts;
+  request.batch.seed = batch_seed;
+  return request;
+}
+
+void expect_batches_equal(const runtime::BatchResult& a,
+                          const runtime::BatchResult& b) {
+  EXPECT_EQ(a.best_x, b.best_x);
+  EXPECT_EQ(a.best_energy, b.best_energy);
+  EXPECT_EQ(a.best_run, b.best_run);
+  EXPECT_EQ(a.feasible, b.feasible);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    EXPECT_EQ(a.runs[r].best_x, b.runs[r].best_x) << "run " << r;
+    EXPECT_EQ(a.runs[r].best_energy, b.runs[r].best_energy);
+    EXPECT_EQ(a.runs[r].evaluated, b.runs[r].evaluated);
+    EXPECT_EQ(a.runs[r].proposed, b.runs[r].proposed);
+    EXPECT_EQ(a.runs[r].infeasible, b.runs[r].infeasible);
+  }
+}
+
+TEST(ChipKey, SensitiveToFormAndConfig) {
+  const auto inst_a = qkp_instance(1, 12);
+  const auto inst_b = qkp_instance(2, 12);
+  const auto form_a = cop::to_constrained_form(inst_a);
+  const auto form_b = cop::to_constrained_form(inst_b);
+  core::HyCimConfig config;
+  EXPECT_EQ(chip_key(form_a, config), chip_key(form_a, config));
+  EXPECT_NE(chip_key(form_a, config), chip_key(form_b, config));
+
+  core::HyCimConfig other = config;
+  other.filter.fab_seed = config.filter.fab_seed + 1;
+  EXPECT_NE(chip_key(form_a, config), chip_key(form_a, other));
+  other = config;
+  other.sa.iterations = config.sa.iterations + 1;
+  EXPECT_NE(chip_key(form_a, config), chip_key(form_a, other));
+  other = config;
+  other.filter_mode = core::FilterMode::kSoftware;
+  EXPECT_NE(chip_key(form_a, config), chip_key(form_a, other));
+}
+
+TEST(Service, CacheHitIsBitIdenticalToColdSolve) {
+  const Request request = qkp_request(3, 16);
+
+  Service warm;
+  const Reply first = warm.solve(request);
+  const Reply second = warm.solve(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  expect_batches_equal(first.batch, second.batch);
+
+  // A fresh service (nothing cached) produces the same reply again: the
+  // cached prototype is interchangeable with a cold fabrication.
+  Service cold;
+  const Reply fresh = cold.solve(request);
+  EXPECT_FALSE(fresh.cache_hit);
+  expect_batches_equal(first.batch, fresh.batch);
+
+  const auto stats = warm.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(Service, ProblemReportMatchesInstanceScore) {
+  const auto inst = qkp_instance(4, 14);
+  Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 400;
+  request.batch.restarts = 4;
+  Service service;
+  const Reply reply = service.solve(request);
+  EXPECT_EQ(reply.problem.kind, "qkp");
+  EXPECT_EQ(reply.problem.metric, "profit");
+  ASSERT_TRUE(reply.problem.feasible);
+  EXPECT_TRUE(inst.feasible(reply.batch.best_x));
+  EXPECT_EQ(static_cast<long long>(reply.problem.value),
+            inst.total_profit(reply.batch.best_x));
+}
+
+TEST(Service, SubmitMatchesSolve) {
+  Service service;
+  const Request request = qkp_request(5, 16, 400, 21);
+  const Reply sync = service.solve(request);
+  std::future<Reply> future = service.submit(request);
+  const Reply async = future.get();
+  expect_batches_equal(sync.batch, async.batch);
+  EXPECT_EQ(sync.problem.value, async.problem.value);
+  EXPECT_EQ(sync.problem.feasible, async.problem.feasible);
+}
+
+TEST(Service, SubmitMatchesSolveAtAnyBatchThreadCount) {
+  // The determinism contract end to end: worker-pool scheduling and the
+  // batch's own thread fan must not leak into results.
+  Request serial = qkp_request(6, 16, 400, 9);
+  serial.batch.threads = 1;
+  Request wide = serial;
+  wide.batch.threads = 8;
+  Service service(ServiceConfig{.chip_cache_capacity = 16, .workers = 4});
+  const Reply a = service.solve(serial);
+  const Reply b = service.submit(wide).get();
+  expect_batches_equal(a.batch, b.batch);
+}
+
+TEST(Service, ConcurrentDistinctSubmissionsAreDeterministic) {
+  // Many threads submitting distinct instances concurrently: every reply
+  // must equal the same request solved serially on a fresh service.
+  constexpr std::size_t kClients = 6;
+  std::vector<Request> requests;
+  requests.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    requests.push_back(qkp_request(10 + i, 14, 250, 100 + i));
+  }
+
+  Service shared(ServiceConfig{.chip_cache_capacity = 8, .workers = 3});
+  std::vector<std::future<Reply>> futures(kClients);
+  {
+    // Submit from distinct client threads (submission itself must be
+    // race-free, not just the worker pool).
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] { futures[i] = shared.submit(requests[i]); });
+    }
+    for (auto& c : clients) c.join();
+  }
+
+  for (std::size_t i = 0; i < kClients; ++i) {
+    const Reply concurrent = futures[i].get();
+    Service fresh(ServiceConfig{.chip_cache_capacity = 8, .workers = 1});
+    const Reply serial = fresh.solve(requests[i]);
+    expect_batches_equal(concurrent.batch, serial.batch);
+  }
+}
+
+TEST(Service, ConcurrentRepeatSubmissionsShareOneChip) {
+  // Hammering one instance from several threads: all replies identical,
+  // and the cache ends up with exactly one entry for it.
+  const Request request = qkp_request(30, 14, 250, 3);
+  Service service(ServiceConfig{.chip_cache_capacity = 4, .workers = 4});
+  std::vector<std::future<Reply>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(service.submit(request));
+  const Reply reference = futures.front().get();
+  for (std::size_t i = 1; i < futures.size(); ++i) {
+    expect_batches_equal(reference.batch, futures[i].get().batch);
+  }
+  EXPECT_EQ(service.cache_stats().entries, 1u);
+}
+
+TEST(Service, LruEvictionBoundsTheCache) {
+  Service service(ServiceConfig{.chip_cache_capacity = 2, .workers = 1});
+  const Request a = qkp_request(40, 12, 150);
+  const Request b = qkp_request(41, 12, 150);
+  const Request c = qkp_request(42, 12, 150);
+
+  service.solve(a);  // miss: {a}
+  service.solve(b);  // miss: {b, a}
+  EXPECT_TRUE(service.solve(a).cache_hit);   // hit: {a, b}
+  service.solve(c);                          // miss, evicts b: {c, a}
+  EXPECT_FALSE(service.solve(b).cache_hit);  // b was evicted -> miss
+
+  const auto stats = service.cache_stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.evictions, 2u);  // b once, then a when b returned
+}
+
+TEST(Service, ZeroCapacityDisablesCaching) {
+  Service service(ServiceConfig{.chip_cache_capacity = 0, .workers = 1});
+  const Request request = qkp_request(50, 12, 150);
+  const Reply first = service.solve(request);
+  const Reply second = service.solve(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  expect_batches_equal(first.batch, second.batch);
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+}
+
+TEST(Service, ClearCacheDropsPrototypesButKeepsDeterminism) {
+  Service service;
+  const Request request = qkp_request(51, 12, 150);
+  const Reply first = service.solve(request);
+  service.clear_cache();
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+  const Reply second = service.solve(request);
+  EXPECT_FALSE(second.cache_hit);
+  expect_batches_equal(first.batch, second.batch);
+}
+
+TEST(Service, SolveFormCustomProblemUsesCacheToo) {
+  core::ConstrainedQuboForm form;
+  form.q = qubo::QuboMatrix(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    form.q.add(i, i, -static_cast<double>(i + 1));
+  }
+  form.constraints.push_back({{1, 1, 1, 1, 1, 1}, 3});
+  core::HyCimConfig config;
+  config.sa.iterations = 200;
+  runtime::BatchParams batch;
+  batch.restarts = 3;
+  const auto init = [](util::Rng&) { return qubo::BitVector(6, 0); };
+
+  Service service;
+  const Reply first = service.solve_form(form, config, init, batch);
+  const Reply second = service.solve_form(form, config, init, batch);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  expect_batches_equal(first.batch, second.batch);
+  EXPECT_EQ(first.problem.kind, "form");
+  EXPECT_EQ(first.problem.metric, "qubo_energy");
+  EXPECT_TRUE(first.problem.feasible);
+}
+
+TEST(Service, RejectsDegenerateRequests) {
+  Service service;
+  Request request = qkp_request(60, 10);
+  request.batch.restarts = 0;
+  EXPECT_THROW(service.solve(request), std::invalid_argument);
+  EXPECT_THROW(service.submit(request), std::invalid_argument);
+
+  core::ConstrainedQuboForm empty;
+  EXPECT_THROW(service.solve_form(empty, core::HyCimConfig{},
+                                  [](util::Rng&) { return qubo::BitVector{}; },
+                                  runtime::BatchParams{}),
+               std::invalid_argument);
+  core::ConstrainedQuboForm one;
+  one.q = qubo::QuboMatrix(1);
+  EXPECT_THROW(service.solve_form(one, core::HyCimConfig{}, runtime::InitFn{},
+                                  runtime::BatchParams{}),
+               std::invalid_argument);
+}
+
+TEST(Service, PendingSubmissionsCompleteThroughShutdown) {
+  // Futures obtained before ~Service must resolve, not break.
+  std::future<Reply> future;
+  {
+    Service service(ServiceConfig{.chip_cache_capacity = 2, .workers = 1});
+    future = service.submit(qkp_request(70, 12, 200));
+  }  // ~Service drains the queue
+  const Reply reply = future.get();
+  EXPECT_FALSE(reply.batch.runs.empty());
+}
+
+}  // namespace
+}  // namespace hycim::service
