@@ -8,18 +8,28 @@
 // per-instance success rates, the overall averages, and the normalized-
 // value scatter (CSV) that Fig. 10 plots.
 //
-// The per-init restart fan (the "100 SA runs" axis) executes on the
-// parallel batch runner, so the sweep saturates the host's cores while
-// staying bit-reproducible from the suite seed at any thread count.
-// Results are also emitted machine-readably (default BENCH_fig10.json:
+// The whole sweep executes on the batch runner: the *instance* loop is a
+// run_batch fan (one forked stream per instance — no shared util::Rng
+// anywhere), and within an instance the init/run protocol proceeds on that
+// instance's stream with inner batches kept serial.  Results are
+// bit-reproducible from the suite seed at any --threads count and ordered
+// aggregation (CSV rows, tables, JSON) happens after the fan joins.
+//
+// --strategy picks the HyCiM search engine at equal QUBO-computation
+// budget: `sa` (default) fans --runs independent cooled walks per init;
+// `tempering` runs --runs / --replicas replica-exchange ensembles of
+// --replicas walks each, so both spend runs × iterations QUBO computations
+// per init.  D-QUBO always runs the plain SA fan — it is the baseline.
+//
+// Results are emitted machine-readably (default BENCH_fig10.json:
 // per-config success rate, QUBO computations, wall time) so successive
 // PRs can diff the performance trajectory.
 //
 // HyCiM requests go through the serving front door (service::Service): the
-// per-instance chip is fabricated on the first init and served from the
-// programmed-chip cache for every following init — the "program once,
-// solve many" amortization, bit-identical to refabricating per init.  The
-// fixed Monte-Carlo x0 of each init rides the request's init override.
+// per-instance chip is fabricated once and served from the programmed-chip
+// cache for every following init — the "program once, solve many"
+// amortization, bit-identical to refabricating per init.  The fixed
+// Monte-Carlo x0 of each init rides the request's init override.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -48,6 +58,24 @@ struct SolverStats {
   double wall_seconds = 0.0;
 };
 
+/// One init's scatter point per solver (the CSV rows, buffered so the
+/// parallel instance fan can emit them in deterministic order afterwards).
+struct InitRow {
+  double hycim_norm = 0.0;
+  bool hycim_feasible = false;
+  double dqubo_norm = 0.0;
+  bool dqubo_feasible = false;
+};
+
+/// Everything one instance task produces.
+struct InstanceOutcome {
+  std::string name;
+  long long reference = 0;
+  SolverStats hycim, dqubo;
+  std::size_t exchanges_accepted = 0;  ///< tempering observability
+  std::vector<InitRow> rows;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,9 +86,16 @@ int main(int argc, char** argv) {
   cli.add_int("inits", 10, "MC initial configurations (paper: 1000)");
   cli.add_int("runs", 100, "SA runs per initial configuration (paper: 100)");
   cli.add_int("iterations", 1000, "SA iterations per run");
-  cli.add_int("threads", 0, "batch-runner threads (0 = all cores)");
+  cli.add_int("threads", 0, "instance-fan threads (0 = all cores)");
   cli.add_bool("hardware_filter", true,
                "use the FeFET filter (false = exact software predicate)");
+  cli.add_string("strategy", "sa",
+                 "HyCiM search strategy: sa | tempering (equal QUBO budget: "
+                 "tempering divides --runs by --replicas)");
+  cli.add_int("replicas", 4, "tempering: replicas per ensemble");
+  cli.add_double("t_ratio", 0.05, "tempering: ladder span T_cold/T_hot");
+  cli.add_int("exchange_interval", 25,
+              "tempering: QUBO computations between exchange barriers");
   cli.add_int("seed", 2024, "suite base seed");
   cli.add_string("csv", "fig10_normalized_values.csv", "scatter CSV path");
   cli.add_string("json", "BENCH_fig10.json", "machine-readable results path");
@@ -90,49 +125,71 @@ int main(int argc, char** argv) {
   const auto runs = static_cast<std::size_t>(cli.get_int("runs"));
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
   const auto threads = static_cast<unsigned>(cli.get_int("threads"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::string strategy = cli.get_string("strategy");
+  if (strategy != "sa" && strategy != "tempering") {
+    std::cerr << "unknown --strategy '" << strategy
+              << "' (expected sa | tempering)\n";
+    return 2;
+  }
+  const bool tempering = strategy == "tempering";
+  anneal::TemperingParams tempering_params;
+  tempering_params.replicas =
+      static_cast<std::size_t>(cli.get_int("replicas"));
+  tempering_params.t_ratio = cli.get_double("t_ratio");
+  tempering_params.exchange_interval =
+      static_cast<std::size_t>(cli.get_int("exchange_interval"));
+  // Equal-budget restart fan: R-replica ensembles each cost R walks, so
+  // the division must be exact or the comparison is silently biased.
+  if (tempering && runs % tempering_params.replicas != 0) {
+    std::cerr << "--strategy tempering needs --runs divisible by --replicas "
+                 "(the equal-QUBO-budget comparison replaces every "
+              << tempering_params.replicas << " SA walks by one ensemble); "
+              << "got --runs " << runs << " --replicas "
+              << tempering_params.replicas << "\n";
+    return 2;
+  }
+  const std::size_t hycim_restarts =
+      tempering ? runs / tempering_params.replicas : runs;
 
   std::cout << "Fig. 10 reproduction: " << suite.size() << " instances x "
             << inits << " inits x " << runs << " runs x " << iterations
             << " iterations (paper: 40 x 1000 x 100 x 1000)\n"
-            << "Protocol (paper Sec. 4.3): per initial configuration, the "
+            << "HyCiM strategy: " << strategy;
+  if (tempering) {
+    std::cout << " (" << hycim_restarts << " ensembles x "
+              << tempering_params.replicas << " replicas per init — equal "
+              << "QUBO budget)";
+  }
+  std::cout << "\nProtocol (paper Sec. 4.3): per initial configuration, the "
                "recorded QKP value\nis the best over the SA runs; success = "
                "reaching " << core::kSuccessFraction * 100
             << "% of the best-known value.\n\n";
 
-  util::CsvWriter csv(csv_path.string(),
-                      {"instance", "solver", "init", "run",
-                       "normalized_value", "feasible"});
-  util::Table table({"instance", "reference", "HyCiM succ %", "D-QUBO succ %",
-                     "HyCiM trapped %", "D-QUBO trapped %"});
-
-  std::ofstream json_out(json_path);
-  util::JsonWriter json(json_out);
-  json.begin_object();
-  json.key("bench").value("fig10_solving_efficiency");
-  json.key("protocol").begin_object();
-  json.key("instances").value(static_cast<long long>(suite.size()));
-  json.key("items").value(cli.get_int("items"));
-  json.key("inits").value(static_cast<long long>(inits));
-  json.key("runs").value(static_cast<long long>(runs));
-  json.key("iterations").value(static_cast<long long>(iterations));
-  json.key("hardware_filter").value(cli.get_bool("hardware_filter"));
-  json.key("seed").value(cli.get_int("seed"));
-  json.key("threads").value(static_cast<long long>(threads));
-  json.end();
-  json.key("per_instance").begin_array();
-
   // One session for the whole sweep: per instance, the first init programs
-  // the chip and the remaining inits hit the cache.
-  service::Service service;
+  // the chip and the remaining inits hit the cache.  The session is
+  // thread-safe, so the instance fan shares it; capacity covers the suite
+  // so parallel instances cannot evict each other's chips.
+  service::Service service(service::ServiceConfig{
+      .chip_cache_capacity = suite.size(), .workers = 1});
 
-  util::OnlineStats hycim_rates, dqubo_rates;
-  util::OnlineStats hycim_norm, dqubo_norm;
-  double hycim_wall_total = 0.0, dqubo_wall_total = 0.0;
-  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+  // The instance fan: one forked stream per instance drives every draw of
+  // that instance's protocol (Monte-Carlo x0s, D-QUBO initials), so the
+  // sweep is bit-identical for any --threads.
+  std::vector<InstanceOutcome> outcomes(suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = suite.size();
+  fan.threads = threads;
+  fan.seed = seed;
+  runtime::run_batch(fan, [&](std::size_t idx, util::Rng& rng) {
     const auto& inst = suite[idx];
+    InstanceOutcome& out = outcomes[idx];
+    out.name = inst.name;
     core::ReferenceParams ref_params;
     ref_params.seed = 5000 + idx;
     const auto reference = core::reference_solution(inst, ref_params);
+    out.reference = reference.profit;
 
     core::HyCimConfig hconfig;
     hconfig.sa.iterations = iterations;
@@ -141,6 +198,7 @@ int main(int argc, char** argv) {
                               ? core::FilterMode::kHardware
                               : core::FilterMode::kSoftware;
     hconfig.filter.fab_seed = 33 + idx;
+    if (tempering) hconfig.search = tempering_params;
 
     core::DquboConfig dconfig;
     dconfig.sa.iterations = iterations;
@@ -149,21 +207,18 @@ int main(int argc, char** argv) {
 
     // Per initial configuration: best value over the SA runs (the paper
     // records "the QKP values they can obtain" from 100 runs per init).
-    SolverStats hycim_stats, dqubo_stats;
     std::vector<long long> hycim_values, dqubo_values;
     std::size_t hycim_infeasible = 0, dqubo_infeasible = 0;
-    util::Rng init_rng(7000 + idx);
+    out.rows.resize(inits);
     for (std::size_t init = 0; init < inits; ++init) {
-      const auto x0 = cop::random_feasible(inst, init_rng);
-      util::Rng dq_rng(init_rng.next_u64());
+      const auto x0 = cop::random_feasible(inst, rng);
+      util::Rng dq_rng(rng.next_u64());
       const auto xy0 = dqubo.random_initial(dq_rng);
 
       runtime::BatchParams batch;
-      batch.restarts = runs;
-      batch.threads = threads;
-      batch.seed = (static_cast<std::uint64_t>(cli.get_int("seed")) + idx) *
-                       100000 +
-                   init;
+      batch.restarts = hycim_restarts;
+      batch.threads = 1;  // parallelism lives in the instance fan
+      batch.seed = (seed + idx) * 100000 + init;
 
       // HyCiM: the restart fan over the fixed x0 through the front door.
       // The per-init value is the best *exact* profit over the runs (the
@@ -182,15 +237,19 @@ int main(int argc, char** argv) {
         h_feasible = true;
         h_profit = std::max(h_profit, inst.total_profit(run.best_x));
       }
-      hycim_stats.qubo_computations += h_batch.total_evaluated;
-      hycim_stats.proposals += h_batch.total_proposed;
-      hycim_stats.wall_seconds += h_batch.wall_seconds;
+      out.hycim.qubo_computations += h_batch.total_evaluated;
+      out.hycim.proposals += h_batch.total_proposed;
+      out.hycim.wall_seconds += h_batch.wall_seconds;
+      out.exchanges_accepted += h_batch.total_exchanges_accepted;
 
-      // D-QUBO: same fan through the generic runner (the solver is
-      // stateless across solve() calls in quantized fidelity).
+      // D-QUBO: the plain SA fan through the generic runner (the solver is
+      // stateless across solve() calls in quantized fidelity) — always the
+      // full --runs baseline budget.
+      runtime::BatchParams d_params = batch;
+      d_params.restarts = runs;
       const auto d_batch = runtime::run_batch(
-          batch, [&](std::size_t, util::Rng& rng) {
-            const auto r = dqubo.solve(xy0, rng.next_u64());
+          d_params, [&](std::size_t, util::Rng& run_rng) {
+            const auto r = dqubo.solve(xy0, run_rng.next_u64());
             runtime::RunRecord record;
             record.best_x = r.best_x;
             record.best_energy =
@@ -200,9 +259,9 @@ int main(int argc, char** argv) {
             record.proposed = r.sa.proposed;
             return record;
           });
-      dqubo_stats.qubo_computations += d_batch.total_evaluated;
-      dqubo_stats.proposals += d_batch.total_proposed;
-      dqubo_stats.wall_seconds += d_batch.wall_seconds;
+      out.dqubo.qubo_computations += d_batch.total_evaluated;
+      out.dqubo.proposals += d_batch.total_proposed;
+      out.dqubo.wall_seconds += d_batch.wall_seconds;
       const long long d_best =
           d_batch.feasible
               ? static_cast<long long>(-d_batch.best_energy + 0.5)
@@ -212,46 +271,93 @@ int main(int argc, char** argv) {
       dqubo_values.push_back(d_best);
       if (!h_feasible) ++hycim_infeasible;
       if (!d_batch.feasible) ++dqubo_infeasible;
-      const double hn = core::normalized_value(h_profit, reference.profit);
-      const double dn = core::normalized_value(d_best, reference.profit);
-      hycim_norm.add(hn);
-      dqubo_norm.add(dn);
-      hycim_stats.norms.add(hn);
-      dqubo_stats.norms.add(dn);
-      csv.row({static_cast<double>(idx), 0.0, static_cast<double>(init), 0.0,
-               hn, h_feasible ? 1.0 : 0.0});
-      csv.row({static_cast<double>(idx), 1.0, static_cast<double>(init), 0.0,
-               dn, d_batch.feasible ? 1.0 : 0.0});
+      InitRow& row = out.rows[init];
+      row.hycim_norm = core::normalized_value(h_profit, reference.profit);
+      row.hycim_feasible = h_feasible;
+      row.dqubo_norm = core::normalized_value(d_best, reference.profit);
+      row.dqubo_feasible = d_batch.feasible;
+      out.hycim.norms.add(row.hycim_norm);
+      out.dqubo.norms.add(row.dqubo_norm);
     }
-    const double h_rate =
+    out.hycim.success_rate =
         core::success_rate_percent(hycim_values, reference.profit);
-    const double d_rate =
+    out.dqubo.success_rate =
         core::success_rate_percent(dqubo_values, reference.profit);
-    hycim_rates.add(h_rate);
-    dqubo_rates.add(d_rate);
-    hycim_wall_total += hycim_stats.wall_seconds;
-    dqubo_wall_total += dqubo_stats.wall_seconds;
-    const auto total = static_cast<double>(hycim_values.size());
-    hycim_stats.success_rate = h_rate;
-    dqubo_stats.success_rate = d_rate;
-    hycim_stats.trapped_rate = 100.0 * hycim_infeasible / total;
-    dqubo_stats.trapped_rate = 100.0 * dqubo_infeasible / total;
-    table.add_row({inst.name, util::Table::num(reference.profit),
-                   util::Table::num(h_rate, 1), util::Table::num(d_rate, 1),
-                   util::Table::num(hycim_stats.trapped_rate, 1),
-                   util::Table::num(dqubo_stats.trapped_rate, 1)});
+    const auto total = static_cast<double>(inits);
+    out.hycim.trapped_rate = 100.0 * hycim_infeasible / total;
+    out.dqubo.trapped_rate = 100.0 * dqubo_infeasible / total;
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
+  util::CsvWriter csv(csv_path.string(),
+                      {"instance", "solver", "init", "run",
+                       "normalized_value", "feasible"});
+  util::Table table({"instance", "reference", "HyCiM succ %", "D-QUBO succ %",
+                     "HyCiM trapped %", "D-QUBO trapped %"});
+
+  std::ofstream json_out(json_path);
+  util::JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").value("fig10_solving_efficiency");
+  json.key("protocol").begin_object();
+  json.key("instances").value(static_cast<long long>(suite.size()));
+  json.key("items").value(cli.get_int("items"));
+  json.key("inits").value(static_cast<long long>(inits));
+  json.key("runs").value(static_cast<long long>(runs));
+  json.key("iterations").value(static_cast<long long>(iterations));
+  json.key("hardware_filter").value(cli.get_bool("hardware_filter"));
+  json.key("strategy").value(strategy);
+  json.key("replicas")
+      .value(static_cast<long long>(tempering_params.replicas));
+  json.key("t_ratio").value(tempering_params.t_ratio);
+  json.key("exchange_interval")
+      .value(static_cast<long long>(tempering_params.exchange_interval));
+  json.key("seed").value(cli.get_int("seed"));
+  json.key("threads").value(static_cast<long long>(threads));
+  json.end();
+  json.key("per_instance").begin_array();
+
+  util::OnlineStats hycim_rates, dqubo_rates;
+  util::OnlineStats hycim_norm, dqubo_norm;
+  double hycim_wall_total = 0.0, dqubo_wall_total = 0.0;
+  std::size_t exchanges_total = 0;
+  for (std::size_t idx = 0; idx < outcomes.size(); ++idx) {
+    const InstanceOutcome& out = outcomes[idx];
+    for (std::size_t init = 0; init < out.rows.size(); ++init) {
+      const InitRow& row = out.rows[init];
+      csv.row({static_cast<double>(idx), 0.0, static_cast<double>(init), 0.0,
+               row.hycim_norm, row.hycim_feasible ? 1.0 : 0.0});
+      csv.row({static_cast<double>(idx), 1.0, static_cast<double>(init), 0.0,
+               row.dqubo_norm, row.dqubo_feasible ? 1.0 : 0.0});
+      hycim_norm.add(row.hycim_norm);
+      dqubo_norm.add(row.dqubo_norm);
+    }
+    hycim_rates.add(out.hycim.success_rate);
+    dqubo_rates.add(out.dqubo.success_rate);
+    hycim_wall_total += out.hycim.wall_seconds;
+    dqubo_wall_total += out.dqubo.wall_seconds;
+    exchanges_total += out.exchanges_accepted;
+    table.add_row({out.name, util::Table::num(out.reference),
+                   util::Table::num(out.hycim.success_rate, 1),
+                   util::Table::num(out.dqubo.success_rate, 1),
+                   util::Table::num(out.hycim.trapped_rate, 1),
+                   util::Table::num(out.dqubo.trapped_rate, 1)});
 
     json.begin_object();
-    json.key("name").value(inst.name);
-    json.key("reference").value(reference.profit);
-    for (const auto* entry : {&hycim_stats, &dqubo_stats}) {
-      json.key(entry == &hycim_stats ? "hycim" : "dqubo").begin_object();
+    json.key("name").value(out.name);
+    json.key("reference").value(out.reference);
+    for (const auto* entry : {&out.hycim, &out.dqubo}) {
+      json.key(entry == &out.hycim ? "hycim" : "dqubo").begin_object();
       json.key("success_rate_percent").value(entry->success_rate);
       json.key("trapped_rate_percent").value(entry->trapped_rate);
       json.key("mean_normalized_value").value(entry->norms.mean());
       json.key("qubo_computations").value(entry->qubo_computations);
       json.key("proposals").value(entry->proposals);
       json.key("wall_seconds").value(entry->wall_seconds);
+      if (entry == &out.hycim) {
+        json.key("exchanges_accepted").value(out.exchanges_accepted);
+      }
       json.end();
     }
     json.end();
@@ -276,14 +382,20 @@ int main(int argc, char** argv) {
   std::cout << "\nChip cache (program once, solve many): " << cache.misses
             << " fabrications, " << cache.hits
             << " cache hits across the init fans.\n";
+  if (tempering) {
+    std::cout << "Tempering: " << exchanges_total
+              << " accepted ladder exchanges across the sweep.\n";
+  }
 
   json.key("summary").begin_object();
+  json.key("strategy").value(strategy);
   json.key("hycim_avg_success_percent").value(hycim_rates.mean());
   json.key("dqubo_avg_success_percent").value(dqubo_rates.mean());
   json.key("hycim_mean_normalized_value").value(hycim_norm.mean());
   json.key("dqubo_mean_normalized_value").value(dqubo_norm.mean());
   json.key("hycim_wall_seconds").value(hycim_wall_total);
   json.key("dqubo_wall_seconds").value(dqubo_wall_total);
+  json.key("hycim_exchanges_accepted").value(exchanges_total);
   json.key("chip_cache_hits").value(cache.hits);
   json.key("chip_cache_misses").value(cache.misses);
   json.end();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "anneal/index_sampler.hpp"
+#include "anneal/strategy.hpp"
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cim/filter/inequality_filter.hpp"
 #include "core/inequality_qubo.hpp"
@@ -184,6 +185,29 @@ void BM_SwapIndexSampler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SwapIndexSampler)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_ExchangeStep(benchmark::State& state) {
+  // One replica-exchange barrier over an R-slot ladder: the serial
+  // Metropolis sweep solve_tempered interleaves between replica segments.
+  // O(R) with at most one uniform draw per proposed pair — this pins the
+  // barrier overhead against the O(interval · n) walk segments it
+  // separates.
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  std::vector<double> betas(replicas), energies(replicas);
+  std::vector<std::size_t> replica_at_slot(replicas);
+  util::Rng rng(8);
+  for (std::size_t s = 0; s < replicas; ++s) {
+    betas[s] = 1.0 + static_cast<double>(s);
+    energies[s] = rng.uniform(-100.0, 0.0);
+    replica_at_slot[s] = s;
+  }
+  std::size_t barrier = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anneal::exchange_step(
+        barrier++, betas, energies, replica_at_slot, rng, nullptr));
+  }
+}
+BENCHMARK(BM_ExchangeStep)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_QuantizedEnergy(benchmark::State& state) {
   const auto inst = instance(static_cast<std::size_t>(state.range(0)));

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-
-#include "anneal/index_sampler.hpp"
+#include <utility>
 
 namespace hycim::anneal {
 
@@ -12,9 +11,16 @@ bool SaProblem::trial_feasible(const Move& /*m*/) { return true; }
 
 void SaProblem::revert(const Move& /*m*/) {}
 
-namespace {
+void validate(const SaParams& params) {
+  if (params.swap_probability < 0.0 || params.swap_probability > 1.0) {
+    throw std::invalid_argument(
+        "SaParams.swap_probability must be in [0, 1]");
+  }
+  if (!(params.t_end_frac > 0.0)) {
+    throw std::invalid_argument("SaParams.t_end_frac must be > 0");
+  }
+}
 
-/// Mean |ΔE| over a sample of proposed flips — the auto-T0 heuristic.
 double calibrate_t0(SaProblem& problem, util::Rng& rng) {
   const std::size_t n = problem.num_bits();
   const std::size_t samples = std::min<std::size_t>(64, n);
@@ -31,91 +37,126 @@ double calibrate_t0(SaProblem& problem, util::Rng& rng) {
   return std::max(1e-9, acc / static_cast<double>(count));
 }
 
-}  // namespace
+SaWalk::SaWalk(SaProblem& problem, const qubo::BitVector& x0,
+               const SaParams& params, util::Rng rng)
+    : problem_(problem), params_(params), rng_(std::move(rng)) {
+  init(x0);
+  // Same order as the historical engine: reset first, then T0 calibration
+  // consuming this walk's rng, then the schedule — single walks are
+  // bit-identical to the pre-SaWalk implementation.
+  const double t0 = params_.t0 > 0 ? params_.t0 : calibrate_t0(problem_, rng_);
+  const double t_end = std::max(1e-12, t0 * params_.t_end_frac);
+  schedule_.emplace(params_.schedule, params_.iterations, t0, t_end);
+}
 
-SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
-                             const SaParams& params) {
-  if (x0.size() != problem.num_bits()) {
-    throw std::invalid_argument("simulated_annealing: x0 size mismatch");
+SaWalk::SaWalk(SaProblem& problem, const qubo::BitVector& x0,
+               const SaParams& params, util::Rng rng, double temperature)
+    : problem_(problem), params_(params), rng_(std::move(rng)) {
+  init(x0);
+  set_temperature(temperature);
+}
+
+void SaWalk::init(const qubo::BitVector& x0) {
+  validate(params_);
+  if (x0.size() != problem_.num_bits()) {
+    throw std::invalid_argument("SaWalk: x0 size mismatch");
   }
-  util::Rng rng(params.seed);
-  double current = problem.reset(x0);
-
-  SaResult result;
-  result.best_x = x0;
-  result.best_energy = current;
-
-  double t0 = params.t0 > 0 ? params.t0 : calibrate_t0(problem, rng);
-  const double t_end = std::max(1e-12, t0 * params.t_end_frac);
-  const Schedule schedule(params.schedule, params.iterations, t0, t_end);
-
-  if (params.record_trace) result.trace.reserve(params.iterations);
-
-  const std::size_t n = problem.num_bits();
-  const bool swaps_enabled =
-      params.swap_probability > 0.0 && problem.supports_swaps();
-  const std::size_t proposal_cap =
-      params.max_proposals > 0 ? params.max_proposals
-                               : params.iterations * 100;
+  current_ = problem_.reset(x0);
+  result_.best_x = x0;
+  result_.best_energy = current_;
+  if (params_.record_trace) result_.trace.reserve(params_.iterations);
+  proposal_cap_ = params_.max_proposals > 0 ? params_.max_proposals
+                                            : params_.iterations * 100;
+  swaps_enabled_ =
+      params_.swap_probability > 0.0 && problem_.supports_swaps();
   // Swap proposals need a uniformly random (selected, unselected) index
   // pair.  The sampler answers k-th order statistics over the state's bits
   // in O(log n) and is maintained incrementally against commits — replacing
   // the O(n) ones/zeros list rebuild per proposal — while sampling the
   // exact indices those ascending lists would have produced, so walks are
   // bit-identical to the rebuild implementation.
-  IndexSampler sampler;
-  if (swaps_enabled) sampler.reset(problem.state());
+  if (swaps_enabled_) sampler_.reset(problem_.state());
+}
 
-  // The iteration index (and hence the temperature) advances per QUBO
-  // computation; filtered configurations loop straight back to the move
-  // generator (paper Fig. 6(b)).
-  while (result.evaluated < params.iterations &&
-         result.proposed < proposal_cap) {
-    ++result.proposed;
-    const double temperature = schedule.temperature(result.evaluated);
+void SaWalk::set_temperature(double temperature) {
+  if (!(temperature > 0.0)) {
+    throw std::invalid_argument("SaWalk: temperature must be > 0");
+  }
+  fixed_temperature_ = temperature;
+}
+
+double SaWalk::temperature() const {
+  return schedule_ ? schedule_->temperature(result_.evaluated)
+                   : fixed_temperature_;
+}
+
+bool SaWalk::exhausted() const { return result_.proposed >= proposal_cap_; }
+
+void SaWalk::run_to(std::size_t evaluated_target) {
+  const std::size_t n = problem_.num_bits();
+  // The iteration index (and hence the temperature, in schedule mode)
+  // advances per QUBO computation; filtered configurations loop straight
+  // back to the move generator (paper Fig. 6(b)).
+  while (result_.evaluated < evaluated_target &&
+         result_.proposed < proposal_cap_) {
+    ++result_.proposed;
+    const double temperature = this->temperature();
 
     // Choose a move: swap (one-in/one-out) or single-bit flip.
     bool is_swap = false;
     std::size_t bit = 0, bit_out = 0;
-    if (swaps_enabled && rng.uniform() < params.swap_probability) {
-      if (sampler.ones() != 0 && sampler.zeros() != 0) {
+    if (swaps_enabled_ && rng_.uniform() < params_.swap_probability) {
+      if (sampler_.ones() != 0 && sampler_.zeros() != 0) {
         is_swap = true;
-        bit_out = sampler.kth_one(rng.index(sampler.ones()));
-        bit = sampler.kth_zero(rng.index(sampler.zeros()));
+        bit_out = sampler_.kth_one(rng_.index(sampler_.ones()));
+        bit = sampler_.kth_zero(rng_.index(sampler_.zeros()));
       }
     }
-    if (!is_swap) bit = rng.index(n);
+    if (!is_swap) bit = rng_.index(n);
     const Move move = is_swap ? Move::swap(bit_out, bit) : Move::flip(bit);
 
-    if (!problem.trial_feasible(move)) {
+    if (!problem_.trial_feasible(move)) {
       // Filtered out: no QUBO computation, no temperature update.
-      ++result.rejected_infeasible;
+      ++result_.rejected_infeasible;
       continue;
     }
-    ++result.evaluated;
-    const double d = problem.trial_delta(move);
+    ++result_.evaluated;
+    const double d = problem_.trial_delta(move);
     const bool accept =
-        d <= 0.0 || rng.uniform() < std::exp(-d / temperature);
+        d <= 0.0 || rng_.uniform() < std::exp(-d / temperature);
     if (accept) {
-      problem.commit(move);
-      if (swaps_enabled) {
-        for (const std::size_t k : move.indices()) sampler.flip(k);
+      problem_.commit(move);
+      if (swaps_enabled_) {
+        for (const std::size_t k : move.indices()) sampler_.flip(k);
       }
-      current += d;
-      ++result.accepted;
-      if (current < result.best_energy) {
-        result.best_energy = current;
-        result.best_x = problem.state();
+      current_ += d;
+      ++result_.accepted;
+      if (current_ < result_.best_energy) {
+        result_.best_energy = current_;
+        result_.best_x = problem_.state();
       }
     } else {
-      problem.revert(move);
-      ++result.rejected_metropolis;
+      problem_.revert(move);
+      ++result_.rejected_metropolis;
     }
-    if (params.record_trace) result.trace.push_back(current);
+    if (params_.record_trace) result_.trace.push_back(current_);
   }
-  result.final_x = problem.state();
-  result.final_energy = current;
-  return result;
+}
+
+SaResult SaWalk::take_result() {
+  result_.final_x = problem_.state();
+  result_.final_energy = current_;
+  return std::move(result_);
+}
+
+SaResult simulated_annealing(SaProblem& problem, const qubo::BitVector& x0,
+                             const SaParams& params) {
+  if (x0.size() != problem.num_bits()) {
+    throw std::invalid_argument("simulated_annealing: x0 size mismatch");
+  }
+  SaWalk walk(problem, x0, params, util::Rng(params.seed));
+  walk.run_to(params.iterations);
+  return walk.take_result();
 }
 
 }  // namespace hycim::anneal

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "anneal/index_sampler.hpp"
 #include "anneal/moves.hpp"
 #include "anneal/schedule.hpp"
 #include "qubo/qubo_matrix.hpp"
@@ -80,6 +82,11 @@ class SaProblem {
 /// "preventing unnecessary QUBO computations" efficiency the paper claims
 /// for the filter.  `max_proposals` bounds the total work when feasible
 /// moves are scarce.
+///
+/// Under replica exchange (anneal::ReplicaExchange) the same struct is the
+/// per-replica walk budget: every replica spends `iterations` QUBO
+/// computations at its ladder temperature, so a tempered solve costs
+/// `replicas × iterations` QUBO computations in total.
 struct SaParams {
   std::size_t iterations = 1000;  ///< QUBO computations (paper Sec. 4.3)
   std::size_t max_proposals = 0;  ///< total-proposal cap; 0 = 100·iterations
@@ -105,6 +112,79 @@ struct SaResult {
   std::size_t rejected_infeasible = 0;  ///< filtered by the inequality filter
   std::size_t rejected_metropolis = 0;
   std::vector<double> trace;  ///< energy per QUBO computation (when recorded)
+};
+
+/// Rejects out-of-domain SA parameters (`swap_probability` outside [0,1],
+/// `t_end_frac` <= 0) with std::invalid_argument.  Called at every solve
+/// entry so misconfiguration fails loudly instead of silently skewing the
+/// Metropolis statistics.
+void validate(const SaParams& params);
+
+/// The auto-T0 heuristic: mean |ΔE| over a sample of proposed single-bit
+/// flips against the problem's current bound state (the problem must have
+/// been reset).  Trials are pure — the state is untouched.  Exposed so
+/// replica exchange can calibrate one ladder top shared by all replicas.
+double calibrate_t0(SaProblem& problem, util::Rng& rng);
+
+/// One resumable SA walk — the engine loop of simulated_annealing()
+/// factored into a value that can be advanced in segments, which is what
+/// lets replica exchange interleave exchange barriers between bursts of
+/// iterations without changing the walk itself.
+///
+/// Two temperature modes:
+///   * schedule mode (the classic single walk): the cooling law from
+///     SaParams, temperature advancing per QUBO computation;
+///   * fixed mode (a tempering replica): a constant temperature set at
+///     construction and retargeted by set_temperature() when an exchange
+///     moves the replica along the ladder.
+/// Construction resets the problem to x0 and, in schedule mode with
+/// params.t0 == 0, calibrates T0 from the walk's own rng — exactly the
+/// consumption order simulated_annealing() has always used, so the single
+/// walk is bit-identical to the pre-refactor engine.
+class SaWalk {
+ public:
+  /// Schedule-driven walk (validates `params`, throws on x0 size mismatch).
+  SaWalk(SaProblem& problem, const qubo::BitVector& x0, const SaParams& params,
+         util::Rng rng);
+
+  /// Fixed-temperature walk at `temperature` (> 0 required); the schedule
+  /// fields of `params` (t0, t_end_frac, schedule) are ignored.
+  SaWalk(SaProblem& problem, const qubo::BitVector& x0, const SaParams& params,
+         util::Rng rng, double temperature);
+
+  /// Retargets a fixed-mode walk after a ladder exchange.
+  void set_temperature(double temperature);
+  double temperature() const;
+
+  /// Advances the walk until `evaluated() >= evaluated_target` or the
+  /// total-proposal cap is reached.  Idempotent once either bound is hit.
+  void run_to(std::size_t evaluated_target);
+
+  /// QUBO computations performed so far.
+  std::size_t evaluated() const { return result_.evaluated; }
+  /// Whether the proposal cap terminated the walk early.
+  bool exhausted() const;
+  /// Energy of the problem's current state.
+  double current_energy() const { return current_; }
+
+  /// Counters and best-so-far of the walk up to this point.
+  const SaResult& result() const { return result_; }
+  /// Finalizes final_x / final_energy and surrenders the result.
+  SaResult take_result();
+
+ private:
+  void init(const qubo::BitVector& x0);
+
+  SaProblem& problem_;
+  SaParams params_;
+  util::Rng rng_;
+  std::optional<Schedule> schedule_;  ///< engaged in schedule mode only
+  double fixed_temperature_ = 0.0;   ///< fixed mode's current temperature
+  double current_ = 0.0;
+  std::size_t proposal_cap_ = 0;
+  bool swaps_enabled_ = false;
+  IndexSampler sampler_;
+  SaResult result_;
 };
 
 /// Runs simulated annealing on `problem` starting from `x0`.

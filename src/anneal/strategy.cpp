@@ -1,0 +1,218 @@
+#include "anneal/strategy.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+namespace hycim::anneal {
+
+namespace {
+
+// Stream ids for the strategy's non-replica randomness.  Replica walks use
+// ids 0..R-1 (the run_batch-style contract callers rely on); these live far
+// above any realistic replica count so the streams can never collide.
+constexpr std::uint64_t kExchangeStream = 0x45584348ULL;     // "EXCH"
+constexpr std::uint64_t kCalibrationStream = 0x43414C42ULL;  // "CALB"
+
+}  // namespace
+
+void validate(const TemperingParams& params) {
+  if (params.replicas < 2) {
+    throw std::invalid_argument(
+        "TemperingParams.replicas must be >= 2 (one replica is plain SA)");
+  }
+  if (params.exchange_interval == 0) {
+    throw std::invalid_argument(
+        "TemperingParams.exchange_interval must be >= 1");
+  }
+  if (!(params.t_ratio > 0.0) || params.t_ratio > 1.0) {
+    throw std::invalid_argument(
+        "TemperingParams.t_ratio must be in (0, 1]");
+  }
+}
+
+void run_serial(std::size_t count, const Task& task) {
+  for (std::size_t i = 0; i < count; ++i) task(i);
+}
+
+SearchResult SingleSa::run(std::span<SaProblem* const> problems,
+                           const qubo::BitVector& x0, const SaParams& sa,
+                           std::uint64_t seed,
+                           const Executor& /*executor*/) const {
+  if (problems.size() != 1 || problems[0] == nullptr) {
+    throw std::invalid_argument("SingleSa: expected exactly one problem");
+  }
+  SaParams params = sa;
+  params.seed = seed;
+  SearchResult out;
+  out.sa = simulated_annealing(*problems[0], x0, params);
+  return out;
+}
+
+ReplicaExchange::ReplicaExchange(const TemperingParams& params)
+    : params_(params) {
+  validate(params_);
+}
+
+std::size_t exchange_step(std::size_t barrier,
+                          std::span<const double> slot_beta,
+                          std::span<const double> replica_energy,
+                          std::span<std::size_t> replica_at_slot,
+                          util::Rng& rng, std::vector<ExchangeEvent>* trace) {
+  const std::size_t slots = replica_at_slot.size();
+  std::size_t accepted_count = 0;
+  // Alternating parity pairs the whole ladder over two barriers; the serial
+  // ascending-slot sweep with one uniform per pair is what keeps the trace
+  // independent of replica scheduling.
+  for (std::size_t s = barrier % 2; s + 1 < slots; s += 2) {
+    const std::size_t lo = replica_at_slot[s];
+    const std::size_t hi = replica_at_slot[s + 1];
+    // Swapping configurations between the two slots multiplies the joint
+    // Boltzmann weight by exp((β_s − β_{s+1})(E_lo − E_hi)).
+    const double delta = (slot_beta[s] - slot_beta[s + 1]) *
+                         (replica_energy[lo] - replica_energy[hi]);
+    const bool accepted = delta >= 0.0 || rng.uniform() < std::exp(delta);
+    if (accepted) {
+      replica_at_slot[s] = hi;
+      replica_at_slot[s + 1] = lo;
+      ++accepted_count;
+    }
+    if (trace) trace->push_back({barrier, s, lo, hi, accepted});
+  }
+  return accepted_count;
+}
+
+SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
+                                  const qubo::BitVector& x0,
+                                  const SaParams& sa, std::uint64_t seed,
+                                  const Executor& executor) const {
+  validate(params_);
+  validate(sa);
+  const std::size_t replica_count = params_.replicas;
+  if (problems.size() != replica_count) {
+    throw std::invalid_argument(
+        "ReplicaExchange: problems.size() != TemperingParams.replicas");
+  }
+  for (SaProblem* p : problems) {
+    if (p == nullptr) {
+      throw std::invalid_argument("ReplicaExchange: null problem");
+    }
+  }
+  // Checked before the calibration pre-reset below touches x0 — the walks'
+  // own constructors validate too, but only after that reset would have
+  // already indexed out of bounds.
+  if (x0.size() != problems[0]->num_bits()) {
+    throw std::invalid_argument("ReplicaExchange: x0 size mismatch");
+  }
+
+  // One ladder top shared by every replica: explicit t0, or the standard
+  // mean-|ΔE| calibration on replica 0's problem from a dedicated stream
+  // (trials are pure, so the extra reset below is harmless).
+  double t_hot = sa.t0;
+  if (t_hot <= 0.0) {
+    problems[0]->reset(x0);
+    util::Rng calibration_rng = util::fork_stream(seed, kCalibrationStream);
+    t_hot = calibrate_t0(*problems[0], calibration_rng);
+  }
+  std::vector<double> slot_temperature(replica_count);
+  std::vector<double> slot_beta(replica_count);
+  for (std::size_t s = 0; s < replica_count; ++s) {
+    slot_temperature[s] =
+        t_hot * std::pow(params_.t_ratio,
+                         static_cast<double>(s) /
+                             static_cast<double>(replica_count - 1));
+    slot_beta[s] = 1.0 / slot_temperature[s];
+  }
+
+  // Replica r starts on slot r; exchanges move temperature labels, never
+  // configurations, so a swap is O(1) bookkeeping.
+  std::vector<std::size_t> replica_at_slot(replica_count);
+  for (std::size_t s = 0; s < replica_count; ++s) replica_at_slot[s] = s;
+
+  // Walk construction resets each replica's problem (the expensive bind for
+  // circuit/hardware modes), so it runs on the executor too.  Each task
+  // touches only its own slot — construction order cannot leak into
+  // results.
+  std::vector<std::optional<SaWalk>> walks(replica_count);
+  executor(replica_count, [&](std::size_t r) {
+    walks[r].emplace(*problems[r], x0, sa, util::fork_stream(seed, r),
+                     slot_temperature[r]);
+  });
+
+  util::Rng exchange_rng = util::fork_stream(seed, kExchangeStream);
+  SearchResult out;
+  std::vector<double> replica_energy(replica_count);
+  std::size_t barrier = 0;
+  for (;;) {
+    const std::size_t target = std::min(
+        sa.iterations, (barrier + 1) * params_.exchange_interval);
+    executor(replica_count,
+             [&](std::size_t r) { walks[r]->run_to(target); });
+    if (target >= sa.iterations) break;
+    bool all_exhausted = true;
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      replica_energy[r] = walks[r]->current_energy();
+      all_exhausted = all_exhausted && walks[r]->exhausted();
+    }
+    // Every walk hit its proposal cap: no further moves are possible, so
+    // additional barriers would only shuffle temperature labels.
+    if (all_exhausted) break;
+
+    const std::size_t before = out.exchange_trace.size();
+    out.exchanges_accepted +=
+        exchange_step(barrier, slot_beta, replica_energy, replica_at_slot,
+                      exchange_rng, &out.exchange_trace);
+    out.exchanges_proposed += out.exchange_trace.size() - before;
+    // Re-point every walk at its (possibly new) slot temperature.
+    for (std::size_t s = 0; s < replica_count; ++s) {
+      walks[replica_at_slot[s]]->set_temperature(slot_temperature[s]);
+    }
+    ++barrier;
+  }
+
+  // Deterministic aggregation in replica order: ensemble best (ties break
+  // to the lowest replica index), summed counters, per-replica stats.
+  out.replicas.resize(replica_count);
+  std::size_t best_replica = 0;
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    const SaResult& walk = walks[r]->result();
+    ReplicaCounters& counters = out.replicas[r];
+    counters.evaluated = walk.evaluated;
+    counters.proposed = walk.proposed;
+    counters.accepted = walk.accepted;
+    counters.rejected_infeasible = walk.rejected_infeasible;
+    counters.rejected_metropolis = walk.rejected_metropolis;
+    counters.best_energy = walk.best_energy;
+    counters.final_energy = walks[r]->current_energy();
+    out.sa.evaluated += walk.evaluated;
+    out.sa.proposed += walk.proposed;
+    out.sa.accepted += walk.accepted;
+    out.sa.rejected_infeasible += walk.rejected_infeasible;
+    out.sa.rejected_metropolis += walk.rejected_metropolis;
+    if (walk.best_energy < walks[best_replica]->result().best_energy) {
+      best_replica = r;
+    }
+  }
+  for (const ExchangeEvent& e : out.exchange_trace) {
+    if (!e.accepted) continue;
+    ++out.replicas[e.replica_lo].exchanges_accepted;
+    ++out.replicas[e.replica_hi].exchanges_accepted;
+  }
+  out.sa.best_x = walks[best_replica]->result().best_x;
+  out.sa.best_energy = walks[best_replica]->result().best_energy;
+  // The tempered chain's "answer" state: whatever the coldest slot holds.
+  const SaResult cold =
+      walks[replica_at_slot[replica_count - 1]]->take_result();
+  out.sa.final_x = cold.final_x;
+  out.sa.final_energy = cold.final_energy;
+  return out;
+}
+
+std::unique_ptr<Strategy> make_strategy(const SearchParams& search) {
+  if (const auto* tempering = std::get_if<TemperingParams>(&search)) {
+    return std::make_unique<ReplicaExchange>(*tempering);
+  }
+  return std::make_unique<SingleSa>();
+}
+
+}  // namespace hycim::anneal

@@ -305,18 +305,66 @@ HyCimSolver& HyCimSolver::operator=(HyCimSolver&&) noexcept = default;
 
 SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
                                std::uint64_t run_seed) {
+  return solve(x0, run_seed, anneal::run_serial);
+}
+
+SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
+                               std::uint64_t run_seed,
+                               const anneal::Executor& executor) {
   if (x0.size() != form_.size()) {
     throw std::invalid_argument("HyCimSolver::solve: x0 size mismatch");
   }
-  Problem problem(*this);
-  anneal::SaParams sa = config_.sa;
-  sa.seed = run_seed;
+  anneal::validate(config_.sa);
+  const auto strategy = anneal::make_strategy(config_.search);
+  const std::size_t replica_count = strategy->replicas();
+
+  // Replica chips: tempering binds each replica to its own clone of this
+  // programmed chip with an independent comparator decision stream forked
+  // from the run seed ("program once, temper many") — N independent
+  // measurements on one fabrication, same as the batch runner's protocol.
+  // The single-walk strategy anneals on this chip directly, byte-identical
+  // to the pre-strategy engine.
+  std::vector<HyCimSolver> chips;
+  std::vector<std::unique_ptr<Problem>> problems;
+  std::vector<anneal::SaProblem*> problem_ptrs;
+  problems.reserve(replica_count);
+  problem_ptrs.reserve(replica_count);
+  if (replica_count == 1) {
+    problems.push_back(std::make_unique<Problem>(*this));
+  } else {
+    chips.reserve(replica_count);  // no reallocation: Problems hold refs
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      // High-bit stream ids keep the decision forks disjoint from the
+      // replica walk streams 0..R-1 the strategy draws from the same root.
+      std::uint64_t decision_seed =
+          util::fork_seed(run_seed, 0xC0000000ULL + r);
+      if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
+      chips.emplace_back(*this, decision_seed);
+    }
+    for (std::size_t r = 0; r < replica_count; ++r) {
+      problems.push_back(std::make_unique<Problem>(chips[r]));
+    }
+  }
+  for (const auto& p : problems) problem_ptrs.push_back(p.get());
+
+  anneal::SearchResult search =
+      strategy->run(problem_ptrs, x0, config_.sa, run_seed, executor);
   SolveResult result;
-  result.sa = anneal::simulated_annealing(problem, x0, sa);
+  result.sa = std::move(search.sa);
+  result.replicas = std::move(search.replicas);
+  result.exchange_trace = std::move(search.exchange_trace);
+  result.exchanges_proposed = search.exchanges_proposed;
+  result.exchanges_accepted = search.exchanges_accepted;
   result.best_x = result.sa.best_x;
   result.best_energy = result.sa.best_energy;
   result.feasible = form_.feasible(result.best_x);
   return result;
+}
+
+void HyCimSolver::retarget_solve(const HyCimConfig& config) {
+  config_.sa = config.sa;
+  config_.search = config.search;
+  config_.check_incremental = config.check_incremental;
 }
 
 void HyCimSolver::reprogram() {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "anneal/sa_engine.hpp"
+#include "anneal/strategy.hpp"
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cim/filter/equality_filter.hpp"
 #include "cim/filter/filter_bank.hpp"
@@ -39,6 +40,12 @@ enum class FilterMode {
 /// Full HyCiM configuration.
 struct HyCimConfig {
   anneal::SaParams sa{};
+  /// Which search strategy drives the solve: single-walk SA (the default)
+  /// or replica-exchange tempering.  `sa` stays the per-walk schedule and
+  /// budget either way — under tempering every replica spends
+  /// sa.iterations QUBO computations at its ladder temperature, so a
+  /// tempered solve costs replicas × sa.iterations in total.
+  anneal::SearchParams search = anneal::SaSearch{};
   cim::VmvMode fidelity = cim::VmvMode::kQuantized;
   int matrix_bits = 7;  ///< crossbar quantization (⌈log2 (Qij)MAX⌉ = 7)
   FilterMode filter_mode = FilterMode::kHardware;
@@ -60,7 +67,14 @@ struct SolveResult {
   qubo::BitVector best_x;    ///< best configuration found
   double best_energy = 0.0;  ///< its QUBO energy (eval-path units)
   bool feasible = false;     ///< exact feasibility of best_x (all constraints)
-  anneal::SaResult sa;       ///< per-run counters and optional trace
+  anneal::SaResult sa;       ///< walk counters (summed over replicas when
+                             ///< tempering) and optional single-walk trace
+  /// Tempering observability (empty under single-walk SA): per-replica
+  /// walk/exchange counters and the deterministic exchange trace.
+  std::vector<anneal::ReplicaCounters> replicas;
+  std::vector<anneal::ExchangeEvent> exchange_trace;
+  std::size_t exchanges_proposed = 0;
+  std::size_t exchanges_accepted = 0;
 };
 
 /// One fabricated HyCiM instance bound to a constrained QUBO form.
@@ -82,11 +96,33 @@ class HyCimSolver {
   HyCimSolver(HyCimSolver&&) noexcept;
   HyCimSolver& operator=(HyCimSolver&&) noexcept;
 
-  /// Runs SA from the given initial configuration (must be size() bits and
-  /// satisfy every constraint).  `run_seed` drives the SA randomness so
-  /// repeated calls explore independently.
+  /// Runs the configured search strategy (config.search) from the given
+  /// initial configuration (must be size() bits and satisfy every
+  /// constraint).  `run_seed` drives all run-level randomness — the walk
+  /// proposals and, under tempering, the per-replica comparator decision
+  /// streams — so repeated calls explore independently.  Tempering clones
+  /// this solver once per replica ("program once, temper many") and runs
+  /// the replicas serially here; pass an executor to parallelize them.
   SolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed);
 
+  /// Same solve with replica segments dispatched through `executor`
+  /// (anneal::Executor contract) — bit-identical to the serial overload
+  /// for any executor, because each replica's work is a pure function of
+  /// its forked stream.  Single-walk SA ignores the executor.
+  SolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed,
+                    const anneal::Executor& executor);
+
+  /// The configuration this chip was fabricated with.
+  const HyCimConfig& config() const { return config_; }
+
+  /// Overrides the solve-time knobs — `sa`, `search`, `check_incremental`
+  /// (exactly the fields service::solve_key() hashes) — leaving the
+  /// fabricated hardware untouched.  When the fabrication fields of
+  /// `config` match this chip's (the chip cache guarantees that), the
+  /// retargeted solver is indistinguishable from one fabricated with
+  /// `config` from scratch; this is what lets one cached programmed chip
+  /// serve many schedules.
+  void retarget_solve(const HyCimConfig& config);
   /// The constrained form in use.
   const ConstrainedQuboForm& form() const { return form_; }
   /// Number of binary variables.

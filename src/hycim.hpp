@@ -13,9 +13,13 @@
 //             async submit futures, cache observability
 //   cop/      problem classes + the AnyInstance registry lowering them onto
 //             the generic constrained-QUBO form
-//   runtime/  the parallel batch-restart runner (deterministic per seed)
+//   runtime/  the parallel batch runners (deterministic per seed):
+//             solve_batch restart fans and solve_tempered replica-exchange
+//             ensembles
 //   core/     the HyCimSolver facade and the constrained form itself, for
 //             callers embedding the engine below the service layer
+//             (HyCimConfig::search selects the anneal::Strategy — see
+//             anneal/strategy.hpp, re-exported through the facade)
 //
 // Deeper layers (cim/, device/, anneal/, qubo/, hw/, util/) remain
 // directly includable for benches and tests; they are deliberately not

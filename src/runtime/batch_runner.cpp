@@ -3,10 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <variant>
+#include <vector>
 
 namespace hycim::runtime {
 
@@ -17,6 +20,126 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+/// Copies a solve outcome into the batch record shape (run/seconds are
+/// filled in by run_batch).
+RunRecord record_of(core::SolveResult&& r) {
+  RunRecord record;
+  record.best_x = std::move(r.best_x);
+  record.best_energy = r.best_energy;
+  record.feasible = r.feasible;
+  record.evaluated = r.sa.evaluated;
+  record.proposed = r.sa.proposed;
+  record.infeasible = r.sa.rejected_infeasible;
+  record.replicas = std::move(r.replicas);
+  record.exchange_trace = std::move(r.exchange_trace);
+  record.exchanges_proposed = r.exchanges_proposed;
+  record.exchanges_accepted = r.exchanges_accepted;
+  return record;
+}
+
+/// A persistent worker pool behind the anneal::Executor contract: run()
+/// executes tasks 0..count-1 and returns once all have completed, with the
+/// calling thread working alongside the pool (so a pool of size 1 spawns
+/// no threads at all, and a blocked barrier can never deadlock waiting on
+/// its own worker).  Reused across every exchange barrier of a tempered
+/// batch instead of paying a thread spawn per segment.
+class ReplicaPool {
+ public:
+  explicit ReplicaPool(unsigned threads) {
+    for (unsigned t = 1; t < threads; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  ~ReplicaPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  void run(std::size_t count, const anneal::Task& task) {
+    if (count == 0) return;
+    if (workers_.empty()) {
+      // Serial fast path: exceptions propagate naturally.
+      for (std::size_t i = 0; i < count; ++i) task(i);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &task;
+      count_ = count;
+      next_ = 0;
+      remaining_ = count;
+      failure_ = nullptr;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    help();
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+    if (failure_) {
+      std::exception_ptr failure = failure_;
+      failure_ = nullptr;
+      std::rethrow_exception(failure);
+    }
+  }
+
+ private:
+  /// Pulls and executes task indices until the current batch is drained.
+  void help() {
+    for (;;) {
+      std::size_t index;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (next_ >= count_) return;
+        index = next_++;
+      }
+      try {
+        (*task_)(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!failure_) failure_ = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stopping_ || (generation_ != seen && next_ < count_);
+        });
+        if (stopping_) return;
+        seen = generation_;
+      }
+      help();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  const anneal::Task* task_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr failure_;
+  bool stopping_ = false;
+};
 
 }  // namespace
 
@@ -96,6 +219,8 @@ BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
     result.total_evaluated += r.evaluated;
     result.total_proposed += r.proposed;
     result.total_infeasible += r.infeasible;
+    result.total_exchanges_proposed += r.exchanges_proposed;
+    result.total_exchanges_accepted += r.exchanges_accepted;
     result.run_seconds_sum += r.seconds;
     if (score_success && r.feasible &&
         r.best_energy <= params.success_energy) {
@@ -144,6 +269,15 @@ BatchResult solve_batch(const core::ConstrainedQuboForm& form,
 BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
                         const BatchParams& params) {
   if (!init) throw std::invalid_argument("solve_batch: null init function");
+  // The mirror of solve_tempered's guard: silently running each "restart"
+  // as a serial R-replica ensemble would cost R× the expected budget with
+  // none of the replica-level parallelism the tempered runner provides.
+  if (std::holds_alternative<anneal::TemperingParams>(
+          prototype.config().search)) {
+    throw std::invalid_argument(
+        "solve_batch: prototype config.search selects tempering — use "
+        "solve_tempered (or set HyCimConfig::search to SaSearch)");
+  }
   return run_batch(params, [&](std::size_t, util::Rng& rng) {
     // Same fabricated chip every run (fab_seed untouched), but an
     // independent comparator-noise stream per run — independent repeated
@@ -152,16 +286,53 @@ BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
     if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
     core::HyCimSolver solver(prototype, decision_seed);
     const qubo::BitVector x0 = init(rng);
-    const core::SolveResult r = solver.solve(x0, rng.next_u64());
-    RunRecord record;
-    record.best_x = r.best_x;
-    record.best_energy = r.best_energy;
-    record.feasible = r.feasible;
-    record.evaluated = r.sa.evaluated;
-    record.proposed = r.sa.proposed;
-    record.infeasible = r.sa.rejected_infeasible;
-    return record;
+    return record_of(solver.solve(x0, rng.next_u64()));
   });
+}
+
+BatchResult solve_tempered(const core::HyCimSolver& prototype,
+                           const InitFn& init, const BatchParams& params) {
+  if (!init) throw std::invalid_argument("solve_tempered: null init function");
+  const auto* tempering = std::get_if<anneal::TemperingParams>(
+      &prototype.config().search);
+  if (tempering == nullptr) {
+    throw std::invalid_argument(
+        "solve_tempered: prototype config.search selects single-walk SA — "
+        "use solve_batch, or set HyCimConfig::search to TemperingParams");
+  }
+  anneal::validate(*tempering);
+
+  // The thread budget parallelizes *within* a run: one tempered ensemble's
+  // replica segments fan out across the pool and rejoin at each exchange
+  // barrier, while the runs themselves proceed in order on this thread.
+  // Scheduling is invisible to results either way (each replica segment is
+  // a pure function of its forked stream), so any thread count reproduces
+  // the single-threaded batch bit for bit.
+  ReplicaPool pool(resolve_thread_count(params.threads, tempering->replicas));
+  const anneal::Executor executor = [&pool](std::size_t count,
+                                            const anneal::Task& task) {
+    pool.run(count, task);
+  };
+  BatchParams serial = params;
+  serial.threads = 1;
+  return run_batch(serial, [&](std::size_t, util::Rng& rng) {
+    // Per-run stream discipline identical to solve_batch: decision-seed
+    // root first, then x0, then the run seed — the tempered solve forks
+    // its per-replica streams from the run seed internally.
+    std::uint64_t decision_seed = rng.next_u64();
+    if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
+    core::HyCimSolver solver(prototype, decision_seed);
+    const qubo::BitVector x0 = init(rng);
+    return record_of(solver.solve(x0, rng.next_u64(), executor));
+  });
+}
+
+BatchResult solve_tempered(const core::ConstrainedQuboForm& form,
+                           const core::HyCimConfig& config, const InitFn& init,
+                           const BatchParams& params) {
+  if (!init) throw std::invalid_argument("solve_tempered: null init function");
+  const core::HyCimSolver prototype(form, config);
+  return solve_tempered(prototype, init, params);
 }
 
 }  // namespace hycim::runtime

@@ -40,7 +40,8 @@ struct BatchParams {
   double success_energy = std::numeric_limits<double>::quiet_NaN();
 };
 
-/// Outcome of one restart.
+/// Outcome of one restart (one tempered ensemble when the config selects
+/// replica exchange — counters then aggregate over its replicas).
 struct RunRecord {
   std::size_t run = 0;        ///< restart index
   qubo::BitVector best_x;     ///< best configuration of this run
@@ -50,6 +51,12 @@ struct RunRecord {
   std::size_t proposed = 0;   ///< all generated configurations
   std::size_t infeasible = 0; ///< proposals rejected by the filters
   double seconds = 0.0;       ///< wall time of this run
+  /// Tempering observability (empty under single-walk SA): per-replica
+  /// walk/exchange counters and the deterministic ladder-exchange trace.
+  std::vector<anneal::ReplicaCounters> replicas;
+  std::vector<anneal::ExchangeEvent> exchange_trace;
+  std::size_t exchanges_proposed = 0;
+  std::size_t exchanges_accepted = 0;
 };
 
 /// Aggregated best-of-N statistics.
@@ -65,6 +72,8 @@ struct BatchResult {
   std::size_t total_evaluated = 0;  ///< QUBO computations across the batch
   std::size_t total_proposed = 0;
   std::size_t total_infeasible = 0;  ///< filter rejections across the batch
+  std::size_t total_exchanges_proposed = 0;  ///< tempering barrier proposals
+  std::size_t total_exchanges_accepted = 0;  ///< accepted ladder swaps
   double wall_seconds = 0.0;      ///< elapsed wall time of the whole batch
   double run_seconds_sum = 0.0;   ///< Σ per-run seconds (the serial cost)
 };
@@ -105,5 +114,27 @@ BatchResult solve_batch(const core::ConstrainedQuboForm& form,
 /// share one instance.
 BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
                         const BatchParams& params);
+
+/// The tempered sibling of solve_batch: `prototype.config().search` must
+/// select replica exchange (std::invalid_argument otherwise).  Each of the
+/// `params.restarts` runs is one tempered ensemble — R replica clones of
+/// the prototype walking a temperature ladder — and the *replica segments*
+/// are what fan out across the worker pool, with the exchange barriers
+/// interleaved on the scheduling thread.  This is the first protocol where
+/// one logical solve spans multiple threads; `params.threads` budgets the
+/// replica pool (0 = hardware_concurrency, capped by the replica count).
+///
+/// Determinism: replica r of run k draws from fork_stream(run k's stream,
+/// r) and exchange decisions from a serial per-run stream, so the batch is
+/// bit-identical — per-run best_x, counters, and exchange traces — for any
+/// thread count, exactly like run_batch.
+BatchResult solve_tempered(const core::HyCimSolver& prototype,
+                           const InitFn& init, const BatchParams& params);
+
+/// Fabricates the prototype from (form, config) and delegates to the
+/// prototype overload ("program once, temper many").
+BatchResult solve_tempered(const core::ConstrainedQuboForm& form,
+                           const core::HyCimConfig& config, const InitFn& init,
+                           const BatchParams& params);
 
 }  // namespace hycim::runtime

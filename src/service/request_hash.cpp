@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <span>
+#include <variant>
 #include <vector>
 
 namespace hycim::service {
@@ -103,8 +104,8 @@ class Hasher {
 
 }  // namespace
 
-ChipKey chip_key(const core::ConstrainedQuboForm& form,
-                 const core::HyCimConfig& config) {
+ChipKey fabrication_key(const core::ConstrainedQuboForm& form,
+                        const core::HyCimConfig& config) {
   Hasher h;
   // The form: matrix (packed upper triangle + offset) and both constraint
   // lists — what the chip is programmed with.
@@ -116,9 +117,19 @@ ChipKey chip_key(const core::ConstrainedQuboForm& form,
   h.absorb(form.equalities.size());
   for (const auto& c : form.equalities) h.absorb(c);
 
-  // The config: fabrication corners + seeds (the chip) and the SA schedule
-  // (the measurement protocol) — both must match for a reply to be
-  // interchangeable with a cold solve.
+  // The config's fabrication corners + seeds: everything
+  // HyCimSolver(form, config) construction reads.  The SA schedule and
+  // search strategy deliberately stay out — they only drive the solve.
+  h.absorb(config.fidelity);
+  h.absorb(config.matrix_bits);
+  h.absorb(config.filter_mode);
+  h.absorb(config.filter);
+  h.absorb(config.vmv);
+  return h.key();
+}
+
+ChipKey solve_key(const core::HyCimConfig& config) {
+  Hasher h;
   h.absorb(config.sa.iterations);
   h.absorb(config.sa.max_proposals);
   h.absorb(config.sa.t0);
@@ -127,12 +138,28 @@ ChipKey chip_key(const core::ConstrainedQuboForm& form,
   h.absorb(config.sa.seed);
   h.absorb(config.sa.record_trace);
   h.absorb(config.sa.swap_probability);
-  h.absorb(config.fidelity);
-  h.absorb(config.matrix_bits);
-  h.absorb(config.filter_mode);
+  // The search strategy: variant index first so sa-vs-tempering can never
+  // alias, then the tempering knobs when selected.
+  h.absorb(config.search.index());
+  if (const auto* tempering =
+          std::get_if<anneal::TemperingParams>(&config.search)) {
+    h.absorb(tempering->replicas);
+    h.absorb(tempering->t_ratio);
+    h.absorb(tempering->exchange_interval);
+  }
   h.absorb(config.check_incremental);
-  h.absorb(config.filter);
-  h.absorb(config.vmv);
+  return h.key();
+}
+
+ChipKey chip_key(const core::ConstrainedQuboForm& form,
+                 const core::HyCimConfig& config) {
+  const ChipKey fab = fabrication_key(form, config);
+  const ChipKey solve = solve_key(config);
+  Hasher h;
+  h.absorb(fab.lo);
+  h.absorb(fab.hi);
+  h.absorb(solve.lo);
+  h.absorb(solve.hi);
   return h.key();
 }
 

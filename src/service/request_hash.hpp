@@ -1,14 +1,23 @@
 // Content hashing for the service's programmed-chip cache.
 //
-// A programmed chip is a pure function of (ConstrainedQuboForm, HyCimConfig)
-// — the config carries the fabrication seeds (filter.fab_seed,
-// vmv.fab_seed) and every device/circuit corner, the form carries the
-// matrix and constraints the chip is programmed with.  Two requests with
-// equal keys therefore fabricate bit-identical hardware, which is what
-// lets the cache hand out one prototype for both: cloning it is
-// indistinguishable from refabricating.
+// A request's identity splits into two independent keys:
 //
-// The key is 128 bits (two independent 64-bit mixes over the same field
+//   * fabrication_key — everything the *programmed chip* is a pure
+//     function of: the form (matrix + constraints the chip is programmed
+//     with) and the config's fabrication-relevant fields (fidelity,
+//     quantization, filter mode, device/circuit corners, fab and decision
+//     seeds).  Two requests with equal fabrication keys fabricate
+//     bit-identical hardware, so the cache hands out one prototype for
+//     both: cloning it is indistinguishable from refabricating.
+//   * solve_key — the measurement protocol: the SA schedule and the
+//     search-strategy selection (single walk vs tempering ladder).  It
+//     never touches the chip, which is exactly why the cache ignores it —
+//     one programmed chip serves many schedules.
+//
+// chip_key combines the two into the full request identity (replies are
+// interchangeable only when both match).
+//
+// Each key is 128 bits (two independent 64-bit mixes over the same field
 // stream), so accidental collisions are out of reach for any realistic
 // cache population; this is a cache key, not a cryptographic commitment.
 #pragma once
@@ -35,9 +44,18 @@ struct ChipKeyHash {
   }
 };
 
-/// Content hash of everything the programmed chip depends on, plus the
-/// solve-time knobs (SA schedule etc.) so a cache entry is only reused for
-/// requests that would behave identically end to end.
+/// Content hash of everything the programmed chip depends on — the cache
+/// key.  Solve-time knobs (SA schedule, search strategy) are deliberately
+/// excluded: changing only those on a resubmission is a chip-cache hit.
+ChipKey fabrication_key(const core::ConstrainedQuboForm& form,
+                        const core::HyCimConfig& config);
+
+/// Content hash of the solve-time schedule: SaParams, the search-strategy
+/// variant (and its tempering knobs), and debug toggles.
+ChipKey solve_key(const core::HyCimConfig& config);
+
+/// Full request identity: fabrication_key ⊕-mixed with solve_key.  Two
+/// requests with equal chip keys behave identically end to end.
 ChipKey chip_key(const core::ConstrainedQuboForm& form,
                  const core::HyCimConfig& config);
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <variant>
 
 namespace hycim::service {
 
@@ -14,6 +15,18 @@ void validate_batch(const runtime::BatchParams& batch) {
         "service::Service: batch.restarts must be > 0 — a request with no "
         "restarts has no measurements to aggregate");
   }
+}
+
+/// Routes the batch protocol by the request's search strategy: one chip,
+/// two schedulers — restart-level fan-out for single-walk SA, replica-level
+/// fan-out with exchange barriers for tempering.
+runtime::BatchResult run_on_chip(const core::HyCimSolver& chip,
+                                 const runtime::InitFn& init,
+                                 const runtime::BatchParams& batch) {
+  if (std::holds_alternative<anneal::TemperingParams>(chip.config().search)) {
+    return runtime::solve_tempered(chip, init, batch);
+  }
+  return runtime::solve_batch(chip, init, batch);
 }
 
 }  // namespace
@@ -79,13 +92,22 @@ Reply Service::solve(const Request& request) {
     throw std::invalid_argument(
         "service::Service: instance lowers to an empty form (no variables)");
   }
-  const ChipKey key = chip_key(lowered.form, request.config);
+  // Cache lookup by fabrication identity only: a resubmission that changes
+  // just the schedule (iterations, tempering ladder, ...) reuses the same
+  // programmed chip.
+  const ChipKey key = fabrication_key(lowered.form, request.config);
 
   Reply reply;
   const auto chip =
       programmed_chip(lowered.form, request.config, key, &reply.cache_hit);
+  // The cached prototype may have been programmed under a different
+  // schedule; clone it (decision streams kept — bit-identical to the
+  // proto) and retarget the solve-time knobs to this request.  Copy cost
+  // is O(cells) against the fabrication's device simulation — noise.
+  core::HyCimSolver prototype(*chip, 0);
+  prototype.retarget_solve(request.config);
   const runtime::InitFn& init = request.init ? request.init : lowered.init;
-  reply.batch = runtime::solve_batch(*chip, init, request.batch);
+  reply.batch = run_on_chip(prototype, init, request.batch);
   reply.problem = lowered.score(reply.batch.best_x);
   reply.chip_key = key.lo;
   return reply;
@@ -104,10 +126,12 @@ Reply Service::solve_form(const core::ConstrainedQuboForm& form,
         "service::Service::solve_form: an initial-configuration generator "
         "is required (custom forms have no registry entry to supply one)");
   }
-  const ChipKey key = chip_key(form, config);
+  const ChipKey key = fabrication_key(form, config);
   Reply reply;
   const auto chip = programmed_chip(form, config, key, &reply.cache_hit);
-  reply.batch = runtime::solve_batch(*chip, init, batch);
+  core::HyCimSolver prototype(*chip, 0);
+  prototype.retarget_solve(config);
+  reply.batch = run_on_chip(prototype, init, batch);
   reply.problem.kind = "form";
   reply.problem.metric = "qubo_energy";
   reply.problem.higher_is_better = false;

@@ -4,12 +4,20 @@
 // A request is just {problem instance, solver config, batch parameters}.
 // The service lowers the instance through the COP registry
 // (cop::any_instance), looks the resulting (form, config) up in an
-// LRU-bounded cache of *programmed chip prototypes* keyed by content hash,
-// and runs the batch-restart protocol on the (possibly cached) chip:
+// LRU-bounded cache of *programmed chip prototypes* keyed by the
+// fabrication content hash — the form plus the config's fab/device fields
+// only, so a resubmission that changes just the solve-time schedule (SA
+// iterations, tempering ladder, ...) is a cache hit on the same chip —
+// and runs the batch protocol on the (possibly cached) chip:
 //
 //   * a cache hit skips fabrication entirely — the cached prototype is
 //     cloned per run, which is bit-identical to refabricating, so replies
 //     are indistinguishable from a cold solve;
+//   * the request's HyCimConfig::search picks the scheduler: single-walk
+//     SA fans restarts across threads (runtime::solve_batch), replica
+//     exchange fans each run's replicas with interleaved exchange
+//     barriers (runtime::solve_tempered) — both bit-identical for any
+//     thread count;
 //   * solve() is synchronous; submit() queues the same computation on a
 //     small worker pool and returns a std::future — bit-identical to
 //     solve() for the same request, because every run's randomness is a
@@ -70,7 +78,7 @@ struct Reply {
   runtime::BatchResult batch;
   cop::ProblemReport problem;
   bool cache_hit = false;     ///< served from a cached programmed chip
-  std::uint64_t chip_key = 0; ///< low word of the content hash (debugging)
+  std::uint64_t chip_key = 0; ///< low word of the fabrication key (debugging)
 };
 
 /// Cache observability counters (monotonic over the service lifetime,

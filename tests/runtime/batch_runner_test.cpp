@@ -92,8 +92,11 @@ TEST(BatchRunner, BestOfNReachesExactOptimumOnSmallQkp) {
   const auto truth = core::exact_qkp(inst);
   const auto batch = qkp_batch(inst, software_config(4000), 16, 0, 11);
   ASSERT_TRUE(batch.feasible);
-  const auto scored = cop::qkp_result(
-      inst, core::SolveResult{batch.best_x, batch.best_energy, true, {}});
+  core::SolveResult solved;
+  solved.best_x = batch.best_x;
+  solved.best_energy = batch.best_energy;
+  solved.feasible = true;
+  const auto scored = cop::qkp_result(inst, solved);
   EXPECT_EQ(scored.profit, truth.best_profit);
 }
 

@@ -72,6 +72,124 @@ TEST(ChipKey, SensitiveToFormAndConfig) {
   EXPECT_NE(chip_key(form_a, config), chip_key(form_a, other));
 }
 
+TEST(ChipKey, FabricationAndSolveKeysSplitCleanly) {
+  // The fabrication key only moves with fab/device fields; the solve key
+  // only with the schedule/strategy — so one programmed chip can serve
+  // many schedules.
+  const auto form = cop::to_constrained_form(qkp_instance(1, 12));
+  core::HyCimConfig config;
+
+  core::HyCimConfig schedule_only = config;
+  schedule_only.sa.iterations = config.sa.iterations + 500;
+  schedule_only.sa.t_end_frac = 1e-2;
+  anneal::TemperingParams tempering;
+  schedule_only.search = tempering;
+  EXPECT_EQ(fabrication_key(form, config),
+            fabrication_key(form, schedule_only));
+  EXPECT_NE(solve_key(config), solve_key(schedule_only));
+  EXPECT_NE(chip_key(form, config), chip_key(form, schedule_only));
+
+  core::HyCimConfig fab_only = config;
+  fab_only.filter.fab_seed = config.filter.fab_seed + 1;
+  EXPECT_NE(fabrication_key(form, config), fabrication_key(form, fab_only));
+  EXPECT_EQ(solve_key(config), solve_key(fab_only));
+
+  // Tempering knob changes move the solve key (and only it).
+  core::HyCimConfig ladder_a = config, ladder_b = config;
+  anneal::TemperingParams tp_a, tp_b;
+  tp_b.exchange_interval = tp_a.exchange_interval + 1;
+  ladder_a.search = tp_a;
+  ladder_b.search = tp_b;
+  EXPECT_NE(solve_key(ladder_a), solve_key(ladder_b));
+  EXPECT_EQ(fabrication_key(form, ladder_a), fabrication_key(form, ladder_b));
+}
+
+TEST(Service, ScheduleOnlyChangeIsChipCacheHit) {
+  // ROADMAP "Serving, next steps": a resubmission that changes only the
+  // solve-time schedule must reuse the cached programmed chip.
+  Service service;
+  Request request = qkp_request(90, 14, 200, 11);
+  const Reply first = service.solve(request);
+  EXPECT_FALSE(first.cache_hit);
+
+  Request longer = request;
+  longer.config.sa.iterations = 400;
+  const Reply second = service.solve(longer);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.chip_key, second.chip_key);
+
+  // Even switching the search strategy keeps the chip: tempering runs on
+  // the same fabricated hardware.
+  Request tempered = request;
+  anneal::TemperingParams tempering;
+  tempering.replicas = 3;
+  tempered.config.search = tempering;
+  const Reply third = service.solve(tempered);
+  EXPECT_TRUE(third.cache_hit);
+  ASSERT_FALSE(third.batch.runs.empty());
+  EXPECT_EQ(third.batch.runs.front().replicas.size(), 3u);
+
+  const auto stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // And the schedule actually changed the walk: the cached chip was reused
+  // under the new schedule, not the old reply replayed.
+  EXPECT_NE(first.batch.total_evaluated, second.batch.total_evaluated);
+}
+
+TEST(Service, CachedChipServesNewScheduleBitIdenticallyToColdSolve) {
+  // The hit must be indistinguishable from fabricating fresh *under the
+  // new schedule* — the retargeted prototype cannot leak the old one.
+  Request request = qkp_request(91, 14, 200, 12);
+  Request resubmission = request;
+  resubmission.config.sa.iterations = 350;
+  anneal::TemperingParams tempering;
+  tempering.replicas = 3;
+  resubmission.config.search = tempering;
+
+  Service warm;
+  warm.solve(request);                              // programs the chip
+  const Reply hit = warm.solve(resubmission);       // schedule-only change
+  EXPECT_TRUE(hit.cache_hit);
+
+  Service cold;
+  const Reply fresh = cold.solve(resubmission);     // fabricates for B
+  EXPECT_FALSE(fresh.cache_hit);
+  expect_batches_equal(hit.batch, fresh.batch);
+}
+
+TEST(Service, TemperingRequestMatchesDirectSolveTempered) {
+  const auto inst = qkp_instance(92, 16);
+  Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 250;
+  anneal::TemperingParams tempering;
+  tempering.replicas = 4;
+  request.config.search = tempering;
+  request.batch.restarts = 3;
+  request.batch.seed = 21;
+
+  Service service;
+  const Reply reply = service.solve(request);
+  const Reply async = service.submit(request).get();
+  expect_batches_equal(reply.batch, async.batch);
+  for (const auto& run : reply.batch.runs) {
+    EXPECT_EQ(run.replicas.size(), 4u);
+    EXPECT_FALSE(run.exchange_trace.empty());
+  }
+
+  const auto direct = runtime::solve_tempered(
+      cop::to_constrained_form(inst), request.config,
+      [&inst](util::Rng& rng) { return cop::random_feasible(inst, rng); },
+      request.batch);
+  EXPECT_EQ(reply.batch.best_x, direct.best_x);
+  EXPECT_EQ(reply.batch.best_energy, direct.best_energy);
+  EXPECT_EQ(reply.batch.total_exchanges_accepted,
+            direct.total_exchanges_accepted);
+}
+
 TEST(Service, CacheHitIsBitIdenticalToColdSolve) {
   const Request request = qkp_request(3, 16);
 
