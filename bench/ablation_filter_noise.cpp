@@ -2,10 +2,21 @@
 // device/comparator noise — the margin analysis behind Fig. 8.  Sweeps the
 // Vth variation and comparator corners and reports accuracy split by the
 // configuration's distance to the capacity boundary.
+//
+// The instance loop rides the runtime::run_batch instance-fan pattern
+// fig10 uses: one forked stream per instance drives that instance's
+// sampled configurations (no shared util::Rng anywhere), each task
+// evaluates every corner on the same sample set (the fair comparison),
+// and the per-corner aggregation happens after the fan joins — so the
+// sweep is bit-identical for any --threads count.
+#include <cstdlib>
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "cim/filter/inequality_filter.hpp"
 #include "cop/qkp.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +30,22 @@ struct Corner {
   double sigma_noise;
 };
 
+constexpr Corner kCorners[] = {
+    {"ideal", 0.0, 0.0, 0.0, 0.0},
+    {"nominal", 0.030, 0.010, 50e-6, 20e-6},
+    {"2x Vth noise", 0.060, 0.020, 50e-6, 20e-6},
+    {"4x Vth noise", 0.120, 0.040, 50e-6, 20e-6},
+    {"10x comparator", 0.030, 0.010, 500e-6, 200e-6},
+    {"worst", 0.120, 0.040, 500e-6, 200e-6},
+};
+constexpr std::size_t kNumCorners = std::size(kCorners);
+
+/// Per-(corner, margin-bucket) tallies one instance task produces.
+struct InstanceCounts {
+  std::size_t correct[kNumCorners][3] = {};
+  std::size_t total[kNumCorners][3] = {};
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -27,30 +54,45 @@ int main(int argc, char** argv) {
                 "A2: filter accuracy vs variation/comparator corners");
   cli.add_int("instances", 4, "QKP instances");
   cli.add_int("samples", 300, "random configurations per instance");
+  cli.add_int("threads", 0, "instance-fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   if (!cli.parse(argc, argv)) return 0;
 
   auto suite = cop::generate_paper_suite(
       100, static_cast<std::uint64_t>(cli.get_int("seed")));
   suite.resize(static_cast<std::size_t>(cli.get_int("instances")));
+  const int samples = cli.get_int("samples");
 
-  const Corner corners[] = {
-      {"ideal", 0.0, 0.0, 0.0, 0.0},
-      {"nominal", 0.030, 0.010, 50e-6, 20e-6},
-      {"2x Vth noise", 0.060, 0.020, 50e-6, 20e-6},
-      {"4x Vth noise", 0.120, 0.040, 50e-6, 20e-6},
-      {"10x comparator", 0.030, 0.010, 500e-6, 200e-6},
-      {"worst", 0.120, 0.040, 500e-6, 200e-6},
-  };
+  // The instance fan: task idx samples its configurations from its forked
+  // stream, then classifies the same set under every corner.
+  std::vector<InstanceCounts> outcomes(suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = suite.size();
+  fan.threads = static_cast<unsigned>(cli.get_int("threads"));
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0x900;
+  runtime::run_batch(fan, [&](std::size_t idx, util::Rng& rng) {
+    const auto& inst = suite[idx];
+    InstanceCounts& out = outcomes[idx];
 
-  std::cout << "Filter accuracy by corner and margin "
-               "(|sum(w*x) - C| buckets, in weight units):\n\n";
-  util::Table table({"corner", "margin<3 acc %", "3-10 acc %", ">10 acc %",
-                     "overall acc %"});
-  for (const auto& corner : corners) {
-    std::size_t correct[3] = {0, 0, 0}, total[3] = {0, 0, 0};
-    for (std::size_t idx = 0; idx < suite.size(); ++idx) {
-      const auto& inst = suite[idx];
+    // Draw the sample set once per instance so every corner judges the
+    // identical configurations.
+    std::vector<qubo::BitVector> configs;
+    configs.reserve(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+      // Bias sampling toward the boundary so the tight buckets fill up.
+      auto x = cop::random_feasible(inst, rng);
+      if (s % 2 == 1) {
+        // Push just over the boundary by adding light items.
+        for (std::size_t k = 0; k < inst.n; ++k) {
+          if (!x[k] && inst.total_weight(x) <= inst.capacity) x[k] = 1;
+          if (inst.total_weight(x) > inst.capacity) break;
+        }
+      }
+      configs.push_back(std::move(x));
+    }
+
+    for (std::size_t c = 0; c < kNumCorners; ++c) {
+      const Corner& corner = kCorners[c];
       cim::InequalityFilterParams params;
       params.variation.sigma_vth_d2d = corner.sigma_vth_d2d;
       params.variation.sigma_vth_c2c = corner.sigma_vth_c2c;
@@ -58,31 +100,40 @@ int main(int argc, char** argv) {
       params.comparator.sigma_noise = corner.sigma_noise;
       params.fab_seed = 100 + idx;
       cim::InequalityFilter filter(params, inst.weights, inst.capacity);
-      util::Rng rng(900 + idx);
-      for (int s = 0; s < cli.get_int("samples"); ++s) {
-        // Bias sampling toward the boundary so the tight buckets fill up.
-        auto x = cop::random_feasible(inst, rng);
-        if (s % 2 == 1) {
-          // Push just over the boundary by adding light items.
-          for (std::size_t k = 0; k < inst.n; ++k) {
-            if (!x[k] && inst.total_weight(x) <= inst.capacity) x[k] = 1;
-            if (inst.total_weight(x) > inst.capacity) break;
-          }
-        }
+      for (const auto& x : configs) {
         const long long w = inst.total_weight(x);
         const long long margin = std::llabs(w - inst.capacity);
         const std::size_t bucket = margin < 3 ? 0 : (margin <= 10 ? 1 : 2);
-        ++total[bucket];
-        if (filter.is_feasible(x) == (w <= inst.capacity)) ++correct[bucket];
+        ++out.total[c][bucket];
+        if (filter.is_feasible(x) == (w <= inst.capacity)) {
+          ++out.correct[c][bucket];
+        }
       }
     }
-    auto pct = [](std::size_t c, std::size_t t) {
-      return t == 0 ? std::string("-")
-                    : util::Table::num(100.0 * static_cast<double>(c) /
-                                           static_cast<double>(t),
-                                       1);
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
+  std::cout << "Filter accuracy by corner and margin "
+               "(|sum(w*x) - C| buckets, in weight units):\n\n";
+  util::Table table({"corner", "margin<3 acc %", "3-10 acc %", ">10 acc %",
+                     "overall acc %"});
+  for (std::size_t c = 0; c < kNumCorners; ++c) {
+    std::size_t correct[3] = {0, 0, 0}, total[3] = {0, 0, 0};
+    for (const auto& out : outcomes) {
+      for (std::size_t b = 0; b < 3; ++b) {
+        correct[b] += out.correct[c][b];
+        total[b] += out.total[c][b];
+      }
+    }
+    auto pct = [](std::size_t correct_n, std::size_t total_n) {
+      return total_n == 0
+                 ? std::string("-")
+                 : util::Table::num(100.0 * static_cast<double>(correct_n) /
+                                        static_cast<double>(total_n),
+                                    1);
     };
-    table.add_row({corner.name, pct(correct[0], total[0]),
+    table.add_row({kCorners[c].name, pct(correct[0], total[0]),
                    pct(correct[1], total[1]), pct(correct[2], total[2]),
                    pct(correct[0] + correct[1] + correct[2],
                        total[0] + total[1] + total[2])});

@@ -73,6 +73,10 @@ struct InstanceOutcome {
   long long reference = 0;
   SolverStats hycim, dqubo;
   std::size_t exchanges_accepted = 0;  ///< tempering observability
+  /// The per-flip kernel the instance's chip resolved to (density-
+  /// dispatched under --kernel auto: the paper's density-25 rows go
+  /// sparse, 50 and up stay dense).
+  qubo::Kernel kernel = qubo::Kernel::kDense;
   std::vector<InitRow> rows;
 };
 
@@ -92,6 +96,10 @@ int main(int argc, char** argv) {
   cli.add_string("strategy", "sa",
                  "HyCiM search strategy: sa | tempering (equal QUBO budget: "
                  "tempering divides --runs by --replicas)");
+  cli.add_string("kernel", "auto",
+                 "per-flip kernel: auto (density-dispatched) | dense | "
+                 "sparse; the resolved choice lands in the per-instance "
+                 "JSON");
   cli.add_int("replicas", 4, "tempering: replicas per ensemble");
   cli.add_double("t_ratio", 0.05, "tempering: ladder span T_cold/T_hot");
   cli.add_int("exchange_interval", 25,
@@ -134,6 +142,19 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool tempering = strategy == "tempering";
+  const std::string kernel_flag = cli.get_string("kernel");
+  qubo::Kernel kernel_choice;
+  if (kernel_flag == "auto") {
+    kernel_choice = qubo::Kernel::kAuto;
+  } else if (kernel_flag == "dense") {
+    kernel_choice = qubo::Kernel::kDense;
+  } else if (kernel_flag == "sparse") {
+    kernel_choice = qubo::Kernel::kSparse;
+  } else {
+    std::cerr << "unknown --kernel '" << kernel_flag
+              << "' (expected auto | dense | sparse)\n";
+    return 2;
+  }
   anneal::TemperingParams tempering_params;
   tempering_params.replicas =
       static_cast<std::size_t>(cli.get_int("replicas"));
@@ -198,6 +219,7 @@ int main(int argc, char** argv) {
                               ? core::FilterMode::kHardware
                               : core::FilterMode::kSoftware;
     hconfig.filter.fab_seed = 33 + idx;
+    hconfig.kernel = kernel_choice;
     if (tempering) hconfig.search = tempering_params;
 
     core::DquboConfig dconfig;
@@ -241,6 +263,7 @@ int main(int argc, char** argv) {
       out.hycim.proposals += h_batch.total_proposed;
       out.hycim.wall_seconds += h_batch.wall_seconds;
       out.exchanges_accepted += h_batch.total_exchanges_accepted;
+      out.kernel = h_batch.kernel;
 
       // D-QUBO: the plain SA fan through the generic runner (the solver is
       // stateless across solve() calls in quantized fidelity) — always the
@@ -308,6 +331,7 @@ int main(int argc, char** argv) {
   json.key("iterations").value(static_cast<long long>(iterations));
   json.key("hardware_filter").value(cli.get_bool("hardware_filter"));
   json.key("strategy").value(strategy);
+  json.key("kernel").value(kernel_flag);
   json.key("replicas")
       .value(static_cast<long long>(tempering_params.replicas));
   json.key("t_ratio").value(tempering_params.t_ratio);
@@ -357,6 +381,7 @@ int main(int argc, char** argv) {
       json.key("wall_seconds").value(entry->wall_seconds);
       if (entry == &out.hycim) {
         json.key("exchanges_accepted").value(out.exchanges_accepted);
+        json.key("kernel").value(qubo::kernel_name(out.kernel));
       }
       json.end();
     }

@@ -24,6 +24,7 @@
 #include "cim/crossbar/bit_slice.hpp"
 #include "cim/crossbar/crossbar.hpp"
 #include "device/variation.hpp"
+#include "qubo/neighbor_index.hpp"
 #include "qubo/qubo_matrix.hpp"
 
 namespace hycim::cim {
@@ -43,6 +44,14 @@ struct VmvEngineParams {
   CrossbarParams crossbar{};            ///< cell corner (kCircuit only)
   device::VariationParams variation{};  ///< fabrication corners
   std::uint64_t fab_seed = 7;
+  /// Bound-state trial/apply kernel (kCircuit only): kAuto resolves from
+  /// the quantized matrix's density.  The sparse kernel caches per-column
+  /// ADC codes and reconverts only the columns a flip structurally
+  /// touches — O(degree·bits) conversions per trial instead of
+  /// O(n·bits) — treating the sub-LSB leakage shift of zero cells as
+  /// invariant (the dense path, kept as the full-recompute oracle under
+  /// check_incremental, models those leaks exactly).
+  qubo::Kernel kernel = qubo::Kernel::kAuto;
 };
 
 /// A programmed VMV engine for one QUBO matrix.
@@ -110,6 +119,9 @@ class VmvEngine {
   /// Magnitude bits per element stored in the crossbars.
   int magnitude_bits() const { return quantized_.magnitude_bits; }
 
+  /// The resolved bound-state kernel (kDense or kSparse, never kAuto).
+  qubo::Kernel kernel() const { return kernel_; }
+
   /// Re-programs all crossbars with fresh cycle-to-cycle noise
   /// (kCircuit mode; the Fig. 7(f) erase/reprogram experiment).
   void reprogram();
@@ -122,6 +134,16 @@ class VmvEngine {
  private:
   double circuit_energy(std::span<const std::uint8_t> x);
   void rebuild_bound_currents();
+  /// Sparse kernel: (re)digitizes every selected column from the cached
+  /// currents, refreshing col_acc_ and bound_acc_ (same conversion order
+  /// as the dense path).
+  void reconvert_all_columns();
+  /// Sparse kernel: the sorted unique set of columns whose current or
+  /// selection changes under `flips` — each flipped column itself plus the
+  /// upper-triangle structural neighbors of every flipped row.
+  void collect_affected(std::span<const std::size_t> flips);
+  double trial_sparse(std::span<const std::size_t> flips);
+  void apply_sparse(std::span<const std::size_t> flips);
   /// Shift-added ADC accumulation over the candidate's selected columns,
   /// reading analog currents through `current_of(plane_index, col)` where
   /// plane_index runs over [0, bits) positive then [bits, 2·bits) negative.
@@ -150,6 +172,18 @@ class VmvEngine {
   long long trial_acc_ = 0;
   bool trial_valid_ = false;
   std::vector<std::uint8_t> trial_x_;  // scratch candidate configuration
+  // Sparse-kernel state: resolved kernel, CSR of upper-triangle structural
+  // neighbors (per row k: columns j >= k with quantized value != 0),
+  // cached per-column shift-added codes of the bound state (0 when the
+  // column is unselected), and the memoized per-column codes of the last
+  // trial so apply() can adopt them without reconverting.
+  qubo::Kernel kernel_ = qubo::Kernel::kDense;
+  std::vector<std::size_t> sp_offsets_;
+  std::vector<std::uint32_t> sp_cols_;
+  std::vector<long long> col_acc_;
+  std::vector<std::size_t> affected_;        // scratch
+  std::vector<std::size_t> trial_cols_;      // memo: affected set
+  std::vector<long long> trial_col_codes_;   // memo: their new codes
 };
 
 }  // namespace hycim::cim

@@ -1,23 +1,50 @@
 #include "cim/filter/filter_bank.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "cim/filter/weight_decompose.hpp"
 #include "util/rng.hpp"
 
 namespace hycim::cim {
 
 FilterBank::FilterBank(const InequalityFilterParams& params,
                        const std::vector<LinearConstraint>& constraints,
-                       std::size_t variables) {
+                       std::size_t variables)
+    : variables_(variables) {
   if (constraints.empty()) {
     throw std::invalid_argument("FilterBank: no constraints");
   }
+  const long long column_max = max_representable_weight(
+      params.array.rows, params.array.fefet.num_levels - 1);
   filters_.reserve(constraints.size());
+  supports_.reserve(constraints.size());
   for (std::size_t i = 0; i < constraints.size(); ++i) {
     const auto& c = constraints[i];
     if (c.weights.size() != variables) {
       throw std::invalid_argument("FilterBank: constraint width mismatch");
     }
+    // The support: only the wired (nonzero-weight) variables get a column.
+    // An all-zero constraint yields a zero-column filter whose matchline
+    // never discharges — trivially feasible, never trialed.
+    std::vector<std::uint32_t> support;
+    std::vector<long long> weights;
+    for (std::size_t k = 0; k < variables; ++k) {
+      if (c.weights[k] == 0) continue;
+      support.push_back(static_cast<std::uint32_t>(k));
+      weights.push_back(c.weights[k]);
+    }
+    // Representable capacities pass through untouched (noise margins
+    // unchanged); only a capacity beyond the support-sized replica's
+    // range — necessarily a vacuous constraint, since per-column weights
+    // are bounded by column_max — clamps to the deepest representable
+    // margin.  Negative capacities pass through to the filter's own
+    // validation.
+    const long long replica_range =
+        static_cast<long long>(support.size()) * column_max;
+    const long long capacity =
+        c.capacity < 0 ? c.capacity : std::min(c.capacity, replica_range);
+
     InequalityFilterParams p = params;
     p.fab_seed = params.fab_seed + i;  // independent fabrication per filter
     if (params.decision_seed != 0) {
@@ -25,11 +52,16 @@ FilterBank::FilterBank(const InequalityFilterParams& params,
       // stride +1/+2 off the base) ever share a noise stream.
       p.decision_seed = util::fork_seed(params.decision_seed, i);
     }
-    filters_.emplace_back(p, c.weights, c.capacity);
+    filters_.emplace_back(p, weights, capacity);
+    supports_.push_back(std::move(support));
   }
+  incidence_ = VariableIncidence(supports_, variables);
 }
 
-FilterBank::FilterBank(const FilterBank& proto, std::uint64_t decision_seed) {
+FilterBank::FilterBank(const FilterBank& proto, std::uint64_t decision_seed)
+    : variables_(proto.variables_),
+      supports_(proto.supports_),
+      incidence_(proto.incidence_) {
   filters_.reserve(proto.filters_.size());
   for (std::size_t i = 0; i < proto.filters_.size(); ++i) {
     filters_.emplace_back(proto.filters_[i],
@@ -39,15 +71,30 @@ FilterBank::FilterBank(const FilterBank& proto, std::uint64_t decision_seed) {
   }
 }
 
+std::span<const std::uint8_t> FilterBank::gather(
+    std::size_t i, std::span<const std::uint8_t> x) const {
+  if (x.size() != variables_) {
+    throw std::invalid_argument("FilterBank: input size mismatch");
+  }
+  const auto& support = supports_[i];
+  gather_.resize(support.size());
+  for (std::size_t s = 0; s < support.size(); ++s) gather_[s] = x[support[s]];
+  return gather_;
+}
+
 bool FilterBank::is_feasible(std::span<const std::uint8_t> x) {
-  for (auto& f : filters_) {
-    if (!f.is_feasible(x)) return false;  // short-circuit like the AND gate
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (!filters_[i].is_feasible(gather(i, x))) {
+      return false;  // short-circuit like the AND gate
+    }
   }
   return true;
 }
 
 void FilterBank::bind(std::span<const std::uint8_t> x) {
-  for (auto& f : filters_) f.bind(x);
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    filters_[i].bind(gather(i, x));
+  }
 }
 
 void FilterBank::unbind() {
@@ -59,28 +106,57 @@ bool FilterBank::bound() const {
 }
 
 bool FilterBank::trial_feasible(std::span<const std::size_t> flips) {
-  for (auto& f : filters_) {
-    if (!f.trial_feasible(flips)) return false;  // short-circuit AND
+  for (const auto& touched : incidence_.group(flips)) {
+    if (!filters_[touched.filter].trial_feasible(touched.locals)) {
+      return false;  // short-circuit AND over the measured filters
+    }
   }
   return true;
 }
 
 void FilterBank::apply(std::span<const std::size_t> flips) {
-  for (auto& f : filters_) f.apply(flips);
+  for (const auto& touched : incidence_.group(flips)) {
+    filters_[touched.filter].apply(touched.locals);
+  }
+}
+
+double FilterBank::trial_ml(std::size_t i,
+                            std::span<const std::size_t> flips) const {
+  for (const auto& touched : incidence_.group(flips)) {
+    if (touched.filter == i) return filters_[i].trial_ml(touched.locals);
+  }
+  return filters_.at(i).bound_ml();  // untouched: the matchline is unchanged
+}
+
+double FilterBank::bound_ml(std::size_t i) const {
+  return filters_.at(i).bound_ml();
+}
+
+double FilterBank::ml_voltage(std::size_t i,
+                              std::span<const std::uint8_t> x) const {
+  return filters_.at(i).ml_voltage(gather(i, x));
 }
 
 std::vector<bool> FilterBank::verdicts(std::span<const std::uint8_t> x) {
   std::vector<bool> out;
   out.reserve(filters_.size());
-  for (auto& f : filters_) out.push_back(f.is_feasible(x));
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    out.push_back(filters_[i].is_feasible(gather(i, x)));
+  }
   return out;
 }
 
 bool FilterBank::exact_feasible(std::span<const std::uint8_t> x) const {
-  for (const auto& f : filters_) {
-    if (!f.exact_feasible(x)) return false;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (!filters_[i].exact_feasible(gather(i, x))) return false;
   }
   return true;
+}
+
+bool FilterBank::touches(std::size_t i, std::size_t var) const {
+  const auto& support = supports_.at(i);
+  return std::binary_search(support.begin(), support.end(),
+                            static_cast<std::uint32_t>(var));
 }
 
 std::size_t FilterBank::total_evaluations() const {

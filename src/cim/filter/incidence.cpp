@@ -1,0 +1,70 @@
+#include "cim/filter/incidence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hycim::cim {
+
+VariableIncidence::VariableIncidence(
+    std::span<const std::vector<std::uint32_t>> supports,
+    std::size_t variables) {
+  offsets_.assign(variables + 1, 0);
+  for (const auto& support : supports) {
+    for (const std::uint32_t k : support) ++offsets_[k + 1];
+  }
+  for (std::size_t k = 0; k < variables; ++k) offsets_[k + 1] += offsets_[k];
+  entries_.resize(offsets_[variables]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t f = 0; f < supports.size(); ++f) {
+    const auto& support = supports[f];
+    for (std::uint32_t local = 0;
+         local < static_cast<std::uint32_t>(support.size()); ++local) {
+      entries_[cursor[support[local]]++] = {static_cast<std::uint32_t>(f),
+                                            local};
+    }
+  }
+}
+
+std::span<const VariableIncidence::Touched> VariableIncidence::group(
+    std::span<const std::size_t> flips) const {
+  flip_entries_.clear();
+  for (const std::size_t k : flips) {
+    if (k >= variables()) {
+      throw std::invalid_argument("VariableIncidence: flip out of range");
+    }
+    for (std::size_t e = offsets_[k]; e < offsets_[k + 1]; ++e) {
+      flip_entries_.push_back(entries_[e]);
+    }
+  }
+  // Ascending filter order (the order the pre-incidence loop judged
+  // filters in); stable so a filter sees its flips in proposal order.
+  std::stable_sort(flip_entries_.begin(), flip_entries_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  locals_.clear();
+  touched_.clear();
+  for (const auto& [filter, local] : flip_entries_) {
+    if (touched_.empty() || touched_.back().filter != filter) {
+      touched_.push_back({filter, {}});
+    }
+    locals_.push_back(local);
+  }
+  // Attach the span views only once locals_ is fully built (push_back
+  // may reallocate): walk the sorted entries again, one contiguous run
+  // per touched filter.
+  std::size_t pos = 0;
+  for (auto& touched : touched_) {
+    const std::size_t start = pos;
+    std::size_t len = 0;
+    while (pos < flip_entries_.size() &&
+           flip_entries_[pos].first == touched.filter) {
+      ++pos;
+      ++len;
+    }
+    touched.locals = {locals_.data() + start, len};
+  }
+  return touched_;
+}
+
+}  // namespace hycim::cim

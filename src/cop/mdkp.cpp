@@ -44,7 +44,16 @@ void MdkpInstance::validate() const {
   for (const auto& w : weights) {
     if (w.size() != n) throw std::invalid_argument("MDKP: weights size");
     for (auto v : w) {
-      if (v < 1) throw std::invalid_argument("MDKP: weight < 1");
+      if (v < 0) throw std::invalid_argument("MDKP: negative weight");
+    }
+  }
+  // Zero weights mark items absent from a dimension; an item absent from
+  // *every* dimension would make the knapsack structure vacuous for it.
+  for (std::size_t i = 0; i < n; ++i) {
+    bool present = false;
+    for (const auto& w : weights) present = present || w[i] != 0;
+    if (!present) {
+      throw std::invalid_argument("MDKP: item in no dimension");
     }
   }
   for (std::size_t i = 0; i < n; ++i) {
@@ -75,18 +84,46 @@ MdkpInstance generate_mdkp(const MdkpGeneratorParams& params,
       }
     }
   }
-  for (std::size_t d = 0; d < params.dimensions; ++d) {
-    std::vector<long long> w(params.n);
-    long long sum = 0;
-    for (auto& v : w) {
-      v = rng.uniform_int(1, params.weight_max);
-      sum += v;
+  if (params.incident_dimensions > params.dimensions) {
+    throw std::invalid_argument(
+        "generate_mdkp: incident_dimensions exceeds dimensions");
+  }
+  if (params.incident_dimensions == 0) {
+    // Dense incidence: the classic MDKP, every item in every dimension.
+    for (std::size_t d = 0; d < params.dimensions; ++d) {
+      std::vector<long long> w(params.n);
+      long long sum = 0;
+      for (auto& v : w) {
+        v = rng.uniform_int(1, params.weight_max);
+        sum += v;
+      }
+      inst.weights.push_back(std::move(w));
+      const double tightness =
+          rng.uniform(params.tightness_lo, params.tightness_hi);
+      inst.capacities.push_back(std::max<long long>(
+          1, static_cast<long long>(tightness * static_cast<double>(sum))));
     }
-    inst.weights.push_back(std::move(w));
-    const double tightness =
-        rng.uniform(params.tightness_lo, params.tightness_hi);
-    inst.capacities.push_back(std::max<long long>(
-        1, static_cast<long long>(tightness * static_cast<double>(sum))));
+  } else {
+    // Sparse incidence: item i gets a nonzero weight in exactly
+    // incident_dimensions randomly chosen rows.
+    inst.weights.assign(params.dimensions,
+                        std::vector<long long>(params.n, 0));
+    std::vector<std::size_t> dims(params.dimensions);
+    for (std::size_t d = 0; d < params.dimensions; ++d) dims[d] = d;
+    for (std::size_t i = 0; i < params.n; ++i) {
+      rng.shuffle(dims);
+      for (std::size_t s = 0; s < params.incident_dimensions; ++s) {
+        inst.weights[dims[s]][i] = rng.uniform_int(1, params.weight_max);
+      }
+    }
+    for (std::size_t d = 0; d < params.dimensions; ++d) {
+      long long sum = 0;
+      for (auto v : inst.weights[d]) sum += v;
+      const double tightness =
+          rng.uniform(params.tightness_lo, params.tightness_hi);
+      inst.capacities.push_back(std::max<long long>(
+          1, static_cast<long long>(tightness * static_cast<double>(sum))));
+    }
   }
   inst.validate();
   return inst;

@@ -21,7 +21,10 @@ namespace hycim::cop {
 
 /// One MDQKP instance.  Profits are stored like QkpInstance's (symmetric
 /// n×n, diagonal = individual profits); constraint d has weights
-/// `weights[d]` (size n) and bound `capacities[d]`.
+/// `weights[d]` (size n) and bound `capacities[d]`.  A weight of 0 means
+/// the item does not participate in that dimension (sparse constraint
+/// incidence — the structure the solver's per-variable incidence index
+/// exploits); every item must participate in at least one dimension.
 struct MdkpInstance {
   std::string name;
   std::size_t n = 0;
@@ -57,6 +60,12 @@ struct MdkpGeneratorParams {
   /// c_d drawn uniformly in [tightness_lo, tightness_hi] × Σ_i w_{d,i}.
   double tightness_lo = 0.3;
   double tightness_hi = 0.7;
+  /// Constraint incidence: 0 (default) wires every item into every
+  /// dimension (the classic dense MDKP); k in [1, dimensions] gives each
+  /// item a nonzero weight in exactly k randomly chosen dimensions — the
+  /// sparse-incidence shape (e.g. 8 resource rows where each item touches
+  /// 2) whose per-flip constraint updates are O(k), not O(dimensions).
+  std::size_t incident_dimensions = 0;
 };
 
 /// Generates one instance; fully determined by (params, seed).

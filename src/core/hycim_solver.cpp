@@ -1,5 +1,6 @@
 #include "core/hycim_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -13,14 +14,18 @@ namespace hycim::core {
 /// SaProblem adapter: energy via the configured fidelity path, feasibility
 /// via the hardware filters or the exact predicates.  The whole pipeline is
 /// incremental per trial move:
-///   * software feasibility — constraint totals tracked per commit,
-///     O(#constraints) per proposal;
-///   * hardware feasibility — filters bound to the current configuration,
-///     each trial adjusts only the flipped columns' matchline charge
-///     (O(phases) per filter) instead of re-discharging the whole array;
+///   * software feasibility — constraint totals tracked per commit, and a
+///     per-variable incidence index so a proposal touches only the
+///     constraints whose rows contain a flipped bit (O(incidence), not
+///     O(#constraints));
+///   * hardware feasibility — filters bound to the current configuration;
+///     only the filters incident to the flipped bits are measured
+///     (support-compressed arrays, see cim::FilterBank), each trial
+///     adjusting the flipped columns' matchline charge in O(phases);
 ///   * circuit energies — the VMV engine's bound state updates per-column
-///     currents on a flip instead of re-running the full O(n²) VMV;
-///   * ideal/quantized energies — qubo::IncrementalEvaluator local fields.
+///     currents on a flip (O(degree·bits) under the sparse kernel);
+///   * ideal/quantized energies — qubo::IncrementalEvaluator local fields,
+///     O(degree) per commit under the sparse kernel.
 /// No per-proposal BitVector copies remain; candidates exist only as flip
 /// index sets.  check_incremental re-derives everything from scratch at
 /// every step and throws on divergence.
@@ -29,7 +34,8 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
   explicit Problem(HyCimSolver& owner)
       : owner_(owner),
         eval_(owner.eval_matrix_,
-              qubo::BitVector(owner.eval_matrix_.size(), 0)),
+              qubo::BitVector(owner.eval_matrix_.size(), 0),
+              owner.resolved_kernel_),
         totals_(owner.form_.constraints.size(), 0),
         eq_totals_(owner.form_.equalities.size(), 0) {}
 
@@ -37,16 +43,22 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
 
   double reset(const qubo::BitVector& x) override {
     const auto& cs = owner_.form_.constraints;
+    violated_ = 0;
     for (std::size_t c = 0; c < cs.size(); ++c) {
       totals_[c] = constraint_total(cs[c], x);
+      if (totals_[c] > cs[c].capacity) ++violated_;
     }
     const auto& es = owner_.form_.equalities;
+    eq_violated_ = 0;
     for (std::size_t c = 0; c < es.size(); ++c) {
       eq_totals_[c] = constraint_total(es[c], x);
+      if (eq_totals_[c] != es[c].capacity) ++eq_violated_;
     }
     if (hardware()) {
       if (owner_.bank_) owner_.bank_->bind(x);
-      for (auto& eq : owner_.equality_filters_) eq.bind(x);
+      for (std::size_t e = 0; e < owner_.equality_filters_.size(); ++e) {
+        owner_.equality_filters_[e].bind(owner_.eq_gather(e, x));
+      }
     }
     if (circuit()) {
       owner_.engine_->bind(x);
@@ -61,30 +73,44 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
     if (owner_.config_.filter_mode == FilterMode::kSoftware) {
       const auto& x = state();
       const auto& cs = owner_.form_.constraints;
-      for (std::size_t c = 0; c < cs.size(); ++c) {
+      // Only the constraints whose rows contain a flipped bit can change;
+      // an untouched satisfied constraint stays satisfied, an untouched
+      // violated one stays violated (counted below) — exactly the dense
+      // all-constraints scan's verdict at O(incidence) cost.
+      gather_touched(owner_.ineq_by_var_, flips);
+      std::size_t were_violated = 0;
+      for (const std::uint32_t c : touched_ids_) {
         long long t = totals_[c];
         for (const std::size_t k : flips) {
           t += x[k] ? -cs[c].weights[k] : cs[c].weights[k];
         }
         if (t > cs[c].capacity) return false;
+        if (totals_[c] > cs[c].capacity) ++were_violated;
       }
+      if (violated_ > were_violated) return false;
       const auto& es = owner_.form_.equalities;
-      for (std::size_t c = 0; c < es.size(); ++c) {
+      gather_touched(owner_.eq_by_var_, flips);
+      were_violated = 0;
+      for (const std::uint32_t c : touched_ids_) {
         long long t = eq_totals_[c];
         for (const std::size_t k : flips) {
           t += x[k] ? -es[c].weights[k] : es[c].weights[k];
         }
         if (t != es[c].capacity) return false;
+        if (eq_totals_[c] != es[c].capacity) ++were_violated;
       }
-      return true;
+      return eq_violated_ <= were_violated;
     }
     if (owner_.config_.check_incremental) check_filter_trials(m);
-    // Same evaluation order (and hence comparator noise-stream consumption)
-    // as the full-recompute path: the bank's AND short-circuit first, then
-    // the equality windows.
+    // Same evaluation order as before the incidence index: the bank's AND
+    // short-circuit first (ascending filter order), then the equality
+    // windows — but only the filters wired to a flipped bit are measured.
     if (owner_.bank_ && !owner_.bank_->trial_feasible(flips)) return false;
-    for (auto& eq : owner_.equality_filters_) {
-      if (!eq.trial_satisfied(flips)) return false;
+    for (const auto& touched : owner_.eq_incidence_.group(flips)) {
+      if (!owner_.equality_filters_[touched.filter].trial_satisfied(
+              touched.locals)) {
+        return false;
+      }
     }
     return true;
   }
@@ -104,10 +130,12 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
 
   void commit(const anneal::Move& m) override {
     const auto flips = m.indices();
-    for (const std::size_t k : flips) apply_totals(k);
+    apply_totals(flips);
     if (hardware()) {
       if (owner_.bank_) owner_.bank_->apply(flips);
-      for (auto& eq : owner_.equality_filters_) eq.apply(flips);
+      for (const auto& touched : owner_.eq_incidence_.group(flips)) {
+        owner_.equality_filters_[touched.filter].apply(touched.locals);
+      }
     }
     if (circuit()) {
       owner_.engine_->apply(flips);
@@ -138,6 +166,19 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
     return owner_.engine_->params().adc.sigma_noise_a == 0.0;
   }
 
+  /// Unique constraint ids (from a per-variable incidence table) touched
+  /// by `flips`, into touched_ids_.
+  void gather_touched(const std::vector<std::vector<std::uint32_t>>& by_var,
+                      std::span<const std::size_t> flips) {
+    touched_ids_.clear();
+    for (const std::size_t k : flips) {
+      for (const std::uint32_t c : by_var[k]) touched_ids_.push_back(c);
+    }
+    std::sort(touched_ids_.begin(), touched_ids_.end());
+    touched_ids_.erase(std::unique(touched_ids_.begin(), touched_ids_.end()),
+                       touched_ids_.end());
+  }
+
   qubo::BitVector candidate_of(const anneal::Move& m) const {
     qubo::BitVector candidate = state();
     for (const std::size_t k : m.indices()) candidate[k] ^= 1;
@@ -156,21 +197,35 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
 
   /// Cross-checks every filter's incremental trial matchline voltage
   /// against a full re-discharge of the candidate.  Uses the analog,
-  /// comparator-free paths so the decision noise streams are untouched.
+  /// comparator-free paths so the decision noise streams are untouched;
+  /// untouched filters must report an unchanged matchline.
   void check_filter_trials(const anneal::Move& m) {
     const auto flips = m.indices();
     const qubo::BitVector candidate = candidate_of(m);
     if (owner_.bank_) {
       for (std::size_t i = 0; i < owner_.bank_->size(); ++i) {
-        auto& f = owner_.bank_->filter(i);
-        check_near(f.trial_ml(flips), f.ml_voltage(candidate), kMlTolVolts,
+        check_near(owner_.bank_->trial_ml(i, flips),
+                   owner_.bank_->ml_voltage(i, candidate), kMlTolVolts,
                    "inequality-filter trial ML");
       }
     }
-    for (const auto& eq : owner_.equality_filters_) {
-      check_near(eq.trial_ml(flips), eq.ml_voltage(candidate), kMlTolVolts,
+    for (std::size_t e = 0; e < owner_.equality_filters_.size(); ++e) {
+      const auto& eq = owner_.equality_filters_[e];
+      check_near(eq_trial_ml(e, flips),
+                 eq.ml_voltage(owner_.eq_gather(e, candidate)), kMlTolVolts,
                  "equality-filter trial ML");
     }
+  }
+
+  /// Equality filter e's incremental trial ML for global flips (bound ML
+  /// when untouched).
+  double eq_trial_ml(std::size_t e, std::span<const std::size_t> flips) {
+    for (const auto& touched : owner_.eq_incidence_.group(flips)) {
+      if (touched.filter == e) {
+        return owner_.equality_filters_[e].trial_ml(touched.locals);
+      }
+    }
+    return owner_.equality_filters_[e].bound_ml();
   }
 
   /// Cross-checks the incremental energy delta against full recomputation.
@@ -208,27 +263,42 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
     if (hardware()) {
       if (owner_.bank_) {
         for (std::size_t i = 0; i < owner_.bank_->size(); ++i) {
-          auto& f = owner_.bank_->filter(i);
-          check_near(f.bound_ml(), f.ml_voltage(x), kMlTolVolts,
+          check_near(owner_.bank_->bound_ml(i),
+                     owner_.bank_->ml_voltage(i, x), kMlTolVolts,
                      "committed filter ML");
         }
       }
-      for (const auto& eq : owner_.equality_filters_) {
-        check_near(eq.bound_ml(), eq.ml_voltage(x), kMlTolVolts,
-                   "committed equality ML");
+      for (std::size_t e = 0; e < owner_.equality_filters_.size(); ++e) {
+        const auto& eq = owner_.equality_filters_[e];
+        check_near(eq.bound_ml(), eq.ml_voltage(owner_.eq_gather(e, x)),
+                   kMlTolVolts, "committed equality ML");
       }
     }
   }
 
-  void apply_totals(std::size_t k) {
-    const bool removing = state()[k];
+  /// Updates the tracked constraint totals (and violation counts) for a
+  /// committed move — only the incident constraints change.
+  void apply_totals(std::span<const std::size_t> flips) {
+    const auto& x = state();  // pre-commit: the energy path flips after this
     const auto& cs = owner_.form_.constraints;
-    for (std::size_t c = 0; c < cs.size(); ++c) {
-      totals_[c] += removing ? -cs[c].weights[k] : cs[c].weights[k];
+    gather_touched(owner_.ineq_by_var_, flips);
+    for (const std::uint32_t c : touched_ids_) {
+      const bool was = totals_[c] > cs[c].capacity;
+      for (const std::size_t k : flips) {
+        totals_[c] += x[k] ? -cs[c].weights[k] : cs[c].weights[k];
+      }
+      const bool now = totals_[c] > cs[c].capacity;
+      if (was != now) violated_ += now ? 1 : -1;
     }
     const auto& es = owner_.form_.equalities;
-    for (std::size_t c = 0; c < es.size(); ++c) {
-      eq_totals_[c] += removing ? -es[c].weights[k] : es[c].weights[k];
+    gather_touched(owner_.eq_by_var_, flips);
+    for (const std::uint32_t c : touched_ids_) {
+      const bool was = eq_totals_[c] != es[c].capacity;
+      for (const std::size_t k : flips) {
+        eq_totals_[c] += x[k] ? -es[c].weights[k] : es[c].weights[k];
+      }
+      const bool now = eq_totals_[c] != es[c].capacity;
+      if (was != now) eq_violated_ += now ? 1 : -1;
     }
   }
 
@@ -241,6 +311,10 @@ class HyCimSolver::Problem final : public anneal::SaProblem {
   qubo::IncrementalEvaluator eval_;
   std::vector<long long> totals_;
   std::vector<long long> eq_totals_;
+  std::size_t violated_ = 0;     ///< inequality rows the current state breaks
+  std::size_t eq_violated_ = 0;  ///< equality rows the current state breaks
+  // Scratch for the incidence-gated software-totals path.
+  std::vector<std::uint32_t> touched_ids_;
 };
 
 HyCimSolver::HyCimSolver(const ConstrainedQuboForm& form,
@@ -249,6 +323,7 @@ HyCimSolver::HyCimSolver(const ConstrainedQuboForm& form,
   cim::VmvEngineParams vmv = config_.vmv;
   vmv.mode = config_.fidelity;
   vmv.matrix_bits = config_.matrix_bits;
+  vmv.kernel = config_.kernel;
   engine_ = std::make_unique<cim::VmvEngine>(vmv, form_.q);
 
   // The incremental fast path evaluates the matrix the hardware actually
@@ -256,6 +331,15 @@ HyCimSolver::HyCimSolver(const ConstrainedQuboForm& form,
   eval_matrix_ = config_.fidelity == cim::VmvMode::kIdeal
                      ? form_.q
                      : engine_->quantized().dequantize();
+
+  // Kernel dispatch happens here, at fabrication: measure the density of
+  // the matrix the hot loop will walk, resolve the config's choice, and
+  // prebuild the neighbor index once — clones share the snapshot.
+  resolved_kernel_ =
+      qubo::resolve_kernel(config_.kernel, eval_matrix_.density());
+  if (resolved_kernel_ == qubo::Kernel::kSparse) {
+    eval_matrix_.neighbor_index();
+  }
 
   if (config_.filter_mode == FilterMode::kHardware) {
     if (!form_.constraints.empty()) {
@@ -272,10 +356,53 @@ HyCimSolver::HyCimSolver(const ConstrainedQuboForm& form,
         p.decision_seed =
             util::fork_seed(p.decision_seed, 0x80000000ULL + e);
       }
-      equality_filters_.emplace_back(p, form_.equalities[e].weights,
+      // Support compression, like the bank: the filter's columns are the
+      // variables the equality actually weights.
+      std::vector<long long> weights;
+      std::vector<std::uint32_t> support;
+      for (std::size_t k = 0; k < form_.size(); ++k) {
+        if (form_.equalities[e].weights[k] == 0) continue;
+        support.push_back(static_cast<std::uint32_t>(k));
+        weights.push_back(form_.equalities[e].weights[k]);
+      }
+      eq_supports_.push_back(std::move(support));
+      equality_filters_.emplace_back(p, weights,
                                      form_.equalities[e].capacity);
     }
   }
+  build_incidence();
+}
+
+void HyCimSolver::build_incidence() {
+  const std::size_t n = form_.size();
+  ineq_by_var_.assign(n, {});
+  for (std::size_t c = 0; c < form_.constraints.size(); ++c) {
+    const auto& w = form_.constraints[c].weights;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (w[k] != 0) {
+        ineq_by_var_[k].push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+  eq_by_var_.assign(n, {});
+  for (std::size_t c = 0; c < form_.equalities.size(); ++c) {
+    const auto& w = form_.equalities[c].weights;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (w[k] != 0) {
+        eq_by_var_[k].push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+  // Equality-filter incidence (hardware mode; empty supports otherwise).
+  eq_incidence_ = cim::VariableIncidence(eq_supports_, n);
+}
+
+qubo::BitVector HyCimSolver::eq_gather(std::size_t e,
+                                       std::span<const std::uint8_t> x) const {
+  const auto& support = eq_supports_.at(e);
+  qubo::BitVector local(support.size());
+  for (std::size_t s = 0; s < support.size(); ++s) local[s] = x[support[s]];
+  return local;
 }
 
 HyCimSolver::HyCimSolver(const HyCimSolver& proto,
@@ -283,7 +410,12 @@ HyCimSolver::HyCimSolver(const HyCimSolver& proto,
     : form_(proto.form_),
       config_(proto.config_),
       engine_(std::make_unique<cim::VmvEngine>(*proto.engine_)),
-      eval_matrix_(proto.eval_matrix_) {
+      eval_matrix_(proto.eval_matrix_),
+      resolved_kernel_(proto.resolved_kernel_),
+      ineq_by_var_(proto.ineq_by_var_),
+      eq_by_var_(proto.eq_by_var_),
+      eq_supports_(proto.eq_supports_),
+      eq_incidence_(proto.eq_incidence_) {
   if (decision_seed != 0) config_.filter.decision_seed = decision_seed;
   if (proto.bank_) {
     bank_ = std::make_unique<cim::FilterBank>(*proto.bank_, decision_seed);
@@ -358,6 +490,7 @@ SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
   result.best_x = result.sa.best_x;
   result.best_energy = result.sa.best_energy;
   result.feasible = form_.feasible(result.best_x);
+  result.kernel = resolved_kernel_;
   return result;
 }
 

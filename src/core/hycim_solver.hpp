@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "anneal/sa_engine.hpp"
@@ -28,6 +29,7 @@
 #include "cim/filter/filter_bank.hpp"
 #include "cim/filter/inequality_filter.hpp"
 #include "core/constrained_form.hpp"
+#include "qubo/neighbor_index.hpp"
 
 namespace hycim::core {
 
@@ -49,6 +51,16 @@ struct HyCimConfig {
   cim::VmvMode fidelity = cim::VmvMode::kQuantized;
   int matrix_bits = 7;  ///< crossbar quantization (⌈log2 (Qij)MAX⌉ = 7)
   FilterMode filter_mode = FilterMode::kHardware;
+  /// Per-flip kernel of the hot paths (the incremental evaluator's local-
+  /// field updates and, in kCircuit fidelity, the VMV engine's bound-state
+  /// column reconversions).  kAuto measures the evaluation matrix's
+  /// density at fabrication and picks the sparse O(degree) kernel at or
+  /// below qubo::kSparseDensityThreshold — the paper's density-25 suites
+  /// qualify, density-50 and up stay dense.  kDense / kSparse override the
+  /// measurement.  The resolved choice is recorded in SolveResult::kernel;
+  /// on the ideal/quantized paths the kernels are bit-identical (sparsity
+  /// changes cost, not trajectories).
+  qubo::Kernel kernel = qubo::Kernel::kAuto;
   cim::InequalityFilterParams filter{};
   cim::VmvEngineParams vmv{};  ///< mode/matrix_bits overridden by the above
   /// Debug mode: cross-check every incremental trial/commit against a full
@@ -75,6 +87,10 @@ struct SolveResult {
   std::vector<anneal::ExchangeEvent> exchange_trace;
   std::size_t exchanges_proposed = 0;
   std::size_t exchanges_accepted = 0;
+  /// The per-flip kernel that ran (resolved from HyCimConfig::kernel at
+  /// fabrication: kDense or kSparse) — recorded so benches and the perf
+  /// trajectory know which kernel produced a timing.
+  qubo::Kernel kernel = qubo::Kernel::kDense;
 };
 
 /// One fabricated HyCiM instance bound to a constrained QUBO form.
@@ -115,6 +131,10 @@ class HyCimSolver {
   /// The configuration this chip was fabricated with.
   const HyCimConfig& config() const { return config_; }
 
+  /// The per-flip kernel resolved at fabrication (kDense or kSparse —
+  /// kAuto is resolved against the measured evaluation-matrix density).
+  qubo::Kernel kernel() const { return resolved_kernel_; }
+
   /// Overrides the solve-time knobs — `sa`, `search`, `check_incremental`
   /// (exactly the fields service::solve_key() hashes) — leaving the
   /// fabricated hardware untouched.  When the fabrication fields of
@@ -146,12 +166,37 @@ class HyCimSolver {
  private:
   class Problem;
 
+  /// Builds the per-variable constraint-incidence lists (software totals)
+  /// and, in hardware mode, the equality filters' support compression +
+  /// incidence CSR.
+  void build_incidence();
+
+  /// Gathers equality filter e's support columns out of a full-width
+  /// configuration (the filters are support-compressed).
+  qubo::BitVector eq_gather(std::size_t e,
+                            std::span<const std::uint8_t> x) const;
+
   ConstrainedQuboForm form_;
   HyCimConfig config_;
   std::unique_ptr<cim::VmvEngine> engine_;
   std::unique_ptr<cim::FilterBank> bank_;
   std::vector<cim::EqualityFilter> equality_filters_;
   qubo::QuboMatrix eval_matrix_;  ///< matrix behind the incremental fast path
+  qubo::Kernel resolved_kernel_ = qubo::Kernel::kDense;
+  // Constraint incidence: variable -> the inequality / equality constraint
+  // ids whose weight row contains it, so per-flip totals updates and
+  // feasibility trials touch O(incidence) constraints instead of all of
+  // them (the MDKP / bin-packing win; a QKP has one all-variables row and
+  // is unaffected).
+  std::vector<std::vector<std::uint32_t>> ineq_by_var_;
+  std::vector<std::vector<std::uint32_t>> eq_by_var_;
+  // Equality filters are fabricated over their support only (like the
+  // FilterBank's inequality filters); eq_supports_[e] maps local column ->
+  // global variable and eq_incidence_ routes flips to the incident
+  // filters' local columns (the same cim::VariableIncidence the bank
+  // uses).
+  std::vector<std::vector<std::uint32_t>> eq_supports_;
+  cim::VariableIncidence eq_incidence_;
 };
 
 }  // namespace hycim::core

@@ -5,26 +5,57 @@
 
 namespace hycim::qubo {
 
-IncrementalEvaluator::IncrementalEvaluator(const QuboMatrix& q, BitVector x0)
-    : q_(&q), x_(std::move(x0)) {
+IncrementalEvaluator::IncrementalEvaluator(const QuboMatrix& q, BitVector x0,
+                                           Kernel kernel)
+    : q_(&q),
+      kernel_(resolve_kernel(kernel, kernel == Kernel::kAuto ? q.density()
+                                                             : 0.0)),
+      x_(std::move(x0)) {
   if (x_.size() != q.size()) {
     throw std::invalid_argument("IncrementalEvaluator: size mismatch");
   }
+  if (kernel_ == Kernel::kSparse) index_ = q.neighbor_index_ptr();
   rebuild_fields();
 }
 
 void IncrementalEvaluator::rebuild_fields() {
   const std::size_t n = x_.size();
   phi_.assign(n, 0.0);
-  for (std::size_t k = 0; k < n; ++k) {
-    double s = q_->at(k, k);
-    for (std::size_t i = 0; i < k; ++i) {
-      if (x_[i]) s += q_->at(i, k);
+  if (kernel_ == Kernel::kSparse) {
+    // O(n + nnz): the neighbor lists visit exactly the nonzero terms of
+    // the dense sums below, in the same (ascending-partner) order, so the
+    // rebuilt fields are bit-identical to the dense rebuild.
+    for (std::size_t k = 0; k < n; ++k) {
+      double s = index_->diagonal(k);
+      for (const auto& link : index_->neighbors(k)) {
+        if (x_[link.index]) s += link.value;
+      }
+      phi_[k] = s;
     }
-    for (std::size_t j = k + 1; j < n; ++j) {
-      if (x_[j]) s += q_->at(k, j);
+    // The state energy, also O(n + nnz): same term order as
+    // QuboMatrix::energy (selected row i: diagonal, then partners j > i
+    // ascending), minus the exact-zero additions — bit-identical.
+    double e = q_->offset();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!x_[i]) continue;
+      e += index_->diagonal(i);
+      for (const auto& link : index_->neighbors(i)) {
+        if (link.index > i && x_[link.index]) e += link.value;
+      }
     }
-    phi_[k] = s;
+    energy_ = e;
+    return;
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      double s = q_->at(k, k);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (x_[i]) s += q_->at(i, k);
+      }
+      for (std::size_t j = k + 1; j < n; ++j) {
+        if (x_[j]) s += q_->at(k, j);
+      }
+      phi_[k] = s;
+    }
   }
   energy_ = q_->energy(x_);
 }
@@ -46,7 +77,15 @@ void IncrementalEvaluator::flip(std::size_t k) {
   energy_ += delta(k);
   const double sign = x_[k] ? -1.0 : 1.0;  // +1 when turning the bit on
   x_[k] ^= 1;
-  // Every other bit's field gains/loses the coupling with bit k.
+  // Every other bit's field gains/loses the coupling with bit k.  The
+  // sparse walk skips exact-zero couplings only (adding ±0.0 is the lone
+  // dropped operation), so both kernels move phi identically.
+  if (kernel_ == Kernel::kSparse) {
+    for (const auto& link : index_->neighbors(k)) {
+      phi_[link.index] += sign * link.value;
+    }
+    return;
+  }
   for (std::size_t i = 0; i < k; ++i) phi_[i] += sign * q_->at(i, k);
   for (std::size_t j = k + 1; j < x_.size(); ++j) phi_[j] += sign * q_->at(k, j);
 }

@@ -7,14 +7,21 @@
 //   phi_k = q_kk + Σ_{i<k} q_ik x_i + Σ_{j>k} q_kj x_j
 //
 // so the energy change of flipping bit k is (1 − 2 x_k)·phi_k.  Accepting a
-// flip updates all fields in O(n).  This mirrors the digital SA logic that
-// drives the CiM crossbar in paper Fig. 6(b) while staying exact.
+// flip updates the other bits' fields — O(n) under the dense kernel, or
+// O(degree(k)) under the sparse kernel, which walks the matrix's
+// NeighborIndex and touches only true neighbors.  The skipped terms are
+// exact zeros, so the two kernels produce bit-identical fields, energies,
+// and deltas; sparsity changes cost, never trajectories.  This mirrors the
+// digital SA logic that drives the CiM crossbar in paper Fig. 6(b) while
+// staying exact.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "qubo/neighbor_index.hpp"
 #include "qubo/qubo_matrix.hpp"
 
 namespace hycim::qubo {
@@ -23,14 +30,21 @@ namespace hycim::qubo {
 class IncrementalEvaluator {
  public:
   /// Binds to `q` (held by reference; `q` must outlive the evaluator) and
-  /// initializes the state to `x0`.
-  IncrementalEvaluator(const QuboMatrix& q, BitVector x0);
+  /// initializes the state to `x0`.  `kernel` selects the per-flip update
+  /// kernel: kDense walks full rows, kSparse walks q.neighbor_index()
+  /// (snapshotted here — the index builds once per matrix and is shared
+  /// across evaluators and resets), kAuto resolves from q.density().
+  IncrementalEvaluator(const QuboMatrix& q, BitVector x0,
+                       Kernel kernel = Kernel::kDense);
 
   /// Current assignment.
   const BitVector& state() const { return x_; }
 
   /// Current energy xᵀQx + offset.
   double energy() const { return energy_; }
+
+  /// The kernel this evaluator runs (kDense or kSparse, never kAuto).
+  Kernel kernel() const { return kernel_; }
 
   /// Energy change if bit k were flipped (state unchanged).  O(1).
   double delta(std::size_t k) const;
@@ -40,13 +54,17 @@ class IncrementalEvaluator {
   /// accounting for the joint flip.  Used for swap moves in SA.
   double delta_pair(std::size_t i, std::size_t j) const;
 
-  /// Flips bit k, updating energy and all local fields.  O(n).
+  /// Flips bit k, updating energy and all local fields.  O(n) dense,
+  /// O(degree(k)) sparse.
   void flip(std::size_t k);
 
-  /// Flips bits i and j (i != j).  O(n).
+  /// Flips bits i and j (i != j).  Two flips.
   void flip_pair(std::size_t i, std::size_t j);
 
-  /// Replaces the whole assignment and recomputes from scratch.  O(n²).
+  /// Replaces the whole assignment and recomputes the fields — O(n²)
+  /// dense; under the sparse kernel the rebuild reuses the bound matrix's
+  /// neighbor index instead of re-deriving the structure, so a reset costs
+  /// O(n + nnz).
   void reset(BitVector x0);
 
   /// Recomputed-from-scratch energy of the current state (for testing).
@@ -56,6 +74,12 @@ class IncrementalEvaluator {
   void rebuild_fields();
 
   const QuboMatrix* q_;
+  Kernel kernel_ = Kernel::kDense;
+  /// Sparse-kernel adjacency snapshot (null under the dense kernel).
+  /// Shared with the matrix's cache: a later mutation of the matrix
+  /// replaces the cache but cannot dangle this snapshot — it only goes
+  /// stale, which the check_incremental cross-checks detect.
+  std::shared_ptr<const NeighborIndex> index_;
   BitVector x_;
   std::vector<double> phi_;
   double energy_ = 0.0;

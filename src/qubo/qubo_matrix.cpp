@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "qubo/neighbor_index.hpp"
+
 namespace hycim::qubo {
 
 QuboMatrix::QuboMatrix(std::size_t n) : n_(n), values_(n * (n + 1) / 2, 0.0) {}
@@ -23,10 +25,12 @@ double QuboMatrix::at(std::size_t i, std::size_t j) const {
 
 void QuboMatrix::set(std::size_t i, std::size_t j, double v) {
   values_[index(i, j)] = v;
+  index_.reset();
 }
 
 void QuboMatrix::add(std::size_t i, std::size_t j, double v) {
   values_[index(i, j)] += v;
+  index_.reset();
 }
 
 double QuboMatrix::energy(std::span<const std::uint8_t> x) const {
@@ -72,6 +76,22 @@ std::size_t QuboMatrix::nonzeros() const {
     if (v != 0.0) ++count;
   }
   return count;
+}
+
+double QuboMatrix::density() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(nonzeros()) /
+         static_cast<double>(values_.size());
+}
+
+const NeighborIndex& QuboMatrix::neighbor_index() const {
+  if (!index_) index_ = std::make_shared<NeighborIndex>(*this);
+  return *index_;
+}
+
+std::shared_ptr<const NeighborIndex> QuboMatrix::neighbor_index_ptr() const {
+  neighbor_index();
+  return index_;
 }
 
 int QuboMatrix::quantization_bits() const {

@@ -10,10 +10,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 namespace hycim::qubo {
+
+class NeighborIndex;
 
 /// Binary variable assignment; x[i] in {0, 1}.
 using BitVector = std::vector<std::uint8_t>;
@@ -60,6 +63,28 @@ class QuboMatrix {
   /// Number of structurally nonzero entries in the upper triangle.
   std::size_t nonzeros() const;
 
+  /// Fraction of structurally nonzero upper-triangle entries, in [0, 1]
+  /// (0 for an empty matrix).  This is the quantity the paper's benchmark
+  /// generators control: a CNAM-style QKP suite at density_percent = 25
+  /// yields a matrix with density() ≈ 0.25, and it is what kernel
+  /// dispatch (qubo::resolve_kernel) measures to decide between the dense
+  /// and the O(degree) sparse per-flip kernels.
+  double density() const;
+
+  /// The cached CSR adjacency over this matrix's structural nonzeros,
+  /// built lazily on first call (O(n²)) and reused by every consumer —
+  /// sparse IncrementalEvaluators, fabrication-time kernel dispatch.
+  /// Mutating the matrix (set/add) invalidates the cache; copies of the
+  /// matrix share an already-built index.  Not thread-safe against
+  /// concurrent first builds on the *same* object: build once at
+  /// fabrication before cloning (what HyCimSolver does).
+  const NeighborIndex& neighbor_index() const;
+
+  /// The same cached index as a shared snapshot.  Holders survive later
+  /// mutations of the matrix (the snapshot goes stale, never dangles);
+  /// stale-index divergence is what check_incremental exists to catch.
+  std::shared_ptr<const NeighborIndex> neighbor_index_ptr() const;
+
   /// Bits needed to represent the magnitude of the largest coefficient:
   /// ceil(log2(max |Q_ij|)), minimum 1.  Paper: ⌈log2 (Qij)MAX⌉.
   int quantization_bits() const;
@@ -74,6 +99,8 @@ class QuboMatrix {
   std::size_t n_ = 0;
   std::vector<double> values_;  // packed upper triangle
   double offset_ = 0.0;
+  /// Lazily built adjacency snapshot; reset whenever values_ change.
+  mutable std::shared_ptr<const NeighborIndex> index_;
 };
 
 }  // namespace hycim::qubo

@@ -35,6 +35,7 @@ RunRecord record_of(core::SolveResult&& r) {
   record.exchange_trace = std::move(r.exchange_trace);
   record.exchanges_proposed = r.exchanges_proposed;
   record.exchanges_accepted = r.exchanges_accepted;
+  record.kernel = r.kernel;
   return record;
 }
 
@@ -215,6 +216,7 @@ BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
   result.wall_seconds = seconds_since(batch_start);
   const bool score_success = !std::isnan(params.success_energy);
   bool have_best = false;
+  if (!result.runs.empty()) result.kernel = result.runs.front().kernel;
   for (const RunRecord& r : result.runs) {
     result.total_evaluated += r.evaluated;
     result.total_proposed += r.proposed;

@@ -57,6 +57,9 @@ struct RunRecord {
   std::vector<anneal::ExchangeEvent> exchange_trace;
   std::size_t exchanges_proposed = 0;
   std::size_t exchanges_accepted = 0;
+  /// The per-flip kernel the solver ran (resolved at fabrication; see
+  /// HyCimConfig::kernel).  kDense for non-solver runs.
+  qubo::Kernel kernel = qubo::Kernel::kDense;
 };
 
 /// Aggregated best-of-N statistics.
@@ -76,6 +79,9 @@ struct BatchResult {
   std::size_t total_exchanges_accepted = 0;  ///< accepted ladder swaps
   double wall_seconds = 0.0;      ///< elapsed wall time of the whole batch
   double run_seconds_sum = 0.0;   ///< Σ per-run seconds (the serial cost)
+  /// The per-flip kernel of the batch's runs (all runs share one
+  /// fabrication, hence one resolved kernel; kDense for raw run_batch).
+  qubo::Kernel kernel = qubo::Kernel::kDense;
 };
 
 /// The worker-thread count a batch with these parameters actually uses:

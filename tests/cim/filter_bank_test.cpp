@@ -73,12 +73,26 @@ TEST(FilterBank, EvaluationCountsAccumulate) {
   EXPECT_EQ(bank.size(), 2u);
 }
 
-TEST(FilterBank, ZeroWeightColumnsAreIgnored) {
-  // Constraint 2 has zeros on the first two columns: toggling them must not
-  // change its verdict.
+TEST(FilterBank, SupportCompressionIgnoresZeroWeightColumns) {
+  // Each filter is fabricated over its support only: constraint 2's zeros
+  // on the first two columns mean those variables are simply not wired in,
+  // so toggling them cannot change its verdict.
   auto bank = two_constraint_bank();
-  EXPECT_TRUE(bank.filter(1).is_feasible(std::vector<std::uint8_t>{0, 0, 1, 0}));
-  EXPECT_TRUE(bank.filter(1).is_feasible(std::vector<std::uint8_t>{1, 1, 1, 0}));
+  ASSERT_EQ(bank.support(0).size(), 2u);
+  EXPECT_EQ(bank.support(0)[0], 0u);
+  EXPECT_EQ(bank.support(0)[1], 1u);
+  ASSERT_EQ(bank.support(1).size(), 2u);
+  EXPECT_EQ(bank.support(1)[0], 2u);
+  EXPECT_EQ(bank.support(1)[1], 3u);
+  EXPECT_EQ(bank.filter(1).items(), 2u);
+  EXPECT_TRUE(bank.touches(1, 2));
+  EXPECT_FALSE(bank.touches(1, 0));
+  EXPECT_FALSE(bank.touches(0, 3));
+
+  const auto a = bank.verdicts(std::vector<std::uint8_t>{0, 0, 1, 0});
+  const auto b = bank.verdicts(std::vector<std::uint8_t>{1, 1, 1, 0});
+  EXPECT_TRUE(a[1]);
+  EXPECT_TRUE(b[1]);  // constraint 2 unchanged by columns it is blind to
 }
 
 TEST(FilterBank, ReprogramKeepsDecisionsInIdealCorner) {

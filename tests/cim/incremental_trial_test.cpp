@@ -184,40 +184,63 @@ TEST(EqualityFilterBoundState, TrialVerdictsMatchFullPath) {
   }
 }
 
-TEST(FilterBankBoundState, ShortCircuitMatchesFullPath) {
+// The bank's trial path is incidence-gated: a flip only measures the
+// filters whose constraint rows contain the flipped variable; the others
+// keep their matchline (and verdict) without consuming a comparator
+// decision.  In the noiseless corner the measured verdicts are exact, so
+// against a feasibility-preserving walk the gated AND equals the full
+// exact check — and the per-filter evaluation counters expose exactly
+// which filters were measured.
+TEST(FilterBankBoundState, IncidenceGatedTrialsMatchExactVerdicts) {
   InequalityFilterParams p;
   p.array.rows = 4;
   p.fab_seed = 41;
-  p.decision_seed = 111;
+  p.variation = device::ideal_variation();
+  p.comparator.sigma_offset = 0.0;
+  p.comparator.sigma_noise = 0.0;
+  // Variable 2 sits in both constraints, variable 6 in neither.
   std::vector<LinearConstraint> cs(2);
-  cs[0].weights = {3, 4, 2, 0, 0, 0};
+  cs[0].weights = {3, 4, 2, 0, 0, 0, 0};
   cs[0].capacity = 6;
-  cs[1].weights = {0, 0, 1, 5, 2, 4};
+  cs[1].weights = {0, 0, 1, 5, 2, 4, 0};
   cs[1].capacity = 7;
-  FilterBank full(p, cs, 6);
-  FilterBank incremental(p, cs, 6);
+  FilterBank bank(p, cs, 7);
 
   util::Rng rng(6);
-  auto x = random_bits(rng, 6, 0.2);
-  incremental.bind(x);
-  ASSERT_TRUE(incremental.bound());
+  auto x = random_bits(rng, 7, 0.0);  // start empty: feasible
+  bank.bind(x);
+  ASSERT_TRUE(bank.bound());
+  std::array<std::size_t, 2> expected_evals{0, 0};
   for (int step = 0; step < 300; ++step) {
-    const std::size_t k = rng.index(6);
+    const std::size_t k = rng.index(7);
     auto candidate = x;
     candidate[k] ^= 1;
     const std::array<std::size_t, 1> flips{k};
-    ASSERT_EQ(incremental.trial_feasible(flips), full.is_feasible(candidate))
-        << "step " << step;
-    if (rng.uniform() < 0.3) {
-      incremental.apply(flips);
+    // Expected gated verdict: AND over the incident filters' exact checks.
+    // Because only exact-feasible moves are committed below, untouched
+    // filters are satisfied by the invariant, so this also equals the
+    // full exact feasibility of the candidate.
+    bool want = true;
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      if (!bank.touches(i, k)) continue;
+      ++expected_evals[i];
+      long long total = 0;
+      for (std::size_t v = 0; v < 7; ++v) {
+        if (candidate[v]) total += cs[i].weights[v];
+      }
+      want = want && total <= cs[i].capacity;
+      if (!want) break;  // short-circuit: later filters are not measured
+    }
+    const bool got = bank.trial_feasible(flips);
+    ASSERT_EQ(got, want) << "step " << step;
+    ASSERT_EQ(got, bank.exact_feasible(candidate)) << "step " << step;
+    if (got && rng.uniform() < 0.5) {
+      bank.apply(flips);
       x = candidate;
     }
   }
-  // The short-circuit consumed both banks' streams identically: per-filter
-  // counters agree, not just the totals.
-  for (std::size_t i = 0; i < full.size(); ++i) {
-    EXPECT_EQ(incremental.filter(i).stats().evaluations,
-              full.filter(i).stats().evaluations)
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_EQ(bank.filter(i).stats().evaluations, expected_evals[i])
         << "filter " << i;
   }
 }

@@ -47,8 +47,31 @@ TEST(Mdkp, ValidateCatchesShapeErrors) {
   inst.capacities.pop_back();
   EXPECT_THROW(inst.validate(), std::invalid_argument);
   inst = tiny();
-  inst.weights[0][0] = 0;
+  inst.weights[0][0] = -1;
   EXPECT_THROW(inst.validate(), std::invalid_argument);
+  // A zero weight is sparse incidence (item absent from that dimension)…
+  inst = tiny();
+  inst.weights[0][0] = 0;
+  EXPECT_NO_THROW(inst.validate());
+  // …but an item absent from *every* dimension is a shape error.
+  inst.weights[1][0] = 0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+}
+
+TEST(MdkpGenerator, SparseIncidenceWiresEachItemIntoExactlyKRows) {
+  MdkpGeneratorParams p;
+  p.n = 24;
+  p.dimensions = 8;
+  p.incident_dimensions = 2;
+  const auto inst = generate_mdkp(p, 21);
+  EXPECT_NO_THROW(inst.validate());
+  for (std::size_t i = 0; i < inst.n; ++i) {
+    std::size_t rows = 0;
+    for (std::size_t d = 0; d < inst.dimensions(); ++d) {
+      if (inst.weights[d][i] != 0) ++rows;
+    }
+    EXPECT_EQ(rows, 2u) << "item " << i;
+  }
 }
 
 TEST(MdkpGenerator, DeterministicAndValid) {

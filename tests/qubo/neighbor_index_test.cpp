@@ -1,0 +1,155 @@
+// The sparsity layer: NeighborIndex structure, density measurement /
+// kernel dispatch, and the sparse IncrementalEvaluator's bit-identity to
+// the dense kernel (flip, flip_pair, delta, delta_pair, reset) on
+// randomized low-density matrices — the property behind the "sparsity
+// changes cost, not trajectories" contract.
+#include <gtest/gtest.h>
+
+#include "qubo/energy.hpp"
+#include "qubo/neighbor_index.hpp"
+#include "qubo/qubo_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hycim::qubo {
+namespace {
+
+/// Random upper-triangular matrix with the given off-diagonal fill rate.
+QuboMatrix random_matrix(std::size_t n, double density, util::Rng& rng) {
+  QuboMatrix q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(density)) q.set(i, i, rng.uniform(-5.0, 5.0));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(density)) q.set(i, j, rng.uniform(-5.0, 5.0));
+    }
+  }
+  return q;
+}
+
+TEST(NeighborIndex, MirrorsTheMatrixStructure) {
+  QuboMatrix q(4);
+  q.set(0, 0, 1.0);
+  q.set(0, 2, -2.0);
+  q.set(1, 3, 3.0);
+  q.set(2, 3, 4.0);
+  const NeighborIndex idx(q);
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_DOUBLE_EQ(idx.diagonal(0), 1.0);
+  EXPECT_DOUBLE_EQ(idx.diagonal(1), 0.0);
+
+  ASSERT_EQ(idx.degree(0), 1u);
+  EXPECT_EQ(idx.neighbors(0)[0].index, 2u);
+  EXPECT_DOUBLE_EQ(idx.neighbors(0)[0].value, -2.0);
+  ASSERT_EQ(idx.degree(2), 2u);  // partners 0 and 3, ascending
+  EXPECT_EQ(idx.neighbors(2)[0].index, 0u);
+  EXPECT_EQ(idx.neighbors(2)[1].index, 3u);
+  EXPECT_EQ(idx.link_count(), 6u);  // 3 couplings, both sides
+  EXPECT_EQ(idx.max_degree(), 2u);
+}
+
+TEST(NeighborIndex, DensityCountsUpperTriangleFill) {
+  QuboMatrix q(4);  // 10 packed entries
+  EXPECT_DOUBLE_EQ(q.density(), 0.0);
+  q.set(0, 0, 1.0);
+  q.set(1, 3, 2.0);
+  EXPECT_DOUBLE_EQ(q.density(), 0.2);
+  EXPECT_DOUBLE_EQ(QuboMatrix().density(), 0.0);
+}
+
+TEST(NeighborIndex, KernelDispatchFollowsDensityThreshold) {
+  EXPECT_EQ(resolve_kernel(Kernel::kAuto, 0.25), Kernel::kSparse);
+  EXPECT_EQ(resolve_kernel(Kernel::kAuto, 0.75), Kernel::kDense);
+  EXPECT_EQ(resolve_kernel(Kernel::kDense, 0.0), Kernel::kDense);
+  EXPECT_EQ(resolve_kernel(Kernel::kSparse, 1.0), Kernel::kSparse);
+  EXPECT_STREQ(kernel_name(Kernel::kSparse), "sparse");
+}
+
+TEST(NeighborIndex, CachedOnTheMatrixAndInvalidatedByMutation) {
+  util::Rng rng(3);
+  QuboMatrix q = random_matrix(12, 0.3, rng);
+  const NeighborIndex* first = &q.neighbor_index();
+  EXPECT_EQ(first, &q.neighbor_index());  // cached: same object
+  const auto snapshot = q.neighbor_index_ptr();
+  q.set(0, 1, 9.0);
+  const NeighborIndex& rebuilt = q.neighbor_index();
+  EXPECT_NE(&rebuilt, snapshot.get());  // mutation invalidated the cache
+  // The held snapshot is stale but safe to read (shared ownership).
+  EXPECT_EQ(snapshot->size(), 12u);
+}
+
+TEST(SparseEvaluator, BitIdenticalToDenseOverRandomWalks) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 16 + 8 * trial;
+    const QuboMatrix q = random_matrix(n, 0.15, rng);
+    const BitVector x0 = rng.random_bits(n);
+    IncrementalEvaluator dense(q, x0, Kernel::kDense);
+    IncrementalEvaluator sparse(q, x0, Kernel::kSparse);
+    ASSERT_EQ(sparse.kernel(), Kernel::kSparse);
+    EXPECT_EQ(dense.energy(), sparse.energy());
+    for (int step = 0; step < 400; ++step) {
+      const std::size_t i = rng.index(n);
+      const std::size_t j = (i + 1 + rng.index(n - 1)) % n;
+      // Trial deltas agree bitwise…
+      ASSERT_EQ(dense.delta(i), sparse.delta(i)) << "step " << step;
+      ASSERT_EQ(dense.delta_pair(i, j), sparse.delta_pair(i, j))
+          << "step " << step;
+      // …and so do committed walks, through both move arities.
+      if (step % 3 == 0) {
+        dense.flip_pair(i, j);
+        sparse.flip_pair(i, j);
+      } else {
+        dense.flip(i);
+        sparse.flip(i);
+      }
+      ASSERT_EQ(dense.energy(), sparse.energy()) << "step " << step;
+    }
+    EXPECT_EQ(dense.state(), sparse.state());
+    // reset() reuses the matrix's cached index (no O(n²) re-derivation)
+    // and lands on the same fields.
+    const BitVector x1 = rng.random_bits(n);
+    dense.reset(x1);
+    sparse.reset(x1);
+    EXPECT_EQ(dense.energy(), sparse.energy());
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(dense.delta(k), sparse.delta(k)) << "bit " << k;
+    }
+  }
+}
+
+TEST(SparseEvaluator, AutoKernelResolvesFromMatrixDensity) {
+  util::Rng rng(11);
+  const QuboMatrix sparse_q = random_matrix(24, 0.1, rng);
+  const QuboMatrix dense_q = random_matrix(24, 0.9, rng);
+  EXPECT_EQ(IncrementalEvaluator(sparse_q, BitVector(24, 0), Kernel::kAuto)
+                .kernel(),
+            Kernel::kSparse);
+  EXPECT_EQ(IncrementalEvaluator(dense_q, BitVector(24, 0), Kernel::kAuto)
+                .kernel(),
+            Kernel::kDense);
+}
+
+// Fault injection: the sparse evaluator runs on a *snapshot* of the
+// matrix's adjacency.  Mutating the matrix afterwards desyncs the
+// snapshot — exactly the class of divergence the solver's
+// check_incremental cross-check (incremental energy vs recompute())
+// exists to catch.  This pins that the divergence is observable through
+// the same comparison check_committed_state performs.
+TEST(SparseEvaluator, StaleIndexDivergenceIsDetectableByTheCrossCheck) {
+  util::Rng rng(13);
+  QuboMatrix q = random_matrix(20, 0.2, rng);
+  q.set(2, 7, 0.0);  // ensure the coupling is structurally absent
+  IncrementalEvaluator sparse(q, rng.random_bits(20), Kernel::kSparse);
+  q.set(2, 7, 4.5);  // structural change AFTER the snapshot was taken
+  // Put both endpoints of the changed coupling into the state: the stale
+  // snapshot never accounts for (2, 7), while recompute() sees the new
+  // matrix — the tracked energy and the from-scratch energy diverge by
+  // the injected coupling.
+  if (!sparse.state()[7]) sparse.flip(7);
+  if (!sparse.state()[2]) sparse.flip(2);
+  const double tolerance =
+      1e-6 * std::max(1.0, std::abs(sparse.energy()));
+  EXPECT_GT(std::abs(sparse.energy() - sparse.recompute()), tolerance);
+}
+
+}  // namespace
+}  // namespace hycim::qubo

@@ -40,14 +40,30 @@ def main():
 
     # A truncated or flag-drifted run must not pass silently: the protocol
     # (minus thread count, which the results are invariant to) and the
-    # instance sets must match the baseline exactly.
+    # instance sets must match the baseline exactly.  Keys the fresh run
+    # emits but the baseline predates (new bench fields like strategy or
+    # kernel) are tolerated with a note, so adding observability does not
+    # require regenerating the baseline in the same commit; dropped keys or
+    # changed values still fail.
     def protocol_key(doc):
         return {k: v for k, v in doc["protocol"].items() if k != "threads"}
 
-    if protocol_key(base) != protocol_key(fresh):
-        failures.append(f"protocol mismatch: baseline {protocol_key(base)} "
-                        f"vs fresh {protocol_key(fresh)} — align the bench "
-                        "flags or regenerate the baseline")
+    base_proto, fresh_proto = protocol_key(base), protocol_key(fresh)
+    added = sorted(set(fresh_proto) - set(base_proto))
+    if added:
+        print(f"note: fresh protocol adds new field(s) {added} "
+              "(absent from the baseline; tolerated)")
+    dropped = sorted(set(base_proto) - set(fresh_proto))
+    if dropped:
+        failures.append(f"protocol dropped field(s) {dropped} — align the "
+                        "bench flags or regenerate the baseline")
+    drifted = {k for k in base_proto
+               if k in fresh_proto and base_proto[k] != fresh_proto[k]}
+    if drifted:
+        failures.append(
+            "protocol mismatch on "
+            f"{ {k: (base_proto[k], fresh_proto[k]) for k in sorted(drifted)} }"
+            " — align the bench flags or regenerate the baseline")
     base_names = [i["name"] for i in base["per_instance"]]
     fresh_names = [i["name"] for i in fresh["per_instance"]]
     if base_names != fresh_names:
