@@ -6,12 +6,21 @@
 //  - Retention sweep: classification accuracy from fresh programming to
 //    ~3 years, demonstrating the replica array's common-mode drift
 //    rejection (both arrays age together, so the threshold tracks).
+//
+// The fault sweep rides the runtime::run_batch instance-fan pattern over
+// the (fault-rate × chip) grid — each cell fabricates its own filter and
+// solver from deterministic per-cell seeds, so the fan reproduces the
+// serial numbers exactly and aggregates per rate after the join.  The
+// retention sweep stays serial by nature: it ages ONE filter cumulatively
+// through the timeline, and that chain of age() calls cannot fan.
 #include <iostream>
+#include <vector>
 
 #include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -42,6 +51,7 @@ int main(int argc, char** argv) {
   cli.add_int("samples", 400, "random configurations per corner");
   cli.add_int("inits", 3, "initial configurations for the solve metric");
   cli.add_int("runs", 8, "SA runs per init");
+  cli.add_int("threads", 0, "fault-grid fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -56,40 +66,66 @@ int main(int argc, char** argv) {
   std::cout << "Stuck-at fault sweep (instance " << inst.name << "):\n";
   util::Table faults({"stuck-on %", "stuck-off %", "filter acc %",
                       "HyCiM success %"});
-  for (double rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
-    // Fault placement matters as much as rate (a defect in the replica
-    // shifts the effective capacity), so average over fabricated chips.
+  const std::vector<double> rates = {0.0, 0.001, 0.005, 0.01, 0.02, 0.05};
+  // Fault placement matters as much as rate (a defect in the replica
+  // shifts the effective capacity), so average over fabricated chips.
+  const std::size_t chips = 3;
+
+  // The (rate × chip) grid fan: each cell fabricates its filter + solver
+  // from deterministic per-chip seeds and parks its accuracy and per-init
+  // bests in outcomes[].
+  struct ChipOutcome {
+    double accuracy = 0.0;
+    std::vector<long long> values;  ///< best per init
+  };
+  std::vector<ChipOutcome> outcomes(rates.size() * chips);
+  runtime::BatchParams fan;
+  fan.restarts = outcomes.size();
+  fan.threads = static_cast<unsigned>(cli.get_int("threads"));
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0xA600;
+  runtime::run_batch(fan, [&](std::size_t task, util::Rng&) {
+    const double rate = rates[task / chips];
+    const std::uint64_t chip = task % chips;
+    ChipOutcome& out = outcomes[task];
+    cim::InequalityFilterParams fp;
+    fp.variation.p_stuck_on = rate / 2;
+    fp.variation.p_stuck_off = rate / 2;
+    fp.fab_seed = 91 + chip;
+    cim::InequalityFilter filter(fp, inst.weights, inst.capacity);
+    util::Rng rng(17 + chip);
+    out.accuracy = filter_accuracy(filter, inst, rng,
+                                   static_cast<int>(cli.get_int("samples")));
+
+    core::HyCimConfig config;
+    config.sa.iterations = 1000;
+    config.filter_mode = core::FilterMode::kHardware;
+    config.filter = fp;
+    core::HyCimSolver solver(cop::to_constrained_form(inst), config);
+    util::Rng srng(23 + chip);
+    for (int init = 0; init < cli.get_int("inits"); ++init) {
+      const auto x0 = cop::random_feasible(inst, srng);
+      long long best = 0;
+      for (int run = 0; run < cli.get_int("runs"); ++run) {
+        best = std::max(
+            best, cop::solve_qkp(solver, inst, x0, srng.next_u64()).profit);
+      }
+      out.values.push_back(best);
+    }
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered per-rate aggregation after the fan joins: identical for any
+  // --threads (chips concatenate in chip order, exactly the serial loop).
+  for (std::size_t r = 0; r < rates.size(); ++r) {
     double acc_sum = 0.0;
     std::vector<long long> values;
-    const std::uint64_t chips = 3;
-    for (std::uint64_t chip = 0; chip < chips; ++chip) {
-      cim::InequalityFilterParams fp;
-      fp.variation.p_stuck_on = rate / 2;
-      fp.variation.p_stuck_off = rate / 2;
-      fp.fab_seed = 91 + chip;
-      cim::InequalityFilter filter(fp, inst.weights, inst.capacity);
-      util::Rng rng(17 + chip);
-      acc_sum += filter_accuracy(filter, inst, rng,
-                                 static_cast<int>(cli.get_int("samples")));
-
-      core::HyCimConfig config;
-      config.sa.iterations = 1000;
-      config.filter_mode = core::FilterMode::kHardware;
-      config.filter = fp;
-      core::HyCimSolver solver(cop::to_constrained_form(inst), config);
-      util::Rng srng(23 + chip);
-      for (int init = 0; init < cli.get_int("inits"); ++init) {
-        const auto x0 = cop::random_feasible(inst, srng);
-        long long best = 0;
-        for (int run = 0; run < cli.get_int("runs"); ++run) {
-          best = std::max(best,
-                          cop::solve_qkp(solver, inst, x0, srng.next_u64()).profit);
-        }
-        values.push_back(best);
-      }
+    for (std::size_t chip = 0; chip < chips; ++chip) {
+      const ChipOutcome& out = outcomes[r * chips + chip];
+      acc_sum += out.accuracy;
+      values.insert(values.end(), out.values.begin(), out.values.end());
     }
-    faults.add_row({util::Table::num(rate * 50, 2),
-                    util::Table::num(rate * 50, 2),
+    faults.add_row({util::Table::num(rates[r] * 50, 2),
+                    util::Table::num(rates[r] * 50, 2),
                     util::Table::num(acc_sum / static_cast<double>(chips), 1),
                     util::Table::num(core::success_rate_percent(
                                          values, reference.profit),

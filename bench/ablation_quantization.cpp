@@ -2,12 +2,21 @@
 // quality.  HyCiM needs exactly ceil(log2 100) = 7 bits; this sweep shows
 // what each bit below that costs in success rate, and that bits above 7
 // buy nothing — the flat-then-cliff shape behind the paper's sizing.
+//
+// Two runtime::run_batch fans (the fig10 instance-fan pattern): one over
+// the instances for the reference solutions, then one over the full
+// (bits × instance) grid — each grid task was already a pure function of
+// (bits, idx) with its own util::Rng(8300 + idx), so fanning it changes
+// nothing but the wall clock; per-bits aggregation happens after the
+// join, in grid order, bit-identical for any --threads.
 #include <iostream>
+#include <vector>
 
 #include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -20,46 +29,76 @@ int main(int argc, char** argv) {
   cli.add_int("inits", 4, "initial configurations per instance");
   cli.add_int("runs", 8, "SA runs per init (best per init recorded)");
   cli.add_int("iterations", 1000, "SA iterations per run");
+  cli.add_int("threads", 0, "grid-fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   if (!cli.parse(argc, argv)) return 0;
 
   auto suite = cop::generate_paper_suite(
       100, static_cast<std::uint64_t>(cli.get_int("seed")));
   suite.resize(static_cast<std::size_t>(cli.get_int("instances")));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
 
-  std::vector<core::ReferenceSolution> references;
-  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
-    core::ReferenceParams params;
-    params.seed = 5000 + idx;
-    references.push_back(core::reference_solution(suite[idx], params));
+  // Reference fan: one exact/SA reference per instance.
+  std::vector<core::ReferenceSolution> references(suite.size());
+  {
+    runtime::BatchParams fan;
+    fan.restarts = suite.size();
+    fan.threads = threads;
+    fan.seed = 0x5000;
+    runtime::run_batch(fan, [&](std::size_t idx, util::Rng&) {
+      core::ReferenceParams params;
+      params.seed = 5000 + idx;
+      references[idx] = core::reference_solution(suite[idx], params);
+      return runtime::RunRecord{};
+    });
   }
 
+  // Grid fan: task (bits, instance) anneals with its own deterministic
+  // streams, parking the per-init bests in outcomes[].
+  const std::vector<int> bits_sweep = {2, 3, 4, 5, 6, 7, 8, 10};
+  struct Cell {
+    std::vector<long long> values;  ///< best per init
+  };
+  std::vector<Cell> outcomes(bits_sweep.size() * suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = outcomes.size();
+  fan.threads = threads;
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0xA300;
+  runtime::run_batch(fan, [&](std::size_t task, util::Rng&) {
+    const int bits = bits_sweep[task / suite.size()];
+    const std::size_t idx = task % suite.size();
+    const auto& inst = suite[idx];
+    core::HyCimConfig config;
+    config.sa.iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+    config.matrix_bits = bits;
+    config.filter_mode = core::FilterMode::kSoftware;
+    core::HyCimSolver solver(cop::to_constrained_form(inst), config);
+    util::Rng rng(8300 + idx);
+    for (int init = 0; init < cli.get_int("inits"); ++init) {
+      const auto x0 = cop::random_feasible(inst, rng);
+      long long best = 0;
+      for (int run = 0; run < cli.get_int("runs"); ++run) {
+        best = std::max(
+            best, cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
+      }
+      outcomes[task].values.push_back(best);
+    }
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
   util::Table table({"matrix bits", "avg success %", "avg normalized value"});
-  for (int bits : {2, 3, 4, 5, 6, 7, 8, 10}) {
+  for (std::size_t b = 0; b < bits_sweep.size(); ++b) {
     util::OnlineStats rates, norms;
     for (std::size_t idx = 0; idx < suite.size(); ++idx) {
-      const auto& inst = suite[idx];
-      core::HyCimConfig config;
-      config.sa.iterations =
-          static_cast<std::size_t>(cli.get_int("iterations"));
-      config.matrix_bits = bits;
-      config.filter_mode = core::FilterMode::kSoftware;
-      core::HyCimSolver solver(cop::to_constrained_form(inst), config);
-      std::vector<long long> values;
-      util::Rng rng(8300 + idx);
-      for (int init = 0; init < cli.get_int("inits"); ++init) {
-        const auto x0 = cop::random_feasible(inst, rng);
-        long long best = 0;
-        for (int run = 0; run < cli.get_int("runs"); ++run) {
-          best = std::max(
-              best, cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
-        }
-        values.push_back(best);
+      const Cell& cell = outcomes[b * suite.size() + idx];
+      for (const long long best : cell.values) {
         norms.add(core::normalized_value(best, references[idx].profit));
       }
-      rates.add(core::success_rate_percent(values, references[idx].profit));
+      rates.add(
+          core::success_rate_percent(cell.values, references[idx].profit));
     }
-    table.add_row({util::Table::num(static_cast<long long>(bits)),
+    table.add_row({util::Table::num(static_cast<long long>(bits_sweep[b])),
                    util::Table::num(rates.mean(), 1),
                    util::Table::num(norms.mean(), 3)});
   }

@@ -1,12 +1,21 @@
 // Ablation A4 (DESIGN.md): SA schedule and iteration budget vs success
 // rate, and the value of the filter-reject policy (infeasible proposals
 // consume an iteration, paper Fig. 3) vs free rejection.
+//
+// Runs as two runtime::run_batch fans (the fig10 instance-fan pattern):
+// a reference fan over the instances, then a grid fan over every
+// (schedule, iterations) × instance cell.  Each cell was already a pure
+// function of (schedule config, idx) with its own util::Rng(8400 + idx),
+// so the fan reproduces the historical serial numbers exactly; the table
+// aggregates after the join, bit-identical for any --threads.
 #include <iostream>
+#include <vector>
 
 #include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -18,59 +27,85 @@ int main(int argc, char** argv) {
   cli.add_int("instances", 6, "QKP instances");
   cli.add_int("inits", 4, "initial configurations per instance");
   cli.add_int("runs", 8, "SA runs per init (best per init recorded)");
+  cli.add_int("threads", 0, "grid-fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   if (!cli.parse(argc, argv)) return 0;
 
   auto suite = cop::generate_paper_suite(
       100, static_cast<std::uint64_t>(cli.get_int("seed")));
   suite.resize(static_cast<std::size_t>(cli.get_int("instances")));
+  const auto threads = static_cast<unsigned>(cli.get_int("threads"));
 
-  std::vector<core::ReferenceSolution> references;
-  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
-    core::ReferenceParams params;
-    params.seed = 5000 + idx;
-    references.push_back(core::reference_solution(suite[idx], params));
+  // Reference fan: one exact/SA reference per instance.
+  std::vector<core::ReferenceSolution> references(suite.size());
+  {
+    runtime::BatchParams fan;
+    fan.restarts = suite.size();
+    fan.threads = threads;
+    fan.seed = 0x5000;
+    runtime::run_batch(fan, [&](std::size_t idx, util::Rng&) {
+      core::ReferenceParams params;
+      params.seed = 5000 + idx;
+      references[idx] = core::reference_solution(suite[idx], params);
+      return runtime::RunRecord{};
+    });
   }
 
-  auto measure = [&](anneal::ScheduleKind kind, std::size_t iterations) {
-    util::OnlineStats rates;
-    for (std::size_t idx = 0; idx < suite.size(); ++idx) {
-      const auto& inst = suite[idx];
-      core::HyCimConfig config;
-      config.sa.iterations = iterations;
-      config.sa.schedule = kind;
-      config.filter_mode = core::FilterMode::kSoftware;
-      core::HyCimSolver solver(cop::to_constrained_form(inst), config);
-      std::vector<long long> values;
-      util::Rng rng(8400 + idx);
-      for (int init = 0; init < cli.get_int("inits"); ++init) {
-        const auto x0 = cop::random_feasible(inst, rng);
-        long long best = 0;
-        for (int run = 0; run < cli.get_int("runs"); ++run) {
-          best = std::max(
-              best, cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
-        }
-        values.push_back(best);
-      }
-      rates.add(core::success_rate_percent(values, references[idx].profit));
-    }
-    return rates.mean();
+  // The sweep: four geometric budgets plus the alternative laws at 1000.
+  struct Sweep {
+    const char* name;
+    anneal::ScheduleKind kind;
+    std::size_t iterations;
+  };
+  const std::vector<Sweep> sweeps = {
+      {"geometric", anneal::ScheduleKind::kGeometric, 100},
+      {"geometric", anneal::ScheduleKind::kGeometric, 300},
+      {"geometric", anneal::ScheduleKind::kGeometric, 1000},
+      {"geometric", anneal::ScheduleKind::kGeometric, 3000},
+      {"linear", anneal::ScheduleKind::kLinear, 1000},
+      {"constant", anneal::ScheduleKind::kConstant, 1000},
   };
 
+  // Grid fan: task (sweep, instance) anneals with its own streams.
+  std::vector<std::vector<long long>> outcomes(sweeps.size() * suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = outcomes.size();
+  fan.threads = threads;
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0xA400;
+  runtime::run_batch(fan, [&](std::size_t task, util::Rng&) {
+    const Sweep& sweep = sweeps[task / suite.size()];
+    const std::size_t idx = task % suite.size();
+    const auto& inst = suite[idx];
+    core::HyCimConfig config;
+    config.sa.iterations = sweep.iterations;
+    config.sa.schedule = sweep.kind;
+    config.filter_mode = core::FilterMode::kSoftware;
+    core::HyCimSolver solver(cop::to_constrained_form(inst), config);
+    util::Rng rng(8400 + idx);
+    for (int init = 0; init < cli.get_int("inits"); ++init) {
+      const auto x0 = cop::random_feasible(inst, rng);
+      long long best = 0;
+      for (int run = 0; run < cli.get_int("runs"); ++run) {
+        best = std::max(
+            best, cop::solve_qkp(solver, inst, x0, rng.next_u64()).profit);
+      }
+      outcomes[task].push_back(best);
+    }
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
   util::Table table({"schedule", "iterations", "avg success %"});
-  for (std::size_t iterations : {100u, 300u, 1000u, 3000u}) {
-    table.add_row({"geometric", util::Table::num(static_cast<long long>(
-                                    iterations)),
-                   util::Table::num(
-                       measure(anneal::ScheduleKind::kGeometric, iterations),
-                       1)});
-  }
-  for (auto [name, kind] :
-       std::initializer_list<std::pair<const char*, anneal::ScheduleKind>>{
-           {"linear", anneal::ScheduleKind::kLinear},
-           {"constant", anneal::ScheduleKind::kConstant}}) {
-    table.add_row({name, "1000",
-                   util::Table::num(measure(kind, 1000), 1)});
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    util::OnlineStats rates;
+    for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+      rates.add(core::success_rate_percent(outcomes[s * suite.size() + idx],
+                                           references[idx].profit));
+    }
+    table.add_row(
+        {sweeps[s].name,
+         util::Table::num(static_cast<long long>(sweeps[s].iterations)),
+         util::Table::num(rates.mean(), 1)});
   }
   table.print(std::cout);
   std::cout << "\nTakeaway: the paper's 1000-iteration geometric schedule "

@@ -3,16 +3,46 @@
 // from C to ~log2(C) but keeps O(beta C^2) coefficients — this bench
 // quantifies how much of D-QUBO's failure is dimension vs precision, and
 // contrasts both with HyCiM.
+//
+// The instance loop rides the runtime::run_batch instance fan: task idx
+// computes its reference and all three encodings' measurements (each was
+// already a pure function of idx with its own util::Rng(8100/8200 + idx)
+// streams) into outcomes[idx]; the interleaved per-encoding table rows
+// and the averages are emitted after the join in instance order — the
+// historical serial output, at fan speed, for any --threads.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "cop/adapters.hpp"
 #include "core/dqubo_solver.hpp"
 #include "core/hycim_solver.hpp"
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// One encoding's measurement on one instance.
+struct EncodingRow {
+  std::size_t dim = 0;
+  double max_q = 0.0;
+  int bits = 0;
+  double rate = 0.0;
+  double infeasible_pct = 0.0;
+};
+
+/// Everything one instance contributes.
+struct InstanceOutcome {
+  EncodingRow onehot;
+  EncodingRow binary;
+  double hycim_rate = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hycim;
@@ -23,6 +53,7 @@ int main(int argc, char** argv) {
   cli.add_int("inits", 4, "initial configurations per instance");
   cli.add_int("runs", 8, "SA runs per init (best per init recorded)");
   cli.add_int("iterations", 1000, "SA iterations per run");
+  cli.add_int("threads", 0, "instance-fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -31,12 +62,16 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("seed")));
   suite.resize(static_cast<std::size_t>(cli.get_int("instances")));
 
-  util::Table table({"instance", "enc", "dim", "(Qij)MAX", "bits",
-                     "success %", "infeasible %"});
-  util::OnlineStats onehot_rates, binary_rates, hycim_rates;
-
-  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+  // The instance fan: task idx measures its reference plus all three
+  // encodings (D-QUBO one-hot and binary, HyCiM inequality-QUBO).
+  std::vector<InstanceOutcome> outcomes(suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = suite.size();
+  fan.threads = static_cast<unsigned>(cli.get_int("threads"));
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0xA100;
+  runtime::run_batch(fan, [&](std::size_t idx, util::Rng&) {
     const auto& inst = suite[idx];
+    InstanceOutcome& out = outcomes[idx];
     core::ReferenceParams ref_params;
     ref_params.seed = 5000 + idx;
     const auto reference = core::reference_solution(inst, ref_params);
@@ -63,21 +98,17 @@ int main(int argc, char** argv) {
         values.push_back(best);
         if (!any_feasible) ++infeasible;
       }
-      const double rate =
-          core::success_rate_percent(values, reference.profit);
-      table.add_row(
-          {inst.name, enc == core::SlackEncoding::kOneHot ? "one-hot" : "binary",
-           util::Table::num(static_cast<long long>(solver.size())),
-           util::Table::num(solver.max_abs_coefficient(), 0),
-           util::Table::num(static_cast<long long>(solver.matrix_bits())),
-           util::Table::num(rate, 1),
-           util::Table::num(100.0 * static_cast<double>(infeasible) /
-                                static_cast<double>(values.size()),
-                            1)});
-      return rate;
+      EncodingRow row;
+      row.dim = solver.size();
+      row.max_q = solver.max_abs_coefficient();
+      row.bits = solver.matrix_bits();
+      row.rate = core::success_rate_percent(values, reference.profit);
+      row.infeasible_pct = 100.0 * static_cast<double>(infeasible) /
+                           static_cast<double>(values.size());
+      return row;
     };
-    onehot_rates.add(measure_dqubo(core::SlackEncoding::kOneHot));
-    binary_rates.add(measure_dqubo(core::SlackEncoding::kBinary));
+    out.onehot = measure_dqubo(core::SlackEncoding::kOneHot);
+    out.binary = measure_dqubo(core::SlackEncoding::kBinary);
 
     core::HyCimConfig hconfig;
     hconfig.sa.iterations = static_cast<std::size_t>(cli.get_int("iterations"));
@@ -94,12 +125,34 @@ int main(int argc, char** argv) {
       }
       values.push_back(best);
     }
-    const double rate = core::success_rate_percent(values, reference.profit);
-    hycim_rates.add(rate);
+    out.hycim_rate = core::success_rate_percent(values, reference.profit);
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
+  util::Table table({"instance", "enc", "dim", "(Qij)MAX", "bits",
+                     "success %", "infeasible %"});
+  util::OnlineStats onehot_rates, binary_rates, hycim_rates;
+  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+    const auto& inst = suite[idx];
+    const InstanceOutcome& out = outcomes[idx];
+    const auto add_dqubo_row = [&](const char* enc, const EncodingRow& row) {
+      table.add_row({inst.name, enc,
+                     util::Table::num(static_cast<long long>(row.dim)),
+                     util::Table::num(row.max_q, 0),
+                     util::Table::num(static_cast<long long>(row.bits)),
+                     util::Table::num(row.rate, 1),
+                     util::Table::num(row.infeasible_pct, 1)});
+    };
+    add_dqubo_row("one-hot", out.onehot);
+    add_dqubo_row("binary", out.binary);
+    onehot_rates.add(out.onehot.rate);
+    binary_rates.add(out.binary.rate);
+    hycim_rates.add(out.hycim_rate);
     table.add_row({inst.name, "ineq-QUBO",
                    util::Table::num(static_cast<long long>(inst.n)),
                    util::Table::num(100.0, 0), "7",
-                   util::Table::num(rate, 1), "0.0"});
+                   util::Table::num(out.hycim_rate, 1), "0.0"});
   }
   table.print(std::cout);
 

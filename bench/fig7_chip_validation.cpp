@@ -6,12 +6,23 @@
 //  (e) a small QKP in inequality-QUBO form;
 //  (f) SA energy evolution over iterations for 9 independent
 //      erase/program/anneal measurements (fresh cycle-to-cycle noise each).
+//
+// The measurement loop rides the runtime::run_batch instance-fan pattern
+// (ablation_filter_noise is the exemplar): the erase/program sequence is
+// inherently serial (each measurement reprograms the *same* chip with
+// fresh cycle-to-cycle noise), so a serial pre-pass reprograms and clones
+// one solver per measurement ("program once, solve many" in reverse),
+// and the independent anneals then fan across --threads workers.  Solve
+// seeds were always run·101 — independent of any shared rng — so the
+// fanned output is identical to the historical serial loop.
 #include <iostream>
+#include <vector>
 
 #include "cim/crossbar/crossbar.hpp"
 #include "core/exact.hpp"
 #include "cop/adapters.hpp"
 #include "core/hycim_solver.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -45,6 +56,7 @@ int main(int argc, char** argv) {
                 "Fig. 7(d,f): 32x32 chip linearity and on-chip SA runs");
   cli.add_int("measurements", 9, "independent erase/program/anneal runs");
   cli.add_int("iterations", 30, "SA iterations per run (paper plot: ~15)");
+  cli.add_int("threads", 0, "measurement-fan threads (0 = all cores)");
   cli.add_int("seed", 7, "fabrication seed");
   cli.add_string("csv", "fig7_energy_traces.csv", "energy-trace CSV path");
   if (!cli.parse(argc, argv)) return 0;
@@ -92,21 +104,44 @@ int main(int argc, char** argv) {
   core::HyCimSolver solver(cop::to_constrained_form(inst), config);
 
   const int runs = static_cast<int>(cli.get_int("measurements"));
+  // Serial pre-pass: the paper erases and re-programs the chip before
+  // every measurement, and each reprogram draws from the chip's noise
+  // stream — so the programming sequence stays ordered.  Each freshly
+  // programmed state is cloned (decision_seed 0 keeps its streams) into
+  // the solver that measurement will anneal on.
+  std::vector<core::HyCimSolver> measurements;
+  measurements.reserve(static_cast<std::size_t>(runs));
+  for (int run = 1; run <= runs; ++run) {
+    solver.reprogram();
+    measurements.emplace_back(solver, 0);
+  }
+
+  // The anneals are independent given their programmed chips: fan them.
+  std::vector<cop::QkpSolveResult> outcomes(measurements.size());
+  runtime::BatchParams fan;
+  fan.restarts = measurements.size();
+  fan.threads = static_cast<unsigned>(cli.get_int("threads"));
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0x700;
+  runtime::run_batch(fan, [&](std::size_t idx, util::Rng&) {
+    outcomes[idx] = cop::solve_qkp_from_random(
+        measurements[idx], inst, (static_cast<std::uint64_t>(idx) + 1) * 101);
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
   util::CsvWriter csv(cli.get_string("csv"), {"run", "iteration", "energy"});
   util::Table traces({"run", "E start", "E final", "best profit", "optimal?"});
   int optimal_runs = 0;
-  for (int run = 1; run <= runs; ++run) {
-    // The paper erases and re-programs the chip before every measurement.
-    solver.reprogram();
-    const auto result = cop::solve_qkp_from_random(
-        solver, inst, static_cast<std::uint64_t>(run) * 101);
+  for (std::size_t idx = 0; idx < outcomes.size(); ++idx) {
+    const auto& result = outcomes[idx];
+    const auto run = static_cast<long long>(idx) + 1;
     for (std::size_t it = 0; it < result.sa.trace.size(); ++it) {
       csv.row({static_cast<double>(run), static_cast<double>(it),
                result.sa.trace[it]});
     }
     const bool optimal = result.profit == truth.best_profit;
     if (optimal) ++optimal_runs;
-    traces.add_row({util::Table::num(static_cast<long long>(run)),
+    traces.add_row({util::Table::num(run),
                     util::Table::num(result.sa.trace.front(), 1),
                     util::Table::num(result.sa.trace.back(), 1),
                     util::Table::num(result.profit), optimal ? "yes" : "NO"});

@@ -3,10 +3,19 @@
 // infeasible each) through 16x100 working/replica arrays with realistic
 // variation.  Prints the normalized-ML geometry and the classification
 // accuracy; writes every point to CSV (the Fig. 8 scatter data).
+//
+// The instance loop rides the runtime::run_batch instance-fan pattern:
+// instance idx draws its Monte Carlo configurations from its own forked
+// stream (no shared util::Rng), classifies them against its own filter,
+// and parks the per-point records in outcomes[idx]; the scatter CSV and
+// the accuracy tallies are emitted after the fan joins, in instance
+// order — bit-identical for any --threads count.
 #include <iostream>
+#include <vector>
 
 #include "cim/filter/inequality_filter.hpp"
 #include "cop/qkp.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -32,6 +41,14 @@ std::vector<std::uint8_t> random_infeasible(const QkpInstance& inst,
   return x;
 }
 
+/// One classified Monte Carlo point (everything the aggregation needs).
+struct Point {
+  bool exact = false;    ///< ground-truth feasibility
+  bool verdict = false;  ///< the filter's call
+  long long weight = 0;
+  double norm = 0.0;  ///< normalized matchline
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,6 +58,7 @@ int main(int argc, char** argv) {
   cli.add_int("instances", 40, "QKP instances (paper: 40)");
   cli.add_int("per_class", 10, "feasible/infeasible samples per instance");
   cli.add_int("items", 100, "items per instance (paper: 100)");
+  cli.add_int("threads", 0, "instance-fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   cli.add_string("csv", "fig8_normalized_ml.csv", "scatter CSV path");
   if (!cli.parse(argc, argv)) return 0;
@@ -52,10 +70,34 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("seed")));
   if (suite.size() > n_instances) suite.resize(n_instances);
 
+  // The instance fan: instance idx samples from its forked stream and
+  // classifies against its own fabricated filter.
+  std::vector<std::vector<Point>> outcomes(suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = suite.size();
+  fan.threads = static_cast<unsigned>(cli.get_int("threads"));
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed")) ^ 0x800;
+  runtime::run_batch(fan, [&](std::size_t idx, util::Rng& rng) {
+    const auto& inst = suite[idx];
+    cim::InequalityFilterParams params;  // realistic corners
+    params.fab_seed = 1000 + idx;
+    cim::InequalityFilter filter(params, inst.weights, inst.capacity);
+    auto& points = outcomes[idx];
+    points.reserve(static_cast<std::size_t>(2 * per_class));
+    for (int s = 0; s < 2 * per_class; ++s) {
+      const bool want_feasible = s < per_class;
+      const auto x = want_feasible ? cop::random_feasible(inst, rng)
+                                   : random_infeasible(inst, rng);
+      points.push_back({inst.feasible(x), filter.is_feasible(x),
+                        inst.total_weight(x), filter.normalized_ml(x)});
+    }
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered aggregation after the fan joins: identical for any --threads.
   util::CsvWriter csv(cli.get_string("csv"),
                       {"instance", "feasible", "weight", "capacity",
                        "normalized_ml"});
-  util::Rng rng(99);
   util::OnlineStats feas_ml, infeas_ml;
   std::size_t correct = 0, total = 0;
   std::size_t boundary_band = 0;  // |normalized - 1| < 0.01, the Fig 8(b) zoom
@@ -66,32 +108,22 @@ int main(int argc, char** argv) {
   std::size_t wide_correct = 0, wide_total = 0;
   for (std::size_t idx = 0; idx < suite.size(); ++idx) {
     const auto& inst = suite[idx];
-    cim::InequalityFilterParams params;  // realistic corners
-    params.fab_seed = 1000 + idx;
-    cim::InequalityFilter filter(params, inst.weights, inst.capacity);
-    for (int s = 0; s < 2 * per_class; ++s) {
-      const bool want_feasible = s < per_class;
-      const auto x = want_feasible ? cop::random_feasible(inst, rng)
-                                   : random_infeasible(inst, rng);
-      const bool exact = inst.feasible(x);
-      const double norm = filter.normalized_ml(x);
-      const bool verdict = filter.is_feasible(x);
+    for (const Point& p : outcomes[idx]) {
       ++total;
-      if (verdict == exact) ++correct;
-      if (std::abs(norm - 1.0) < 0.01) ++boundary_band;
-      const long long margin =
-          std::llabs(inst.total_weight(x) - inst.capacity);
+      if (p.verdict == p.exact) ++correct;
+      if (std::abs(p.norm - 1.0) < 0.01) ++boundary_band;
+      const long long margin = std::llabs(p.weight - inst.capacity);
       if (margin <= 2) {
         ++tight_total;
-        if (verdict == exact) ++tight_correct;
+        if (p.verdict == p.exact) ++tight_correct;
       } else {
         ++wide_total;
-        if (verdict == exact) ++wide_correct;
+        if (p.verdict == p.exact) ++wide_correct;
       }
-      (exact ? feas_ml : infeas_ml).add(norm);
-      csv.row({static_cast<double>(idx), exact ? 1.0 : 0.0,
-               static_cast<double>(inst.total_weight(x)),
-               static_cast<double>(inst.capacity), norm});
+      (p.exact ? feas_ml : infeas_ml).add(p.norm);
+      csv.row({static_cast<double>(idx), p.exact ? 1.0 : 0.0,
+               static_cast<double>(p.weight),
+               static_cast<double>(inst.capacity), p.norm});
     }
   }
 

@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "anneal/index_sampler.hpp"
+#include "anneal/moves.hpp"
+#include "anneal/replica_batch.hpp"
 #include "anneal/strategy.hpp"
+#include "cim/crossbar/crossbar.hpp"
 #include "cim/crossbar/vmv_engine.hpp"
 #include "cim/filter/filter_bank.hpp"
 #include "cim/filter/inequality_filter.hpp"
@@ -126,6 +129,152 @@ void BM_SparseFlipMaxCut(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseFlipMaxCut)->Arg(400)->Arg(1600);
+
+/// The pre-word-parallel dense flip kernel, kept verbatim for head-to-head
+/// timing: guarded per-element at() walks over the packed triangle (each
+/// element pays the triangular index arithmetic and a branch).
+class ScalarFlipReference {
+ public:
+  ScalarFlipReference(const qubo::QuboMatrix& q, qubo::BitVector x0)
+      : q_(&q), x_(std::move(x0)) {
+    const std::size_t n = x_.size();
+    phi_.assign(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      double s = q_->at(k, k);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (x_[i]) s += q_->at(i, k);
+      }
+      for (std::size_t j = k + 1; j < n; ++j) {
+        if (x_[j]) s += q_->at(k, j);
+      }
+      phi_[k] = s;
+    }
+  }
+
+  void flip(std::size_t k) {
+    const double sign = x_[k] ? -1.0 : 1.0;
+    x_[k] ^= 1;
+    for (std::size_t i = 0; i < k; ++i) phi_[i] += sign * q_->at(i, k);
+    for (std::size_t j = k + 1; j < x_.size(); ++j) {
+      phi_[j] += sign * q_->at(k, j);
+    }
+  }
+
+  const std::vector<double>& fields() const { return phi_; }
+
+ private:
+  const qubo::QuboMatrix* q_;
+  qubo::BitVector x_;
+  std::vector<double> phi_;
+};
+
+void BM_ScalarFlip(benchmark::State& state) {
+  // The dense commit before the word-parallel rewrite: guarded two-loop
+  // at() walk over the packed triangle, one triangular index computation
+  // and one branch per element.
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(3);
+  ScalarFlipReference eval(form.q, rng.random_bits(inst.n));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    eval.flip(k);
+    k = (k + 1) % inst.n;
+  }
+  benchmark::DoNotOptimize(eval.fields().data());
+}
+BENCHMARK(BM_ScalarFlip)->Arg(400)->Arg(1600);
+
+void BM_WordFlip(benchmark::State& state) {
+  // The word-parallel dense commit: one contiguous branch-free fma pass
+  // over the flipped variable's DenseRows mirror row (auto-vectorizes),
+  // bit-identical to BM_ScalarFlip's guarded triangle walk.
+  const auto inst = instance(static_cast<std::size_t>(state.range(0)));
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(3);
+  qubo::IncrementalEvaluator eval(form.q, rng.random_bits(inst.n),
+                                  qubo::Kernel::kDense);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    eval.flip(k);
+    k = (k + 1) % inst.n;
+  }
+  benchmark::DoNotOptimize(eval.energy());
+}
+BENCHMARK(BM_WordFlip)->Arg(400)->Arg(1600);
+
+constexpr std::size_t kBatchReplicas = 8;
+
+void BM_PerReplicaTrial(benchmark::State& state) {
+  // The pre-SoA ensemble: every replica owns its own matrix copy and its
+  // own DenseRows mirror, so R independent n²-sized working sets march
+  // through cache even though every replica walks the same couplings.
+  // Replicas commit at staggered rows (each tempering walk proposes its
+  // own moves), so the cost is the ensemble's aggregate working set.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = instance(n);
+  const auto form = core::to_inequality_qubo(inst);
+  std::vector<qubo::QuboMatrix> matrices(kBatchReplicas, form.q);
+  util::Rng rng(12);
+  std::vector<qubo::IncrementalEvaluator> evals;
+  evals.reserve(kBatchReplicas);
+  for (auto& m : matrices) {
+    evals.emplace_back(m, rng.random_bits(n), qubo::Kernel::kDense);
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+      evals[r].flip((k + r * n / kBatchReplicas) % n);
+    }
+    k = (k + 1) % n;
+  }
+  benchmark::DoNotOptimize(evals[0].energy());
+}
+BENCHMARK(BM_PerReplicaTrial)->Arg(800)->Arg(1600);
+
+void BM_BatchedReplicaTrial(benchmark::State& state) {
+  // The SoA batch: R replica views over ONE shared DenseRows snapshot
+  // (contiguous R×n field block), so the same staggered commits stream a
+  // single n²-sized working set instead of R of them.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto inst = instance(n);
+  const auto form = core::to_inequality_qubo(inst);
+  anneal::QuboReplicaBatch batch(form.q, kBatchReplicas, qubo::Kernel::kDense);
+  util::Rng rng(12);
+  for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+    batch.problem(r).reset(rng.random_bits(n));
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+      batch.problem(r).commit(
+          anneal::Move::flip((k + r * n / kBatchReplicas) % n));
+    }
+    k = (k + 1) % n;
+  }
+  benchmark::DoNotOptimize(batch.problem(0).state().data());
+}
+BENCHMARK(BM_BatchedReplicaTrial)->Arg(800)->Arg(1600);
+
+void BM_DenseVmvRow(benchmark::State& state) {
+  // One crossbar column evaluation after the column-major cache mirror:
+  // the selected column's cell/leak currents sit contiguously, so the
+  // select-and-sum pass auto-vectorizes instead of striding by cols.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cim::CrossbarParams params;
+  device::VariationModel fab(device::VariationParams{}, 21);
+  util::Rng rng(13);
+  std::vector<std::uint8_t> bits(n * n);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const cim::CrossbarArray array(params, n, n, bits, fab);
+  const auto x = rng.random_bits(n, 0.5);
+  std::size_t col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.column_current(x, col));
+    col = (col + 1) % n;
+  }
+}
+BENCHMARK(BM_DenseVmvRow)->Arg(256)->Arg(1024);
 
 void BM_FilterEvaluate(benchmark::State& state) {
   const auto inst = instance(static_cast<std::size_t>(state.range(0)));
@@ -411,6 +560,102 @@ void report_flip_ratio() {
       kN, dense / sparse, 1e9 * dense / kFlips, 1e9 * sparse / kFlips);
 }
 
+/// Head-to-head timing of the dense commit kernels: M committed flips
+/// through the old guarded at() triangle walk vs the word-parallel
+/// contiguous mirror-row pass, same instance, same start state.  This is
+/// the acceptance number for the word-parallel layer — expect >= 2x.
+void report_word_flip_ratio() {
+  constexpr std::size_t kN = 800;
+  constexpr std::size_t kFlips = 100000;
+  const auto inst = instance(kN);
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(11);
+  const auto x0 = rng.random_bits(kN);
+  const auto start_scalar = std::chrono::steady_clock::now();
+  {
+    ScalarFlipReference eval(form.q, x0);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < kFlips; ++i) {
+      eval.flip(k);
+      k = (k + 1) % kN;
+    }
+    benchmark::DoNotOptimize(eval.fields().data());
+  }
+  const auto mid = std::chrono::steady_clock::now();
+  {
+    qubo::IncrementalEvaluator eval(form.q, x0, qubo::Kernel::kDense);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < kFlips; ++i) {
+      eval.flip(k);
+      k = (k + 1) % kN;
+    }
+    benchmark::DoNotOptimize(eval.energy());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double scalar = std::chrono::duration<double>(mid - start_scalar).count();
+  const double word = std::chrono::duration<double>(end - mid).count();
+  std::printf(
+      "[word-parallel] scalar/word dense-flip ratio at n=%zu: %.2fx "
+      "(scalar %.0f ns/flip, word %.0f ns/flip)\n",
+      kN, scalar / word, 1e9 * scalar / kFlips, 1e9 * word / kFlips);
+}
+
+/// Head-to-head timing of the replica-ensemble layouts: M staggered
+/// commits across R=8 replicas through per-replica chip clones (R matrix
+/// copies, R DenseRows mirrors) vs the SoA QuboReplicaBatch (one shared
+/// mirror).  This is the acceptance number for the SoA layer — expect
+/// >= 1.5x.
+void report_batched_replica_ratio() {
+  constexpr std::size_t kN = 1600;
+  constexpr std::size_t kSweeps = 10000;
+  const auto inst = instance(kN);
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(12);
+  std::vector<qubo::BitVector> x0;
+  for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+    x0.push_back(rng.random_bits(kN));
+  }
+  const auto start_split = std::chrono::steady_clock::now();
+  {
+    std::vector<qubo::QuboMatrix> matrices(kBatchReplicas, form.q);
+    std::vector<qubo::IncrementalEvaluator> evals;
+    evals.reserve(kBatchReplicas);
+    for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+      evals.emplace_back(matrices[r], x0[r], qubo::Kernel::kDense);
+    }
+    for (std::size_t i = 0; i < kSweeps; ++i) {
+      for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+        evals[r].flip((i + r * kN / kBatchReplicas) % kN);
+      }
+    }
+    benchmark::DoNotOptimize(evals[0].energy());
+  }
+  const auto mid = std::chrono::steady_clock::now();
+  {
+    anneal::QuboReplicaBatch batch(form.q, kBatchReplicas,
+                                   qubo::Kernel::kDense);
+    for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+      batch.problem(r).reset(x0[r]);
+    }
+    for (std::size_t i = 0; i < kSweeps; ++i) {
+      for (std::size_t r = 0; r < kBatchReplicas; ++r) {
+        batch.problem(r).commit(
+            anneal::Move::flip((i + r * kN / kBatchReplicas) % kN));
+      }
+    }
+    benchmark::DoNotOptimize(batch.problem(0).state().data());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double split = std::chrono::duration<double>(mid - start_split).count();
+  const double batched = std::chrono::duration<double>(end - mid).count();
+  const double commits = static_cast<double>(kSweeps * kBatchReplicas);
+  std::printf(
+      "[soa-replicas] per-replica/batched commit-throughput ratio at n=%zu "
+      "R=%zu: %.2fx (split %.0f ns/commit, batched %.0f ns/commit)\n",
+      kN, kBatchReplicas, split / batched, 1e9 * split / commits,
+      1e9 * batched / commits);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -419,5 +664,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_flip_ratio();
+  report_word_flip_ratio();
+  report_batched_replica_ratio();
   return 0;
 }

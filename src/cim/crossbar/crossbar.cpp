@@ -47,16 +47,32 @@ void CrossbarArray::rebuild_cache() {
     cell_current_[k] = cells_[k].current(v_read_, params_.v_dl);
     leak_current_[k] = cells_[k].current(0.0, params_.v_dl);
   }
+  cell_by_col_.assign(cells_.size(), 0.0);
+  leak_by_col_.assign(cells_.size(), 0.0);
+  toggle_current_.assign(cells_.size(), 0.0);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    for (std::size_t col = 0; col < cols_; ++col) {
+      const std::size_t k = row * cols_ + col;
+      cell_by_col_[col * rows_ + row] = cell_current_[k];
+      leak_by_col_[col * rows_ + row] = leak_current_[k];
+      toggle_current_[k] = cell_current_[k] - leak_current_[k];
+    }
+  }
 }
 
 double CrossbarArray::column_current(std::span<const std::uint8_t> x_rows,
                                      std::size_t col) const {
   assert(x_rows.size() == rows_);
   assert(col < cols_);
+  // Contiguous column-major passes; the ON/leak select stays a select
+  // (never `leak + x·(on−leak)`, which would reassociate the float math)
+  // so the sum is bit-identical to the strided row-major walk — the
+  // accumulation order over rows is unchanged.
+  const double* on = cell_by_col_.data() + col * rows_;
+  const double* off = leak_by_col_.data() + col * rows_;
   double i = 0.0;
   for (std::size_t row = 0; row < rows_; ++row) {
-    const std::size_t k = row * cols_ + col;
-    i += x_rows[row] ? cell_current_[k] : leak_current_[k];
+    i += x_rows[row] ? on[row] : off[row];
   }
   return i;
 }

@@ -54,8 +54,15 @@ class CrossbarArray {
   /// column's current by exactly this much, so cached column currents can
   /// be updated without re-summing the whole column.
   double row_toggle_delta(std::size_t row, std::size_t col) const {
-    const std::size_t k = row * cols_ + col;
-    return cell_current_[k] - leak_current_[k];
+    return toggle_current_[row * cols_ + col];
+  }
+
+  /// Row `row` of the toggle deltas (ON − leak per column, contiguous,
+  /// length cols()).  A single-bit input flip on row k shifts every
+  /// column's current by exactly toggle_row(k)[col], so the VMV engine's
+  /// dense per-flip update is one contiguous fma pass over this row.
+  const double* toggle_row(std::size_t row) const {
+    return toggle_current_.data() + row * cols_;
   }
 
   /// Current with `count` arbitrary cells of column 0..cols-1 activated —
@@ -89,6 +96,16 @@ class CrossbarArray {
   std::vector<device::Cell1F1R> cells_;   // row-major
   std::vector<double> cell_current_;      // cached ON current per cell [A]
   std::vector<double> leak_current_;      // cached OFF leakage per cell [A]
+  // Column-major mirrors of the two caches (col*rows + row): a column
+  // evaluation walks one contiguous stretch per cache instead of striding
+  // by cols_, which is what lets column_current() auto-vectorize.  Same
+  // doubles as the row-major caches, copied bit-for-bit by rebuild_cache.
+  std::vector<double> cell_by_col_;
+  std::vector<double> leak_by_col_;
+  // ON − leak per cell, row-major — the precomputed row_toggle_delta (the
+  // subtraction is done once at cache build; the difference of the same
+  // two doubles is the same double every time).
+  std::vector<double> toggle_current_;
   double v_read_ = 0.0;
 };
 

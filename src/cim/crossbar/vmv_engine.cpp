@@ -365,11 +365,17 @@ void VmvEngine::apply(std::span<const std::size_t> flips) {
       throw std::invalid_argument("VmvEngine::apply: bit out of range");
     }
     const double sign = bound_x_[k] ? -1.0 : 1.0;
+    // Contiguous fma passes over the flipped row's precomputed toggle
+    // deltas (same doubles row_toggle_delta returns, so the tracked
+    // currents move bit-identically to the strided per-cell walk).
     for (std::size_t p = 0; p < bits; ++p) {
+      const double* pos_t = pos_planes_[p].toggle_row(k);
+      const double* neg_t = neg_planes_[p].toggle_row(k);
+      double* pos_c = currents_.data() + p * n_;
+      double* neg_c = currents_.data() + (bits + p) * n_;
       for (std::size_t j = 0; j < n_; ++j) {
-        currents_[p * n_ + j] += sign * pos_planes_[p].row_toggle_delta(k, j);
-        currents_[(bits + p) * n_ + j] +=
-            sign * neg_planes_[p].row_toggle_delta(k, j);
+        pos_c[j] += sign * pos_t[j];
+        neg_c[j] += sign * neg_t[j];
       }
     }
     bound_x_[k] ^= 1;

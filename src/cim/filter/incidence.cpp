@@ -38,10 +38,20 @@ std::span<const VariableIncidence::Touched> VariableIncidence::group(
   }
   // Ascending filter order (the order the pre-incidence loop judged
   // filters in); stable so a filter sees its flips in proposal order.
-  std::stable_sort(flip_entries_.begin(), flip_entries_.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first < b.first;
-                   });
+  // Insertion sort, not std::stable_sort: libstdc++'s stable_sort
+  // allocates a merge buffer per call, which would be a steady-state
+  // allocation inside the proposal→commit loop — and the range here is a
+  // move's incident filters (a handful of entries), where insertion sort
+  // wins anyway.
+  for (std::size_t s = 1; s < flip_entries_.size(); ++s) {
+    const auto entry = flip_entries_[s];
+    std::size_t t = s;
+    while (t > 0 && flip_entries_[t - 1].first > entry.first) {
+      flip_entries_[t] = flip_entries_[t - 1];
+      --t;
+    }
+    flip_entries_[t] = entry;
+  }
   locals_.clear();
   touched_.clear();
   for (const auto& [filter, local] : flip_entries_) {

@@ -1,5 +1,7 @@
 #include "cop/qkp_io.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -20,13 +22,18 @@ long long next_ll(std::istream& in, const char* what) {
 
 QkpInstance read_qkp(std::istream& in) {
   QkpInstance inst;
-  if (!std::getline(in, inst.name)) {
-    throw std::runtime_error("read_qkp: missing name line");
-  }
-  // Trim trailing whitespace/CR from the name line.
-  while (!inst.name.empty() &&
-         (inst.name.back() == '\r' || inst.name.back() == ' ')) {
-    inst.name.pop_back();
+  // The name is the first non-blank line: published archive files
+  // sometimes lead with empty lines, and name lines may be padded with
+  // spaces/tabs on either side.
+  for (;;) {
+    if (!std::getline(in, inst.name)) {
+      throw std::runtime_error("read_qkp: missing name line");
+    }
+    const auto first = inst.name.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank line, keep looking
+    const auto last = inst.name.find_last_not_of(" \t\r");
+    inst.name = inst.name.substr(first, last - first + 1);
+    break;
   }
   const long long n = next_ll(in, "n");
   if (n <= 0 || n > 100000) throw std::runtime_error("read_qkp: bad n");
@@ -80,6 +87,29 @@ void write_qkp_file(const std::string& path, const QkpInstance& inst) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("write_qkp_file: cannot open " + path);
   write_qkp(out, inst);
+}
+
+std::vector<QkpInstance> load_qkp_directory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw std::runtime_error("load_qkp_directory: not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<QkpInstance> suite;
+  suite.reserve(paths.size());
+  for (const auto& path : paths) {
+    try {
+      suite.push_back(read_qkp_file(path));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(std::string(e.what()) + " (in " + path + ")");
+    }
+  }
+  return suite;
 }
 
 }  // namespace hycim::cop

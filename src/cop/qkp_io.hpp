@@ -15,13 +15,17 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "cop/qkp.hpp"
 
 namespace hycim::cop {
 
-/// Parses one instance from a stream in the CNAM format.
-/// Throws std::runtime_error on malformed input.
+/// Parses one instance from a stream in the CNAM format.  Tolerates the
+/// quirks of the published files: leading blank lines, CRLF endings,
+/// whitespace-padded name lines, and trailing content after the weights
+/// (some archive files carry comments at the end).  Throws
+/// std::runtime_error on malformed input.
 QkpInstance read_qkp(std::istream& in);
 
 /// Loads an instance from a file path.
@@ -32,5 +36,12 @@ void write_qkp(std::ostream& out, const QkpInstance& inst);
 
 /// Saves an instance to a file path.
 void write_qkp_file(const std::string& path, const QkpInstance& inst);
+
+/// Loads every regular file in `dir` as a CNAM instance, sorted by file
+/// name (deterministic suite order).  Files that fail to parse raise, so a
+/// directory of published instances either loads whole or fails loudly —
+/// benches citing real instances must not silently drop half the suite.
+/// Throws std::runtime_error if `dir` is not a directory.
+std::vector<QkpInstance> load_qkp_directory(const std::string& dir);
 
 }  // namespace hycim::cop

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "anneal/replica_batch.hpp"
 #include "qubo/energy.hpp"
 #include "util/rng.hpp"
 
@@ -459,9 +461,23 @@ SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
   std::vector<HyCimSolver> chips;
   std::vector<std::unique_ptr<Problem>> problems;
   std::vector<anneal::SaProblem*> problem_ptrs;
-  problems.reserve(replica_count);
-  problem_ptrs.reserve(replica_count);
-  if (replica_count == 1) {
+  // A tempered solve that reduces to a pure QUBO walk — software filters
+  // with nothing to filter, energies from the incremental evaluator, no
+  // cross-checking — batches its replicas through one shared-matrix SoA
+  // arena instead of one chip clone (matrix copy + engine) per replica.
+  // The views run the same kernels over the same snapshot, so the solve is
+  // bit-identical to the cloned-chip path; only the layout changes.
+  const bool batch_replicas =
+      config_.soa_replicas && replica_count > 1 &&
+      config_.fidelity != cim::VmvMode::kCircuit &&
+      config_.filter_mode == FilterMode::kSoftware &&
+      form_.constraints.empty() && form_.equalities.empty() &&
+      !config_.check_incremental;
+  std::optional<anneal::QuboReplicaBatch> batch;
+  if (batch_replicas) {
+    batch.emplace(eval_matrix_, replica_count, resolved_kernel_);
+    problem_ptrs = batch->problems();
+  } else if (replica_count == 1) {
     problems.push_back(std::make_unique<Problem>(*this));
   } else {
     chips.reserve(replica_count);  // no reallocation: Problems hold refs
@@ -498,6 +514,7 @@ void HyCimSolver::retarget_solve(const HyCimConfig& config) {
   config_.sa = config.sa;
   config_.search = config.search;
   config_.check_incremental = config.check_incremental;
+  config_.soa_replicas = config.soa_replicas;  // layout knob, never behavior
 }
 
 void HyCimSolver::reprogram() {

@@ -63,6 +63,16 @@ struct HyCimConfig {
   qubo::Kernel kernel = qubo::Kernel::kAuto;
   cim::InequalityFilterParams filter{};
   cim::VmvEngineParams vmv{};  ///< mode/matrix_bits overridden by the above
+  /// Structure-of-arrays replica state for tempered solves that reduce to
+  /// a pure QUBO walk (software filters, no constraints, non-circuit
+  /// fidelity, check_incremental off): the replicas share one matrix
+  /// snapshot and keep fields/states in contiguous batch arenas
+  /// (anneal::QuboReplicaBatch) instead of cloning the whole chip per
+  /// replica.  Bit-identical to the cloned-chip path — the views perform
+  /// the same float operations through the same kernels — so this is a
+  /// layout/throughput knob, not a behavior knob; it exists so tests can
+  /// pin that equivalence.  Ineligible solves fall back silently.
+  bool soa_replicas = true;
   /// Debug mode: cross-check every incremental trial/commit against a full
   /// recomputation (filter matchline voltages, energies) and throw
   /// std::logic_error on divergence.  O(n²) per SA step — enable in tests

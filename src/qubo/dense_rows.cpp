@@ -1,0 +1,23 @@
+#include "qubo/dense_rows.hpp"
+
+#include "qubo/qubo_matrix.hpp"
+
+namespace hycim::qubo {
+
+DenseRows::DenseRows(const QuboMatrix& q)
+    : n_(q.size()), rows_(n_ * n_, 0.0), diag_(n_, 0.0) {
+  // One pass over the packed upper triangle, scattering each coefficient
+  // to both mirror positions.  The doubles are copied bit-for-bit.
+  const std::span<const double> packed = q.packed();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    diag_[i] = packed[idx++];
+    for (std::size_t j = i + 1; j < n_; ++j, ++idx) {
+      const double v = packed[idx];
+      rows_[i * n_ + j] = v;
+      rows_[j * n_ + i] = v;
+    }
+  }
+}
+
+}  // namespace hycim::qubo

@@ -14,13 +14,18 @@ IncrementalEvaluator::IncrementalEvaluator(const QuboMatrix& q, BitVector x0,
   if (x_.size() != q.size()) {
     throw std::invalid_argument("IncrementalEvaluator: size mismatch");
   }
-  if (kernel_ == Kernel::kSparse) index_ = q.neighbor_index_ptr();
+  if (kernel_ == Kernel::kSparse) {
+    index_ = q.neighbor_index_ptr();
+  } else {
+    rows_ = q.dense_rows_ptr();
+  }
   rebuild_fields();
 }
 
 void IncrementalEvaluator::rebuild_fields() {
   const std::size_t n = x_.size();
   phi_.assign(n, 0.0);
+  words_.assign(x_);
   if (kernel_ == Kernel::kSparse) {
     // O(n + nnz): the neighbor lists visit exactly the nonzero terms of
     // the dense sums below, in the same (ascending-partner) order, so the
@@ -46,15 +51,12 @@ void IncrementalEvaluator::rebuild_fields() {
     energy_ = e;
     return;
   } else {
+    // Word-parallel dense rebuild: per bit, one set-bit scan over the
+    // packed state against the contiguous mirror row.  Same adds in the
+    // same ascending order as the guarded at(i, k)/at(k, j) loops —
+    // bit-identical — without the per-element triangle index math.
     for (std::size_t k = 0; k < n; ++k) {
-      double s = q_->at(k, k);
-      for (std::size_t i = 0; i < k; ++i) {
-        if (x_[i]) s += q_->at(i, k);
-      }
-      for (std::size_t j = k + 1; j < n; ++j) {
-        if (x_[j]) s += q_->at(k, j);
-      }
-      phi_[k] = s;
+      phi_[k] = kernels::dense_field(*rows_, words_, k);
     }
   }
   energy_ = q_->energy(x_);
@@ -69,7 +71,10 @@ double IncrementalEvaluator::delta_pair(std::size_t i, std::size_t j) const {
   assert(i != j);
   const double si = x_[i] ? -1.0 : 1.0;
   const double sj = x_[j] ? -1.0 : 1.0;
-  return delta(i) + delta(j) + si * sj * q_->at(i, j);
+  // The mirror holds the exact same double as at(i, j) (i != j here), so
+  // reading it skips the triangle index math without changing a bit.
+  const double q_ij = rows_ ? rows_->row(i)[j] : q_->at(i, j);
+  return delta(i) + delta(j) + si * sj * q_ij;
 }
 
 void IncrementalEvaluator::flip(std::size_t k) {
@@ -77,17 +82,16 @@ void IncrementalEvaluator::flip(std::size_t k) {
   energy_ += delta(k);
   const double sign = x_[k] ? -1.0 : 1.0;  // +1 when turning the bit on
   x_[k] ^= 1;
+  words_.flip(k);
   // Every other bit's field gains/loses the coupling with bit k.  The
   // sparse walk skips exact-zero couplings only (adding ±0.0 is the lone
-  // dropped operation), so both kernels move phi identically.
+  // dropped operation) and the dense pass streams the mirror row (phi_k
+  // saved/restored inside), so all kernels move phi identically.
   if (kernel_ == Kernel::kSparse) {
-    for (const auto& link : index_->neighbors(k)) {
-      phi_[link.index] += sign * link.value;
-    }
+    kernels::sparse_flip(phi_.data(), *index_, k, sign);
     return;
   }
-  for (std::size_t i = 0; i < k; ++i) phi_[i] += sign * q_->at(i, k);
-  for (std::size_t j = k + 1; j < x_.size(); ++j) phi_[j] += sign * q_->at(k, j);
+  kernels::dense_flip(phi_.data(), rows_->row(k), x_.size(), k, sign);
 }
 
 void IncrementalEvaluator::flip_pair(std::size_t i, std::size_t j) {

@@ -21,10 +21,51 @@
 #include <span>
 #include <vector>
 
+#include "qubo/dense_rows.hpp"
 #include "qubo/neighbor_index.hpp"
 #include "qubo/qubo_matrix.hpp"
+#include "qubo/word_state.hpp"
 
 namespace hycim::qubo {
+
+namespace kernels {
+
+/// The word-parallel dense flip kernel, shared by IncrementalEvaluator and
+/// the batched replica problems (anneal::QuboReplicaBatch): one contiguous
+/// branch-free pass phi[j] += sign·row[j] over the mirror row of the
+/// flipped bit.  row[k] is zero by DenseRows construction, but phi[k] is
+/// saved and restored around the pass so the flipped bit's own field is
+/// untouched bit-for-bit (adding ±0.0 could flip a -0.0) — with that, the
+/// pass performs exactly the adds of the scalar two-loop kernel it
+/// replaces, making it bit-identical while auto-vectorizing cleanly.
+inline void dense_flip(double* phi, const double* row, std::size_t n,
+                       std::size_t k, double sign) {
+  const double saved = phi[k];
+  for (std::size_t j = 0; j < n; ++j) phi[j] += sign * row[j];
+  phi[k] = saved;
+}
+
+/// The sparse O(degree) flip kernel (PR 5), here for symmetry.
+inline void sparse_flip(double* phi, const NeighborIndex& index,
+                        std::size_t k, double sign) {
+  for (const auto& link : index.neighbors(k)) {
+    phi[link.index] += sign * link.value;
+  }
+}
+
+/// Dense local-field rebuild for one bit: phi_k = q_kk + Σ q_kj·x_j over
+/// the set bits of the packed state (bit k masked out), scanned in
+/// ascending order — the same adds, in the same order, as the guarded
+/// byte loop, hence bit-identical.
+inline double dense_field(const DenseRows& rows, const WordState& words,
+                          std::size_t k) {
+  double s = rows.diagonal(k);
+  const double* row = rows.row(k);
+  words.for_each_set_except(k, [&](std::size_t j) { s += row[j]; });
+  return s;
+}
+
+}  // namespace kernels
 
 /// Tracks the energy of an evolving assignment under a fixed QUBO matrix.
 class IncrementalEvaluator {
@@ -80,7 +121,13 @@ class IncrementalEvaluator {
   /// replaces the cache but cannot dangle this snapshot — it only goes
   /// stale, which the check_incremental cross-checks detect.
   std::shared_ptr<const NeighborIndex> index_;
+  /// Dense-kernel mirror snapshot (null under the sparse kernel).  Same
+  /// sharing/staleness contract as index_.
+  std::shared_ptr<const DenseRows> rows_;
   BitVector x_;
+  /// Word-packed shadow of x_, maintained on every flip/reset; feeds the
+  /// word-parallel rebuild scans.
+  WordState words_;
   std::vector<double> phi_;
   double energy_ = 0.0;
 };

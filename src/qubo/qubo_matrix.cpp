@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "qubo/dense_rows.hpp"
 #include "qubo/neighbor_index.hpp"
 
 namespace hycim::qubo {
@@ -23,14 +24,41 @@ double QuboMatrix::at(std::size_t i, std::size_t j) const {
   return values_[index(i, j)];
 }
 
-void QuboMatrix::set(std::size_t i, std::size_t j, double v) {
-  values_[index(i, j)] = v;
+void QuboMatrix::on_write(std::size_t i, std::size_t j, double old_value,
+                          double new_value) {
+  const bool was = old_value != 0.0;
+  const bool is = new_value != 0.0;
+  if (was != is) nnz_ += is ? 1 : std::size_t(-1);
+  if (!journal_overflow_ && i != j && !was && is) {
+    // Journal only while it stays clearly smaller than a dense scan —
+    // past a quarter of the triangle a near-dense matrix would just pay
+    // the dense build cost twice.
+    if (journal_.size() >= values_.size() / 4 + 16) {
+      journal_overflow_ = true;
+      journal_.clear();
+      journal_.shrink_to_fit();
+    } else {
+      if (i > j) std::swap(i, j);
+      journal_.emplace_back(static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(j));
+    }
+  }
   index_.reset();
+  rows_.reset();
+}
+
+void QuboMatrix::set(std::size_t i, std::size_t j, double v) {
+  double& cell = values_[index(i, j)];
+  const double old = cell;
+  cell = v;
+  on_write(i, j, old, v);
 }
 
 void QuboMatrix::add(std::size_t i, std::size_t j, double v) {
-  values_[index(i, j)] += v;
-  index_.reset();
+  double& cell = values_[index(i, j)];
+  const double old = cell;
+  cell += v;
+  on_write(i, j, old, cell);
 }
 
 double QuboMatrix::energy(std::span<const std::uint8_t> x) const {
@@ -70,14 +98,6 @@ double QuboMatrix::max_abs_coefficient() const {
   return m;
 }
 
-std::size_t QuboMatrix::nonzeros() const {
-  std::size_t count = 0;
-  for (double v : values_) {
-    if (v != 0.0) ++count;
-  }
-  return count;
-}
-
 double QuboMatrix::density() const {
   if (values_.empty()) return 0.0;
   return static_cast<double>(nonzeros()) /
@@ -92,6 +112,16 @@ const NeighborIndex& QuboMatrix::neighbor_index() const {
 std::shared_ptr<const NeighborIndex> QuboMatrix::neighbor_index_ptr() const {
   neighbor_index();
   return index_;
+}
+
+const DenseRows& QuboMatrix::dense_rows() const {
+  if (!rows_) rows_ = std::make_shared<DenseRows>(*this);
+  return *rows_;
+}
+
+std::shared_ptr<const DenseRows> QuboMatrix::dense_rows_ptr() const {
+  dense_rows();
+  return rows_;
 }
 
 int QuboMatrix::quantization_bits() const {

@@ -12,10 +12,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace hycim::qubo {
 
+class DenseRows;
 class NeighborIndex;
 
 /// Binary variable assignment; x[i] in {0, 1}.
@@ -61,7 +63,9 @@ class QuboMatrix {
   double max_abs_coefficient() const;
 
   /// Number of structurally nonzero entries in the upper triangle.
-  std::size_t nonzeros() const;
+  /// Maintained incrementally by set()/add(), so this is O(1) — sparse
+  /// fabrication no longer pays an O(n²) scan just to measure density.
+  std::size_t nonzeros() const { return nnz_; }
 
   /// Fraction of structurally nonzero upper-triangle entries, in [0, 1]
   /// (0 for an empty matrix).  This is the quantity the paper's benchmark
@@ -85,6 +89,31 @@ class QuboMatrix {
   /// stale-index divergence is what check_incremental exists to catch.
   std::shared_ptr<const NeighborIndex> neighbor_index_ptr() const;
 
+  /// The cached contiguous full-row mirror behind the word-parallel dense
+  /// kernels (see dense_rows.hpp).  Same caching contract as
+  /// neighbor_index(): lazy O(n²) build, invalidated by set()/add(),
+  /// shared by copies, build once before cloning across threads.
+  const DenseRows& dense_rows() const;
+
+  /// The mirror as a shared snapshot (never dangles, may go stale).
+  std::shared_ptr<const DenseRows> dense_rows_ptr() const;
+
+  /// The journal of off-diagonal cells that ever transitioned from zero to
+  /// nonzero, in mutation order with possible duplicates and possible
+  /// since-rezeroed entries.  Valid only while journal_exact() holds;
+  /// NeighborIndex uses it to build from the stored nonzeros in
+  /// O(nnz log nnz) instead of scanning all n²/2 packed entries.
+  std::span<const std::pair<std::uint32_t, std::uint32_t>> nonzero_journal()
+      const {
+    return journal_;
+  }
+
+  /// True while the journal covers every possible nonzero (it is dropped
+  /// once its size stops being worth the bookkeeping — near-dense
+  /// mutation patterns — after which index builds fall back to the dense
+  /// scan).
+  bool journal_exact() const { return !journal_overflow_; }
+
   /// Bits needed to represent the magnitude of the largest coefficient:
   /// ceil(log2(max |Q_ij|)), minimum 1.  Paper: ⌈log2 (Qij)MAX⌉.
   int quantization_bits() const;
@@ -95,12 +124,21 @@ class QuboMatrix {
 
  private:
   std::size_t index(std::size_t i, std::size_t j) const;
+  /// Post-write bookkeeping shared by set()/add(): nnz count, journal,
+  /// cache invalidation.
+  void on_write(std::size_t i, std::size_t j, double old_value,
+                double new_value);
 
   std::size_t n_ = 0;
   std::vector<double> values_;  // packed upper triangle
   double offset_ = 0.0;
-  /// Lazily built adjacency snapshot; reset whenever values_ change.
+  std::size_t nnz_ = 0;  // structural nonzeros, maintained incrementally
+  /// Off-diagonal zero→nonzero transitions (see nonzero_journal()).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> journal_;
+  bool journal_overflow_ = false;
+  /// Lazily built snapshots; reset whenever values_ change.
   mutable std::shared_ptr<const NeighborIndex> index_;
+  mutable std::shared_ptr<const DenseRows> rows_;
 };
 
 }  // namespace hycim::qubo

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 namespace hycim::cop {
 namespace {
@@ -91,6 +94,74 @@ TEST(QkpIo, SingleItemInstance) {
   EXPECT_EQ(inst.n, 1u);
   EXPECT_EQ(inst.profit(0, 0), 42);
   EXPECT_EQ(inst.capacity, 5);
+}
+
+// Quirks of the published CNAM archive files the reader must tolerate.
+
+TEST(QkpIo, SkipsLeadingBlankLines) {
+  std::istringstream in(std::string("\n  \t\n\r\n") + kSample);
+  EXPECT_EQ(read_qkp(in).name, "sample_3");
+}
+
+TEST(QkpIo, TrimsPaddedNameLine) {
+  std::string text = kSample;
+  text.replace(0, 8, " \tsample_3 \t");
+  std::istringstream in(text);
+  EXPECT_EQ(read_qkp(in).name, "sample_3");
+}
+
+TEST(QkpIo, IgnoresTrailingContentAfterWeights) {
+  std::istringstream in(std::string(kSample) +
+                        "\ncomment trailing in the archive file\n");
+  const QkpInstance inst = read_qkp(in);
+  EXPECT_EQ(inst.n, 3u);
+  EXPECT_EQ(inst.weights, (std::vector<long long>{4, 7, 2}));
+}
+
+TEST(QkpIo, LoadsDirectoryInNameOrder) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "qkp_io_test_suite";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  QkpGeneratorParams params;
+  params.n = 8;
+  // Written out of name order; the loader must sort by file name.
+  const QkpInstance second = generate_qkp(params, 11);
+  const QkpInstance first = generate_qkp(params, 12);
+  write_qkp_file((dir / "b_instance.txt").string(), second);
+  write_qkp_file((dir / "a_instance.txt").string(), first);
+  const std::vector<QkpInstance> suite =
+      load_qkp_directory(dir.string());
+  ASSERT_EQ(suite.size(), 2u);
+  EXPECT_EQ(suite[0].profits, first.profits);
+  EXPECT_EQ(suite[1].profits, second.profits);
+  fs::remove_all(dir);
+}
+
+TEST(QkpIo, DirectoryLoadFailsLoudlyWithThePathInTheError) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "qkp_io_test_bad_suite";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream bad(dir / "broken.txt");
+    bad << "broken\n3\n1 2\n";  // truncated profits
+  }
+  try {
+    load_qkp_directory(dir.string());
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.txt"), std::string::npos)
+        << e.what();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(QkpIo, LoadDirectoryRejectsNonDirectories) {
+  EXPECT_THROW(load_qkp_directory("/nonexistent/qkp/dir"),
+               std::runtime_error);
 }
 
 }  // namespace

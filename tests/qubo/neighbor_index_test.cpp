@@ -76,6 +76,94 @@ TEST(NeighborIndex, CachedOnTheMatrixAndInvalidatedByMutation) {
   EXPECT_EQ(snapshot->size(), 12u);
 }
 
+/// Structural equality of two indices (offsets, links, diagonal).
+void expect_same_index(const NeighborIndex& a, const NeighborIndex& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.diagonal(k), b.diagonal(k)) << "diag " << k;
+    ASSERT_EQ(a.degree(k), b.degree(k)) << "degree " << k;
+    const auto na = a.neighbors(k);
+    const auto nb = b.neighbors(k);
+    for (std::size_t t = 0; t < na.size(); ++t) {
+      EXPECT_EQ(na[t].index, nb[t].index) << "row " << k << " slot " << t;
+      EXPECT_EQ(na[t].value, nb[t].value) << "row " << k << " slot " << t;
+    }
+  }
+}
+
+TEST(NeighborIndex, NonzeroCountIsMaintainedIncrementally) {
+  QuboMatrix q(5);
+  EXPECT_EQ(q.nonzeros(), 0u);
+  q.set(0, 1, 2.0);
+  q.set(2, 2, -1.0);
+  EXPECT_EQ(q.nonzeros(), 2u);
+  q.set(0, 1, 0.0);  // re-zero: count drops
+  EXPECT_EQ(q.nonzeros(), 1u);
+  q.add(2, 2, 1.0);  // adds to exactly zero: structural zero again
+  EXPECT_EQ(q.nonzeros(), 0u);
+  q.add(3, 4, 0.5);
+  q.add(3, 4, 0.5);  // second add keeps it nonzero, no double count
+  EXPECT_EQ(q.nonzeros(), 1u);
+}
+
+TEST(NeighborIndex, JournalBuildMatchesDenseScanFallback) {
+  // Construct the same final matrix twice: once through a sparse mutation
+  // pattern (journal stays exact — the O(nnz log nnz) build path), once
+  // after deliberately overflowing the journal (the dense-scan fallback).
+  // The two builds must be structurally identical.
+  util::Rng rng(17);
+  const std::size_t n = 24;
+  QuboMatrix sparse_path = random_matrix(n, 0.15, rng);
+  ASSERT_TRUE(sparse_path.journal_exact());
+  ASSERT_LE(sparse_path.density(), 0.3);
+
+  QuboMatrix dense_path(n);
+  // Churn one cell zero→nonzero→zero until the journal gives up…
+  while (dense_path.journal_exact()) {
+    dense_path.set(0, 1, 1.0);
+    dense_path.set(0, 1, 0.0);
+  }
+  // …then write the same final values through the fallback path.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      dense_path.set(i, j, sparse_path.at(i, j));
+    }
+  }
+  ASSERT_FALSE(dense_path.journal_exact());
+  EXPECT_EQ(dense_path.nonzeros(), sparse_path.nonzeros());
+  expect_same_index(sparse_path.neighbor_index(),
+                    dense_path.neighbor_index());
+}
+
+TEST(NeighborIndex, JournalDropsReZeroedCells) {
+  QuboMatrix q(6);
+  q.set(1, 4, 3.0);
+  q.set(2, 5, 2.0);
+  q.set(1, 4, 0.0);  // journaled cell goes back to zero before the build
+  ASSERT_TRUE(q.journal_exact());
+  const NeighborIndex& idx = q.neighbor_index();
+  EXPECT_EQ(idx.degree(1), 0u);
+  EXPECT_EQ(idx.degree(4), 0u);
+  EXPECT_EQ(idx.degree(2), 1u);
+  EXPECT_EQ(idx.link_count(), 2u);
+}
+
+TEST(NeighborIndex, JournalSurvivesDuplicateTransitions) {
+  // The same cell transitioning 0→x→0→y journals twice; the build must
+  // dedupe, not double-link.
+  QuboMatrix q(4);
+  q.set(0, 2, 1.0);
+  q.set(0, 2, 0.0);
+  q.set(0, 2, 7.0);
+  ASSERT_TRUE(q.journal_exact());
+  const NeighborIndex& idx = q.neighbor_index();
+  ASSERT_EQ(idx.degree(0), 1u);
+  EXPECT_EQ(idx.neighbors(0)[0].index, 2u);
+  EXPECT_DOUBLE_EQ(idx.neighbors(0)[0].value, 7.0);
+  EXPECT_EQ(idx.link_count(), 2u);
+}
+
 TEST(SparseEvaluator, BitIdenticalToDenseOverRandomWalks) {
   util::Rng rng(7);
   for (int trial = 0; trial < 8; ++trial) {
