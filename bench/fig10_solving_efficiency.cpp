@@ -424,6 +424,27 @@ int main(int argc, char** argv) {
   json.key("chip_cache_hits").value(cache.hits);
   json.key("chip_cache_misses").value(cache.misses);
   json.end();
+
+  // The --threads sweep column: what the shared executor pool actually did
+  // for this run.  Wall-clock observability only — results above are
+  // bit-identical at any width (the determinism contract).
+  const auto sched = service.stats();
+  std::cout << "Scheduler: threads=" << threads << " budget="
+            << sched.pool.budget << ", " << sched.pool.dispatches
+            << " dispatches, " << sched.pool.tasks_executed << " tasks, "
+            << sched.pool.steals << " steals, utilization "
+            << sched.pool.utilization << ".\n";
+  json.key("scheduler").begin_object();
+  json.key("threads").value(static_cast<long long>(threads));
+  json.key("budget").value(static_cast<long long>(sched.pool.budget));
+  json.key("workers_alive")
+      .value(static_cast<long long>(sched.pool.workers_alive));
+  json.key("dispatches").value(sched.pool.dispatches);
+  json.key("inline_runs").value(sched.pool.inline_runs);
+  json.key("tasks_executed").value(sched.pool.tasks_executed);
+  json.key("steals").value(sched.pool.steals);
+  json.key("utilization").value(sched.pool.utilization);
+  json.end();
   json.end();  // root
 
   std::cout << "\nScatter data in " << csv_path.string()

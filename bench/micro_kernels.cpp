@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "anneal/index_sampler.hpp"
@@ -23,6 +25,7 @@
 #include "cop/qkp.hpp"
 #include "qubo/energy.hpp"
 #include "qubo/neighbor_index.hpp"
+#include "runtime/executor_pool.hpp"
 
 namespace {
 
@@ -515,6 +518,48 @@ void BM_ExchangeStep(benchmark::State& state) {
 }
 BENCHMARK(BM_ExchangeStep)->Arg(4)->Arg(16)->Arg(64);
 
+constexpr std::size_t kFanTasks = 8;
+constexpr unsigned kFanWidth = 4;
+
+void BM_ThreadSpawnJoin(benchmark::State& state) {
+  // The pre-pool run_batch scheduler: construct a thread vector per call,
+  // join, destroy — one clone/spawn/teardown cycle per batch even when the
+  // per-run work is tiny.
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(kFanWidth);
+    std::atomic<std::size_t> next{0};
+    for (unsigned t = 0; t < kFanWidth; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < kFanTasks;
+             i = next.fetch_add(1)) {
+          sink.fetch_add(i, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadSpawnJoin);
+
+void BM_PoolDispatch(benchmark::State& state) {
+  // The same fan through a warm ExecutorPool: tokens onto the resident
+  // worker deques, caller participates, zero thread constructions.
+  runtime::ExecutorPool pool(kFanWidth);
+  std::atomic<std::size_t> sink{0};
+  const anneal::Task task = [&](std::size_t i) {
+    sink.fetch_add(i, std::memory_order_relaxed);
+  };
+  pool.run(kFanTasks, task, kFanWidth);  // warm the worker set
+  for (auto _ : state) {
+    pool.run(kFanTasks, task, kFanWidth);
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_PoolDispatch);
+
 void BM_QuantizedEnergy(benchmark::State& state) {
   const auto inst = instance(static_cast<std::size_t>(state.range(0)));
   const auto form = core::to_inequality_qubo(inst);
@@ -656,6 +701,52 @@ void report_batched_replica_ratio() {
       1e9 * batched / commits);
 }
 
+/// Head-to-head timing of the batch-fan schedulers: M dispatch rounds of
+/// an 8-task fan at width 4 through spawn-and-join thread vectors (the
+/// pre-pool run_batch) vs a warm ExecutorPool (tokens onto resident
+/// worker deques).  This is the acceptance number for the persistent-pool
+/// layer — expect >= 10x.
+void report_pool_dispatch_ratio() {
+  constexpr std::size_t kRounds = 2000;
+  std::atomic<std::size_t> sink{0};
+  const auto start_spawn = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(kFanWidth);
+    std::atomic<std::size_t> next{0};
+    for (unsigned t = 0; t < kFanWidth; ++t) {
+      threads.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < kFanTasks;
+             i = next.fetch_add(1)) {
+          sink.fetch_add(i, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const auto mid = std::chrono::steady_clock::now();
+  {
+    runtime::ExecutorPool pool(kFanWidth);
+    const anneal::Task task = [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    };
+    pool.run(kFanTasks, task, kFanWidth);  // warm the worker set
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      pool.run(kFanTasks, task, kFanWidth);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink.load());
+  const double spawn = std::chrono::duration<double>(mid - start_spawn).count();
+  const double pool = std::chrono::duration<double>(end - mid).count();
+  std::printf(
+      "[executor-pool] spawn-join/pool dispatch-overhead ratio at "
+      "tasks=%zu width=%u: %.2fx (spawn %.0f ns/round, pool %.0f "
+      "ns/round)\n",
+      kFanTasks, kFanWidth, spawn / pool, 1e9 * spawn / kRounds,
+      1e9 * pool / kRounds);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -666,5 +757,6 @@ int main(int argc, char** argv) {
   report_flip_ratio();
   report_word_flip_ratio();
   report_batched_replica_ratio();
+  report_pool_dispatch_ratio();
   return 0;
 }

@@ -1,15 +1,13 @@
 #include "runtime/batch_runner.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <variant>
 #include <vector>
+
+#include "core/thread_budget.hpp"
+#include "runtime/executor_pool.hpp"
 
 namespace hycim::runtime {
 
@@ -39,126 +37,14 @@ RunRecord record_of(core::SolveResult&& r) {
   return record;
 }
 
-/// A persistent worker pool behind the anneal::Executor contract: run()
-/// executes tasks 0..count-1 and returns once all have completed, with the
-/// calling thread working alongside the pool (so a pool of size 1 spawns
-/// no threads at all, and a blocked barrier can never deadlock waiting on
-/// its own worker).  Reused across every exchange barrier of a tempered
-/// batch instead of paying a thread spawn per segment.
-class ReplicaPool {
- public:
-  explicit ReplicaPool(unsigned threads) {
-    for (unsigned t = 1; t < threads; ++t) {
-      workers_.emplace_back([this] { worker_loop(); });
-    }
-  }
-
-  ReplicaPool(const ReplicaPool&) = delete;
-  ReplicaPool& operator=(const ReplicaPool&) = delete;
-
-  ~ReplicaPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      stopping_ = true;
-    }
-    work_cv_.notify_all();
-    for (auto& worker : workers_) worker.join();
-  }
-
-  void run(std::size_t count, const anneal::Task& task) {
-    if (count == 0) return;
-    if (workers_.empty()) {
-      // Serial fast path: exceptions propagate naturally.
-      for (std::size_t i = 0; i < count; ++i) task(i);
-      return;
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      task_ = &task;
-      count_ = count;
-      next_ = 0;
-      remaining_ = count;
-      failure_ = nullptr;
-      ++generation_;
-    }
-    work_cv_.notify_all();
-    help();
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return remaining_ == 0; });
-    task_ = nullptr;
-    if (failure_) {
-      std::exception_ptr failure = failure_;
-      failure_ = nullptr;
-      std::rethrow_exception(failure);
-    }
-  }
-
- private:
-  /// Pulls and executes task indices until the current batch is drained.
-  void help() {
-    for (;;) {
-      std::size_t index;
-      {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (next_ >= count_) return;
-        index = next_++;
-      }
-      try {
-        (*task_)(index);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (!failure_) failure_ = std::current_exception();
-      }
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (--remaining_ == 0) done_cv_.notify_all();
-    }
-  }
-
-  void worker_loop() {
-    std::uint64_t seen = 0;
-    for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] {
-          return stopping_ || (generation_ != seen && next_ < count_);
-        });
-        if (stopping_) return;
-        seen = generation_;
-      }
-      help();
-    }
-  }
-
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  const anneal::Task* task_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t next_ = 0;
-  std::size_t remaining_ = 0;
-  std::uint64_t generation_ = 0;
-  std::exception_ptr failure_;
-  bool stopping_ = false;
-};
-
-}  // namespace
-
-unsigned resolve_thread_count(unsigned requested, std::size_t restarts) {
-  unsigned threads = requested;
-  if (threads == 0) {
-    // hardware_concurrency() is allowed to return 0 when the host cannot
-    // report a core count; a single worker is the only safe fallback.
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  if (restarts < threads) {
-    threads = static_cast<unsigned>(restarts);
-  }
-  return threads == 0 ? 1 : threads;
-}
-
-BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
+/// The shared body of both run_batch overloads: fans the restart indices
+/// out through `executor` (the global pool at `width` when null — the
+/// production path; an injected executor otherwise — the chaos-test path)
+/// and aggregates in run-index order.  Exceptions from runs propagate out
+/// of the executor's join (the pool captures the first one, skips the
+/// remaining claims, and rethrows).
+BatchResult run_batch_impl(const BatchParams& params, const RunFn& fn,
+                           unsigned width, const anneal::Executor* executor) {
   if (!fn) throw std::invalid_argument("run_batch: null run function");
   if (params.restarts == 0) {
     throw std::invalid_argument(
@@ -169,46 +55,22 @@ BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
   const auto batch_start = std::chrono::steady_clock::now();
   std::vector<RunRecord> records(params.restarts);
 
-  // Dynamic scheduling: workers pull the next run index from a shared
-  // counter.  Which thread executes which run is irrelevant to the result —
-  // every run's randomness comes from its own forked stream and records are
+  // Which thread executes which run is irrelevant to the result — every
+  // run's randomness comes from its own forked stream and records are
   // stored by index.
-  std::atomic<std::size_t> next{0};
-  // An exception in any run (bad init vector, bad_alloc, ...) must reach the
-  // caller as a normal throw, not std::terminate from a detached stack: the
-  // first one is captured here and rethrown after the pool drains.
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t run = next.fetch_add(1, std::memory_order_relaxed);
-      if (run >= params.restarts) return;
-      try {
-        util::Rng rng = util::fork_stream(params.seed, run);
-        const auto run_start = std::chrono::steady_clock::now();
-        RunRecord record = fn(run, rng);
-        record.run = run;
-        record.seconds = seconds_since(run_start);
-        records[run] = std::move(record);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-        next.store(params.restarts, std::memory_order_relaxed);  // drain
-        return;
-      }
-    }
+  const anneal::Task task = [&](std::size_t run) {
+    util::Rng rng = util::fork_stream(params.seed, run);
+    const auto run_start = std::chrono::steady_clock::now();
+    RunRecord record = fn(run, rng);
+    record.run = run;
+    record.seconds = seconds_since(run_start);
+    records[run] = std::move(record);
   };
-
-  const unsigned threads = resolve_thread_count(params.threads, params.restarts);
-  if (threads <= 1) {
-    worker();
+  if (executor != nullptr) {
+    (*executor)(params.restarts, task);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
+    ExecutorPool::global().run(params.restarts, task, width);
   }
-  if (failure) std::rethrow_exception(failure);
 
   // Sequential, order-fixed aggregation: identical for any thread count.
   BatchResult result;
@@ -253,6 +115,34 @@ BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
     result.best_run = best->run;
   }
   return result;
+}
+
+}  // namespace
+
+unsigned resolve_thread_count(unsigned requested, std::size_t restarts) {
+  unsigned threads = requested;
+  if (threads == 0) {
+    // The default tracks the machine-wide budget (explicit knob > env >
+    // hardware_concurrency — see core/thread_budget.hpp), so threads=0
+    // means "my fair share of the machine", not "one more full machine".
+    threads = core::thread_budget();
+  }
+  if (restarts < threads) {
+    threads = static_cast<unsigned>(restarts);
+  }
+  return threads == 0 ? 1 : threads;
+}
+
+BatchResult run_batch(const BatchParams& params, const RunFn& fn) {
+  return run_batch_impl(params, fn,
+                        resolve_thread_count(params.threads, params.restarts),
+                        nullptr);
+}
+
+BatchResult run_batch(const BatchParams& params, const RunFn& fn,
+                      const anneal::Executor& executor) {
+  if (!executor) throw std::invalid_argument("run_batch: null executor");
+  return run_batch_impl(params, fn, /*width=*/0, &executor);
 }
 
 BatchResult solve_batch(const core::ConstrainedQuboForm& form,
@@ -304,29 +194,31 @@ BatchResult solve_tempered(const core::HyCimSolver& prototype,
   }
   anneal::validate(*tempering);
 
-  // The thread budget parallelizes *within* a run: one tempered ensemble's
-  // replica segments fan out across the pool and rejoin at each exchange
-  // barrier, while the runs themselves proceed in order on this thread.
-  // Scheduling is invisible to results either way (each replica segment is
-  // a pure function of its forked stream), so any thread count reproduces
-  // the single-threaded batch bit for bit.
-  ReplicaPool pool(resolve_thread_count(params.threads, tempering->replicas));
-  const anneal::Executor executor = [&pool](std::size_t count,
-                                            const anneal::Task& task) {
-    pool.run(count, task);
-  };
-  BatchParams serial = params;
-  serial.threads = 1;
-  return run_batch(serial, [&](std::size_t, util::Rng& rng) {
-    // Per-run stream discipline identical to solve_batch: decision-seed
-    // root first, then x0, then the run seed — the tempered solve forks
-    // its per-replica streams from the run seed internally.
-    std::uint64_t decision_seed = rng.next_u64();
-    if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
-    core::HyCimSolver solver(prototype, decision_seed);
-    const qubo::BitVector x0 = init(rng);
-    return record_of(solver.solve(x0, rng.next_u64(), executor));
-  });
+  // Two-level scheduling: the runs are top-level pool tasks, and each
+  // run's replica segments fan out as child tasks of the same task tree
+  // between its exchange barriers.  The width therefore budgets runs ×
+  // replicas of schedulable work — a runs=32, R=4 batch exposes 128-way
+  // parallelism instead of the old serial-over-runs R-way — while the
+  // child executor's width 0 means "inherit the tree's budget", so the
+  // whole batch still respects one cap.  Scheduling is invisible to
+  // results either way (each replica segment is a pure function of its
+  // forked stream), so any width reproduces the serial batch bit for bit.
+  const unsigned width = resolve_thread_count(
+      params.threads, params.restarts * tempering->replicas);
+  const anneal::Executor replica_fan = ExecutorPool::global().executor(0);
+  return run_batch_impl(
+      params,
+      [&](std::size_t, util::Rng& rng) {
+        // Per-run stream discipline identical to solve_batch: decision-seed
+        // root first, then x0, then the run seed — the tempered solve forks
+        // its per-replica streams from the run seed internally.
+        std::uint64_t decision_seed = rng.next_u64();
+        if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
+        core::HyCimSolver solver(prototype, decision_seed);
+        const qubo::BitVector x0 = init(rng);
+        return record_of(solver.solve(x0, rng.next_u64(), replica_fan));
+      },
+      width, nullptr);
 }
 
 BatchResult solve_tempered(const core::ConstrainedQuboForm& form,

@@ -31,9 +31,19 @@
 namespace hycim::runtime {
 
 /// Batch configuration.
+///
+/// `threads` is the concurrency *width* of this batch's task tree on the
+/// shared runtime::ExecutorPool, not a thread-spawn count: the whole tree
+/// (runs and, for tempered batches, their replica segments) executes on
+/// the one persistent pool, at most `threads` of them concurrently.
+/// 0 resolves to core::thread_budget() (explicit knob > $HYCIM_THREAD_BUDGET
+/// > hardware concurrency).  Migration note: before the pool, threads was
+/// the number of std::threads spawned per call, so K concurrent batches
+/// at threads=0 oversubscribed the machine K-fold; now they share the one
+/// budget and threads=0 means "my fair share of the machine".
 struct BatchParams {
   std::size_t restarts = 64;  ///< independent SA runs
-  unsigned threads = 0;       ///< worker threads; 0 = hardware_concurrency
+  unsigned threads = 0;       ///< task-tree width; 0 = core::thread_budget()
   std::uint64_t seed = 1;     ///< root seed; run r uses fork_stream(seed, r)
   /// Runs with best_energy <= success_energy (and feasible) count as
   /// successes; NaN disables success accounting.
@@ -84,10 +94,11 @@ struct BatchResult {
   qubo::Kernel kernel = qubo::Kernel::kDense;
 };
 
-/// The worker-thread count a batch with these parameters actually uses:
-/// `requested` when non-zero, otherwise hardware_concurrency() — which is
-/// allowed to report 0 on exotic hosts, falling back to 1 — capped by
-/// `restarts` (extra workers would only spin on an empty queue).
+/// The task-tree width a batch with these parameters actually uses:
+/// `requested` when non-zero, otherwise core::thread_budget() (never 0),
+/// capped by `restarts` — the number of schedulable tasks; extra width
+/// could never be claimed.  solve_tempered passes restarts × replicas as
+/// the task count, since its replica segments are schedulable too.
 unsigned resolve_thread_count(unsigned requested, std::size_t restarts);
 
 /// One independent restart.  Must be thread-safe and a pure function of
@@ -95,9 +106,18 @@ unsigned resolve_thread_count(unsigned requested, std::size_t restarts);
 /// `run` and `seconds` fields are filled in by the runner.
 using RunFn = std::function<RunRecord(std::size_t run, util::Rng& rng)>;
 
-/// Runs `params.restarts` independent restarts across a thread pool and
-/// aggregates them deterministically.
+/// Runs `params.restarts` independent restarts across the shared
+/// runtime::ExecutorPool and aggregates them deterministically.
 BatchResult run_batch(const BatchParams& params, const RunFn& fn);
+
+/// Same protocol, but the restart fan executes through `executor` instead
+/// of the pool (`params.threads` is ignored).  This is the scheduling seam
+/// the chaos tests inject adversarial executors through: any executor that
+/// runs every index exactly once and returns after all complete yields the
+/// bit-identical batch, because runs are pure functions of (seed, index)
+/// and aggregation is order-fixed.
+BatchResult run_batch(const BatchParams& params, const RunFn& fn,
+                      const anneal::Executor& executor);
 
 /// Initial-configuration generator for solver batches.  Called once per
 /// run with that run's forked rng; must return a feasible configuration of
@@ -124,11 +144,12 @@ BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
 /// The tempered sibling of solve_batch: `prototype.config().search` must
 /// select replica exchange (std::invalid_argument otherwise).  Each of the
 /// `params.restarts` runs is one tempered ensemble — R replica clones of
-/// the prototype walking a temperature ladder — and the *replica segments*
-/// are what fan out across the worker pool, with the exchange barriers
-/// interleaved on the scheduling thread.  This is the first protocol where
-/// one logical solve spans multiple threads; `params.threads` budgets the
-/// replica pool (0 = hardware_concurrency, capped by the replica count).
+/// the prototype walking a temperature ladder.  Scheduling is two-level:
+/// the runs are top-level tasks on the shared ExecutorPool, and each run's
+/// replica segments fan out as child tasks of the same task tree between
+/// its exchange barriers — so a runs×R batch exposes runs·R-way
+/// parallelism, with `params.threads` budgeting the *whole tree* (0 =
+/// core::thread_budget(), capped by restarts × replicas).
 ///
 /// Determinism: replica r of run k draws from fork_stream(run k's stream,
 /// r) and exchange decisions from a serial per-run stream, so the batch is

@@ -1,9 +1,12 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "core/thread_budget.hpp"
 
 namespace hycim::service {
 
@@ -18,8 +21,8 @@ void validate_batch(const runtime::BatchParams& batch) {
 }
 
 /// Routes the batch protocol by the request's search strategy: one chip,
-/// two schedulers — restart-level fan-out for single-walk SA, replica-level
-/// fan-out with exchange barriers for tempering.
+/// two schedulers — restart-level fan-out for single-walk SA, two-level
+/// run×replica fan-out with exchange barriers for tempering.
 runtime::BatchResult run_on_chip(const core::HyCimSolver& chip,
                                  const runtime::InitFn& init,
                                  const runtime::BatchParams& batch) {
@@ -29,39 +32,64 @@ runtime::BatchResult run_on_chip(const core::HyCimSolver& chip,
   return runtime::solve_batch(chip, init, batch);
 }
 
+/// RAII in-flight counter: every executing request (sync or async) holds
+/// one increment for the duration of its batch.
+class InFlight {
+ public:
+  explicit InFlight(std::atomic<std::size_t>& counter) : counter_(counter) {
+    counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlight() { counter_.fetch_sub(1, std::memory_order_relaxed); }
+  InFlight(const InFlight&) = delete;
+  InFlight& operator=(const InFlight&) = delete;
+
+ private:
+  std::atomic<std::size_t>& counter_;
+};
+
 }  // namespace
+
+unsigned effective_batch_threads(unsigned resolved, unsigned budget,
+                                 std::size_t in_flight) {
+  if (in_flight < 1) in_flight = 1;
+  const unsigned share = std::max(
+      1u, static_cast<unsigned>(budget / in_flight));
+  return std::min(resolved == 0 ? 1u : resolved, share);
+}
 
 Service::Service(const ServiceConfig& config) : config_(config) {
   stats_.capacity = config_.chip_cache_capacity;
-  const unsigned workers = config_.workers == 0 ? 1 : config_.workers;
-  workers_.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
 }
 
 Service::~Service() {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  // Graceful drain: pending submissions complete even during shutdown, so
+  // a future obtained before ~Service never deadlocks or breaks its
+  // promise.  A non-empty queue always has a live drainer (the submit
+  // invariant), so waiting for the drainers to retire is waiting for the
+  // queue to empty.
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  stopping_ = true;
+  idle_cv_.wait(lock, [this] { return active_drainers_ == 0; });
 }
 
-void Service::worker_loop() {
+void Service::drain() {
   for (;;) {
     std::packaged_task<Reply()> task;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      // Graceful drain: pending submissions complete even during shutdown,
-      // so a future obtained before ~Service never deadlocks or breaks its
-      // promise.
-      if (queue_.empty()) return;
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.empty()) {
+        // Retire: the next submit() posts a fresh drainer.
+        --active_drainers_;
+        idle_cv_.notify_all();
+        return;
+      }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Counted before execution so the increment is sequenced before the
+    // future's set_value: any thread that observed a reply's future ready
+    // also observes its drain counted (stats() after get() is coherent).
+    drained_.fetch_add(1, std::memory_order_relaxed);
     task();  // exceptions land in the task's future
   }
 }
@@ -73,6 +101,7 @@ std::future<Reply> Service::submit(Request request) {
   std::packaged_task<Reply()> task(
       [this, request = std::move(request)] { return solve(request); });
   std::future<Reply> future = task.get_future();
+  bool spawn_drainer = false;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
@@ -80,9 +109,43 @@ std::future<Reply> Service::submit(Request request) {
           "service::Service::submit: service is shutting down");
     }
     queue_.push_back(std::move(task));
+    const unsigned cap = config_.workers == 0 ? 1 : config_.workers;
+    if (active_drainers_ < cap) {
+      ++active_drainers_;
+      spawn_drainer = true;
+    }
   }
-  queue_cv_.notify_one();
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  if (spawn_drainer) {
+    // The drainer is a one-shot pool job, not a thread: async serving
+    // rides the same persistent workers the batches themselves run on.
+    runtime::ExecutorPool::global().post([this] { drain(); });
+  }
   return future;
+}
+
+void Service::run_clamped(const core::HyCimSolver& prototype,
+                          const runtime::InitFn& init,
+                          const runtime::BatchParams& batch, Reply* reply) {
+  const InFlight guard(in_flight_);
+  // The width this request could use alone: its requested threads resolved
+  // against its schedulable task count (restarts, × replicas when the
+  // two-level tempered tree applies).
+  std::size_t tasks = batch.restarts;
+  if (const auto* tempering = std::get_if<anneal::TemperingParams>(
+          &prototype.config().search)) {
+    tasks *= tempering->replicas;
+  }
+  const unsigned resolved = runtime::resolve_thread_count(batch.threads, tasks);
+  // Clamped to its fair share of the budget across in-flight requests —
+  // the shared pool already bounds physical threads, this keeps one
+  // request from queueing out the others.
+  runtime::BatchParams clamped = batch;
+  clamped.threads = effective_batch_threads(
+      resolved, core::thread_budget(),
+      in_flight_.load(std::memory_order_relaxed));
+  reply->effective_threads = clamped.threads;
+  reply->batch = run_on_chip(prototype, init, clamped);
 }
 
 Reply Service::solve(const Request& request) {
@@ -107,7 +170,7 @@ Reply Service::solve(const Request& request) {
   core::HyCimSolver prototype(*chip, 0);
   prototype.retarget_solve(request.config);
   const runtime::InitFn& init = request.init ? request.init : lowered.init;
-  reply.batch = run_on_chip(prototype, init, request.batch);
+  run_clamped(prototype, init, request.batch, &reply);
   reply.problem = lowered.score(reply.batch.best_x);
   reply.chip_key = key.lo;
   return reply;
@@ -131,7 +194,7 @@ Reply Service::solve_form(const core::ConstrainedQuboForm& form,
   const auto chip = programmed_chip(form, config, key, &reply.cache_hit);
   core::HyCimSolver prototype(*chip, 0);
   prototype.retarget_solve(config);
-  reply.batch = run_on_chip(prototype, init, batch);
+  run_clamped(prototype, init, batch, &reply);
   reply.problem.kind = "form";
   reply.problem.metric = "qubo_energy";
   reply.problem.higher_is_better = false;
@@ -187,6 +250,20 @@ CacheStats Service::cache_stats() const {
   CacheStats out = stats_;
   out.entries = lru_.size();
   out.capacity = config_.chip_cache_capacity;
+  return out;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats out;
+  out.cache = cache_stats();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    out.queue_depth = queue_.size();
+  }
+  out.in_flight = in_flight_.load(std::memory_order_relaxed);
+  out.submissions = submissions_.load(std::memory_order_relaxed);
+  out.drained = drained_.load(std::memory_order_relaxed);
+  out.pool = runtime::ExecutorPool::global().stats();
   return out;
 }
 

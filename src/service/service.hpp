@@ -14,20 +14,32 @@
 //     cloned per run, which is bit-identical to refabricating, so replies
 //     are indistinguishable from a cold solve;
 //   * the request's HyCimConfig::search picks the scheduler: single-walk
-//     SA fans restarts across threads (runtime::solve_batch), replica
-//     exchange fans each run's replicas with interleaved exchange
-//     barriers (runtime::solve_tempered) — both bit-identical for any
-//     thread count;
-//   * solve() is synchronous; submit() queues the same computation on a
-//     small worker pool and returns a std::future — bit-identical to
-//     solve() for the same request, because every run's randomness is a
-//     pure function of (batch seed, run index) regardless of which thread
-//     executes it (the runtime::run_batch determinism contract).
+//     SA fans restarts across the shared runtime::ExecutorPool
+//     (runtime::solve_batch), replica exchange fans runs × replica
+//     segments as a two-level task tree (runtime::solve_tempered) — both
+//     bit-identical for any thread count;
+//   * solve() is synchronous; submit() queues the same computation and
+//     returns a std::future — the queue is drained by at most
+//     ServiceConfig::workers concurrent *drainer jobs posted to the same
+//     pool* (no dedicated service threads), so async serving adds zero
+//     std::thread constructions in steady state.  Replies are
+//     bit-identical to solve() for the same request, because every run's
+//     randomness is a pure function of (batch seed, run index) regardless
+//     of which thread executes it (the runtime::run_batch determinism
+//     contract);
+//   * oversubscription control: each request's effective batch.threads is
+//     clamped to its fair share of core::thread_budget() given the number
+//     of requests in flight (see effective_batch_threads), and the pool
+//     itself bounds physical threads — K concurrent submissions can no
+//     longer multiply into K × machine width.
 //
-// Observability: cache_stats() reports hits / misses / evictions, and each
-// reply carries whether it was served from a cached chip.
+// Observability: cache_stats() reports hits / misses / evictions;
+// stats() adds queue depth, in-flight and completed submissions, and the
+// shared pool's scheduler counters; each reply carries its cache_hit flag
+// and the effective thread width it ran at.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,14 +47,13 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
-#include <vector>
 
 #include "cop/any_instance.hpp"
 #include "core/constrained_form.hpp"
 #include "core/hycim_solver.hpp"
 #include "runtime/batch_runner.hpp"
+#include "runtime/executor_pool.hpp"
 #include "service/request_hash.hpp"
 
 namespace hycim::service {
@@ -54,9 +65,11 @@ struct ServiceConfig {
   /// default bounds the cache to tens of MB.  0 disables caching (every
   /// request fabricates, nothing is retained).
   std::size_t chip_cache_capacity = 16;
-  /// Worker threads draining the async submission queue.  Each worker runs
-  /// one request at a time; the request's own batch.threads fan out below
-  /// it, so a couple of workers saturate a host without oversubscribing.
+  /// Maximum *concurrent* async submissions: the submission queue is
+  /// drained by up to this many drainer jobs posted to the shared
+  /// runtime::ExecutorPool (no dedicated threads).  Each drainer runs one
+  /// request at a time; the request's batch fans out on the same pool
+  /// below it, within the shared thread budget.  0 is treated as 1.
   unsigned workers = 2;
 };
 
@@ -79,6 +92,11 @@ struct Reply {
   cop::ProblemReport problem;
   bool cache_hit = false;     ///< served from a cached programmed chip
   std::uint64_t chip_key = 0; ///< low word of the fabrication key (debugging)
+  /// The task-tree width the batch actually ran at: the request's resolved
+  /// batch.threads clamped to its fair share of the thread budget given
+  /// the in-flight submission count (see effective_batch_threads).  Purely
+  /// observational — results never depend on it.
+  unsigned effective_threads = 0;
 };
 
 /// Cache observability counters (monotonic over the service lifetime,
@@ -91,13 +109,33 @@ struct CacheStats {
   std::size_t capacity = 0;
 };
 
+/// Full service observability: the chip cache, the async submission
+/// pipeline, and the shared executor pool's scheduler counters.
+struct ServiceStats {
+  CacheStats cache;
+  std::size_t queue_depth = 0;  ///< async submissions not yet started
+  std::size_t in_flight = 0;    ///< requests currently executing (sync+async)
+  std::size_t submissions = 0;  ///< submit() calls accepted (monotonic)
+  std::size_t drained = 0;      ///< async submissions completed (monotonic)
+  runtime::PoolStats pool;      ///< the shared ExecutorPool's counters
+};
+
+/// The fair-share clamp applied to every request: the width a batch may
+/// use when `in_flight` requests (including itself) share `budget`
+/// schedulable threads.  min(resolved, max(1, budget / in_flight)); a
+/// single request keeps its full resolved width, two concurrent requests
+/// split the machine, and the floor of 1 keeps heavy oversubscription
+/// merely serial, never starved.  Pure — exposed for unit tests.
+unsigned effective_batch_threads(unsigned resolved, unsigned budget,
+                                 std::size_t in_flight);
+
 /// A long-lived solver session.  All public methods are thread-safe; one
 /// Service instance is meant to be shared by every caller in the process.
 class Service {
  public:
   explicit Service(const ServiceConfig& config = {});
-  /// Drains the async queue (pending futures still complete) and joins the
-  /// workers.
+  /// Drains the async queue (pending futures still complete) before
+  /// returning; no threads to join — drainers run on the shared pool.
   ~Service();
 
   Service(const Service&) = delete;
@@ -108,9 +146,10 @@ class Service {
   /// requests (zero restarts, empty instances).
   Reply solve(const Request& request);
 
-  /// Queues the request for the worker pool and returns its future.  The
+  /// Queues the request for the drainer pool and returns its future.  The
   /// eventual Reply is bit-identical to solve(request) called at any time,
-  /// on any thread — only the cache_hit flag depends on scheduling.
+  /// on any thread — only the cache_hit and effective_threads fields
+  /// depend on scheduling.
   std::future<Reply> submit(Request request);
 
   /// The raw-form entry for custom problems that are not (yet) a registry
@@ -123,6 +162,9 @@ class Service {
 
   /// Cache counters at this instant.
   CacheStats cache_stats() const;
+
+  /// Cache + scheduler observability at this instant.
+  ServiceStats stats() const;
 
   /// Drops every cached prototype (counters keep accumulating).
   void clear_cache();
@@ -139,7 +181,16 @@ class Service {
       const core::ConstrainedQuboForm& form, const core::HyCimConfig& config,
       const ChipKey& key, bool* cache_hit);
 
-  void worker_loop();
+  /// Runs the batch with the fair-share thread clamp applied; fills the
+  /// reply's batch and effective_threads fields.
+  void run_clamped(const core::HyCimSolver& prototype,
+                   const runtime::InitFn& init,
+                   const runtime::BatchParams& batch, Reply* reply);
+
+  /// One drainer job: pops and runs queued submissions until the queue is
+  /// empty, then retires itself (invariant: a non-empty queue always has
+  /// at least one live drainer).
+  void drain();
 
   ServiceConfig config_;
 
@@ -149,11 +200,15 @@ class Service {
       index_;
   CacheStats stats_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable idle_cv_;  ///< signalled when a drainer retires
   std::deque<std::packaged_task<Reply()>> queue_;
-  std::vector<std::thread> workers_;
+  std::size_t active_drainers_ = 0;  ///< guarded by queue_mutex_
   bool stopping_ = false;
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> submissions_{0};
+  std::atomic<std::size_t> drained_{0};
 };
 
 }  // namespace hycim::service

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_budget.hpp"
 #include "cop/adapters.hpp"
 #include "runtime/batch_runner.hpp"
 #include "service/request_hash.hpp"
@@ -392,6 +393,102 @@ TEST(Service, PendingSubmissionsCompleteThroughShutdown) {
   }  // ~Service drains the queue
   const Reply reply = future.get();
   EXPECT_FALSE(reply.batch.runs.empty());
+}
+
+TEST(Service, EffectiveBatchThreadsIsTheFairShareClamp) {
+  // min(resolved, max(1, budget / in_flight)): alone you keep your width,
+  // concurrent requests split the machine, oversubscription floors at a
+  // serial batch instead of starving.
+  EXPECT_EQ(effective_batch_threads(8, 16, 1), 8u);
+  EXPECT_EQ(effective_batch_threads(16, 16, 1), 16u);
+  EXPECT_EQ(effective_batch_threads(16, 16, 2), 8u);
+  EXPECT_EQ(effective_batch_threads(16, 16, 3), 5u);
+  EXPECT_EQ(effective_batch_threads(4, 16, 2), 4u);   // clamp never raises
+  EXPECT_EQ(effective_batch_threads(16, 16, 32), 1u); // floor at serial
+  EXPECT_EQ(effective_batch_threads(16, 4, 0), 4u);   // in_flight floors at 1
+  EXPECT_EQ(effective_batch_threads(0, 8, 1), 1u);    // degenerate resolved
+}
+
+TEST(Service, ReplyCarriesEffectiveThreads) {
+  const unsigned saved = core::requested_thread_budget();
+  core::set_thread_budget(4);
+  Service service;
+
+  // A lone request resolves threads=0 against the budget (capped by its
+  // schedulable task count) and keeps the full share.
+  Request request = qkp_request(80, 12, 150, 5, /*restarts=*/8);
+  EXPECT_EQ(service.solve(request).effective_threads, 4u);
+
+  // An explicit narrower width survives untouched.
+  request.batch.threads = 2;
+  EXPECT_EQ(service.solve(request).effective_threads, 2u);
+
+  // Fewer tasks than budget: the task count caps the width.
+  request.batch.threads = 0;
+  request.batch.restarts = 2;
+  EXPECT_EQ(service.solve(request).effective_threads, 2u);
+
+  // Tempering schedules restarts × replicas tasks, so the same 2-restart
+  // batch resolves wider under the two-level tree.
+  anneal::TemperingParams tempering;
+  tempering.replicas = 4;
+  tempering.exchange_interval = 10;
+  request.config.search = tempering;
+  EXPECT_EQ(service.solve(request).effective_threads, 4u);
+
+  core::set_thread_budget(saved);
+}
+
+TEST(Service, StatsExposeSchedulerCounters) {
+  Service service(ServiceConfig{.chip_cache_capacity = 4, .workers = 2});
+  std::vector<std::future<Reply>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(service.submit(qkp_request(90 + i, 12, 150)));
+  }
+  for (auto& f : futures) f.get();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submissions, 4u);
+  EXPECT_EQ(stats.drained, 4u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.cache.misses, 4u);  // four distinct instances
+  // The pool view: a real budget and the batches' tasks on the counters.
+  EXPECT_GE(stats.pool.budget, 1u);
+  EXPECT_GT(stats.pool.tasks_executed, 0u);
+  EXPECT_GE(stats.pool.posted, 1u);  // at least one drainer job
+}
+
+TEST(Service, ManyConcurrentSubmissionsMatchSerialAndShareTheBudget) {
+  // The oversubscription regression: a burst of submissions must neither
+  // change any reply (vs a fresh serial service) nor exceed the global
+  // thread budget — every batch runs on the one pool, clamped to its fair
+  // share (reply.effective_threads records it).
+  const unsigned saved = core::requested_thread_budget();
+  core::set_thread_budget(4);
+  constexpr std::size_t kBurst = 10;
+  std::vector<Request> requests;
+  requests.reserve(kBurst);
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    requests.push_back(qkp_request(120 + i, 13, 200, 40 + i, /*restarts=*/6));
+  }
+  std::vector<std::future<Reply>> futures;
+  {
+    Service burst(ServiceConfig{.chip_cache_capacity = 16, .workers = 4});
+    futures.reserve(kBurst);
+    for (const Request& request : requests) {
+      futures.push_back(burst.submit(request));
+    }
+    // Replies resolve while the service is still accepting work.
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      const Reply reply = futures[i].get();
+      EXPECT_GE(reply.effective_threads, 1u);
+      EXPECT_LE(reply.effective_threads, 4u);
+      Service fresh(ServiceConfig{.chip_cache_capacity = 2, .workers = 1});
+      expect_batches_equal(reply.batch, fresh.solve(requests[i]).batch);
+    }
+  }
+  core::set_thread_budget(saved);
 }
 
 }  // namespace

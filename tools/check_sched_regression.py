@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_sched.json against the committed baseline.
+
+Fails (exit 1) when the scheduler's determinism contract breaks — any
+measurement reporting identical_to_serial=false, a deterministic
+tasks-executed count drifting from the baseline, or a protocol flag
+drifting — and reports per-width wall-clock deltas without failing on
+them: CI machines differ (the 1-core runner executes every width inline),
+and the per-commit trajectory is what the scheduled job archives.
+
+The pinned fields are schedule-independent by construction: identity
+flags because every run/replica segment is a pure function of its forked
+rng stream, and tasks_executed because the task-tree shape is a pure
+function of the batch protocol (runs + runs x replica segments), not of
+how the pool interleaved them.  Pool dispatch/steal counters are
+machine- and timing-dependent, so they are reported only.
+
+Usage: check_sched_regression.py BASELINE FRESH
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    # A flag-drifted run must not pass silently.  New fields the baseline
+    # predates are tolerated with a note (adding observability should not
+    # force a same-commit baseline regen); dropped keys or changed values
+    # fail.
+    base_proto, fresh_proto = base["protocol"], fresh["protocol"]
+    added = sorted(set(fresh_proto) - set(base_proto))
+    if added:
+        print(f"note: fresh protocol adds new field(s) {added} "
+              "(absent from the baseline; tolerated)")
+    dropped = sorted(set(base_proto) - set(fresh_proto))
+    if dropped:
+        failures.append(f"protocol dropped field(s) {dropped} — align the "
+                        "bench flags or regenerate the baseline")
+    drifted = {k for k in base_proto
+               if k in fresh_proto and base_proto[k] != fresh_proto[k]}
+    if drifted:
+        failures.append(
+            "protocol mismatch on "
+            f"{ {k: (base_proto[k], fresh_proto[k]) for k in sorted(drifted)} }"
+            " — align the bench flags or regenerate the baseline")
+
+    base_rows = {m["label"]: m for m in base["measurements"]}
+    fresh_rows = {m["label"]: m for m in fresh["measurements"]}
+    if sorted(base_rows) != sorted(fresh_rows):
+        failures.append(f"measurement set mismatch: baseline "
+                        f"{sorted(base_rows)} vs fresh {sorted(fresh_rows)}")
+
+    for label in sorted(base_rows):
+        ref, cur = base_rows[label], fresh_rows.get(label)
+        if cur is None:
+            continue  # already reported by the set check
+        if not cur["identical_to_serial"]:
+            failures.append(
+                f"{label}: batch NOT bit-identical to the width-1 batch — "
+                "the scheduler changed results (determinism contract broken)")
+        bt, ft = ref["tasks_executed"], cur["tasks_executed"]
+        if bt != ft:
+            failures.append(
+                f"{label}: pool tasks executed changed {bt} -> {ft} "
+                "(the task-tree shape changed; regenerate the baseline if "
+                "intentional)")
+        bw, fw = ref["wall_seconds"], cur["wall_seconds"]
+        ratio = fw / bw if bw > 0 else float("inf")
+        print(f"{label}: {bw:.4f}s -> {fw:.4f}s ({ratio:.2f}x baseline; "
+              f"{ft} tasks, {cur['dispatches']} dispatches, "
+              f"{cur['steals']} steals; informational only)")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: scheduler determinism and task-tree shape unchanged.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
