@@ -9,7 +9,13 @@
 //   E_solution = E_iteration × iterations × E[runs until success]
 //
 // where E[runs] = 1/p for per-run success probability p.
+//
+// The success probabilities are measured on the batch runner's instance
+// fan: one forked stream per instance drives both solvers' runs, so the
+// estimates are bit-identical for any --threads and the table rows emit in
+// deterministic instance order after the fan joins.
 #include <iostream>
+#include <vector>
 
 #include "cop/adapters.hpp"
 #include "core/dqubo_solver.hpp"
@@ -17,8 +23,20 @@
 #include "core/metrics.hpp"
 #include "core/reference.hpp"
 #include "hw/cost_model.hpp"
+#include "runtime/batch_runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Everything one instance task measures (rows emit after the fan joins).
+struct EnergyOutcome {
+  std::size_t hycim_successes = 0;
+  std::size_t dqubo_successes = 0;
+  hycim::hw::HardwareCost hycim_cost, dqubo_cost;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hycim;
@@ -27,6 +45,7 @@ int main(int argc, char** argv) {
   cli.add_int("instances", 4, "QKP instances");
   cli.add_int("runs", 40, "SA runs per instance for the probability estimate");
   cli.add_int("iterations", 1000, "SA iterations per run");
+  cli.add_int("threads", 0, "instance-fan threads (0 = all cores)");
   cli.add_int("seed", 2024, "suite base seed");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -36,59 +55,72 @@ int main(int argc, char** argv) {
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
   const auto runs = static_cast<std::size_t>(cli.get_int("runs"));
 
-  util::Table table({"instance", "solver", "E/iter [pJ]", "per-run succ %",
-                     "E[energy to solution] [nJ]"});
-  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+  std::vector<EnergyOutcome> outcomes(suite.size());
+  runtime::BatchParams fan;
+  fan.restarts = suite.size();
+  fan.threads = static_cast<unsigned>(cli.get_int("threads"));
+  fan.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  runtime::run_batch(fan, [&](std::size_t idx, util::Rng& rng) {
     const auto& inst = suite[idx];
+    EnergyOutcome& out = outcomes[idx];
     core::ReferenceParams ref_params;
     ref_params.seed = 5000 + idx;
     const auto reference = core::reference_solution(inst, ref_params);
 
-    // --- HyCiM. --------------------------------------------------------------
+    // --- HyCiM. ------------------------------------------------------------
     core::HyCimConfig hconfig;
     hconfig.sa.iterations = iterations;
     core::HyCimSolver hycim(cop::to_constrained_form(inst), hconfig);
-    std::size_t h_succ = 0;
-    util::Rng rng(4200 + idx);
     for (std::size_t r = 0; r < runs; ++r) {
       if (core::is_success(
               cop::solve_qkp_from_random(hycim, inst, rng.next_u64()).profit,
-                           reference.profit)) {
-        ++h_succ;
+              reference.profit)) {
+        ++out.hycim_successes;
       }
     }
-    const auto h_hw = hw::hycim_cost(inst.n, 7);
-    const double h_p =
-        std::max(1e-3, static_cast<double>(h_succ) / static_cast<double>(runs));
-    const double h_energy_nj = h_hw.energy_per_iteration_fj * 1e-6 *
-                               static_cast<double>(iterations) / h_p;
-    table.add_row({inst.name, "HyCiM",
-                   util::Table::num(h_hw.energy_per_iteration_fj / 1000, 2),
-                   util::Table::num(100 * h_p, 1),
-                   util::Table::num(h_energy_nj, 1)});
+    out.hycim_cost = hw::hycim_cost(inst.n, 7);
 
-    // --- D-QUBO. ---------------------------------------------------------------
+    // --- D-QUBO. -----------------------------------------------------------
     core::DquboConfig dconfig;
     dconfig.sa.iterations = iterations;
     core::DquboSolver dqubo(inst, dconfig);
-    std::size_t d_succ = 0;
     for (std::size_t r = 0; r < runs; ++r) {
       if (core::is_success(dqubo.solve_from_random(rng.next_u64()).profit,
                            reference.profit)) {
-        ++d_succ;
+        ++out.dqubo_successes;
       }
     }
-    const auto d_hw = hw::dqubo_cost(dqubo.size(), dqubo.matrix_bits());
+    out.dqubo_cost = hw::dqubo_cost(dqubo.size(), dqubo.matrix_bits());
+    return runtime::RunRecord{};  // outcomes[] carries the real payload
+  });
+
+  // Ordered row emission after the fan joins: identical for any --threads.
+  util::Table table({"instance", "solver", "E/iter [pJ]", "per-run succ %",
+                     "E[energy to solution] [nJ]"});
+  for (std::size_t idx = 0; idx < suite.size(); ++idx) {
+    const auto& inst = suite[idx];
+    const EnergyOutcome& out = outcomes[idx];
     // Floor the probability so never-succeeding runs show a finite (huge)
     // energy rather than infinity.
-    const double d_p =
-        std::max(1e-3, static_cast<double>(d_succ) / static_cast<double>(runs));
-    const double d_energy_nj = d_hw.energy_per_iteration_fj * 1e-6 *
+    const double h_p = std::max(1e-3, static_cast<double>(out.hycim_successes) /
+                                          static_cast<double>(runs));
+    const double h_energy_nj = out.hycim_cost.energy_per_iteration_fj * 1e-6 *
+                               static_cast<double>(iterations) / h_p;
+    table.add_row(
+        {inst.name, "HyCiM",
+         util::Table::num(out.hycim_cost.energy_per_iteration_fj / 1000, 2),
+         util::Table::num(100 * h_p, 1), util::Table::num(h_energy_nj, 1)});
+
+    const double d_p = std::max(1e-3, static_cast<double>(out.dqubo_successes) /
+                                          static_cast<double>(runs));
+    const double d_energy_nj = out.dqubo_cost.energy_per_iteration_fj * 1e-6 *
                                static_cast<double>(iterations) / d_p;
-    table.add_row({inst.name, "D-QUBO",
-                   util::Table::num(d_hw.energy_per_iteration_fj / 1000, 2),
-                   util::Table::num(100 * d_p, 1),
-                   (d_succ == 0 ? ">" : "") + util::Table::num(d_energy_nj, 1)});
+    table.add_row(
+        {inst.name, "D-QUBO",
+         util::Table::num(out.dqubo_cost.energy_per_iteration_fj / 1000, 2),
+         util::Table::num(100 * d_p, 1),
+         (out.dqubo_successes == 0 ? ">" : "") +
+             util::Table::num(d_energy_nj, 1)});
   }
   table.print(std::cout);
   std::cout << "\nPer-iteration energy follows the cost model (crossbar reads"

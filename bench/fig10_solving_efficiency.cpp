@@ -18,8 +18,10 @@
 // --strategy picks the HyCiM search engine at equal QUBO-computation
 // budget: `sa` (default) fans --runs independent cooled walks per init;
 // `tempering` runs --runs / --replicas replica-exchange ensembles of
-// --replicas walks each, so both spend runs × iterations QUBO computations
-// per init.  D-QUBO always runs the plain SA fan — it is the baseline.
+// --replicas walks each; `island` runs --runs / (--islands × --replicas)
+// archipelagos of --islands replica-exchange islands with ring migration —
+// so every strategy spends runs × iterations QUBO computations per init.
+// D-QUBO always runs the plain SA fan — it is the baseline.
 //
 // Results are emitted machine-readably (default BENCH_fig10.json:
 // per-config success rate, QUBO computations, wall time) so successive
@@ -72,7 +74,9 @@ struct InstanceOutcome {
   std::string name;
   long long reference = 0;
   SolverStats hycim, dqubo;
-  std::size_t exchanges_accepted = 0;  ///< tempering observability
+  std::size_t exchanges_accepted = 0;   ///< tempering observability
+  std::size_t migrations_accepted = 0;  ///< island observability
+  std::size_t resamples = 0;            ///< stagnant islands reseeded
   /// The per-flip kernel the instance's chip resolved to (density-
   /// dispatched under --kernel auto: the paper's density-25 rows go
   /// sparse, 50 and up stay dense).
@@ -94,16 +98,20 @@ int main(int argc, char** argv) {
   cli.add_bool("hardware_filter", true,
                "use the FeFET filter (false = exact software predicate)");
   cli.add_string("strategy", "sa",
-                 "HyCiM search strategy: sa | tempering (equal QUBO budget: "
-                 "tempering divides --runs by --replicas)");
+                 "HyCiM search strategy: sa | tempering | island (equal QUBO "
+                 "budget: tempering divides --runs by --replicas, island by "
+                 "--islands x --replicas)");
   cli.add_string("kernel", "auto",
                  "per-flip kernel: auto (density-dispatched) | dense | "
                  "sparse; the resolved choice lands in the per-instance "
                  "JSON");
-  cli.add_int("replicas", 4, "tempering: replicas per ensemble");
-  cli.add_double("t_ratio", 0.05, "tempering: ladder span T_cold/T_hot");
+  cli.add_int("replicas", 4, "tempering/island: replicas per ladder");
+  cli.add_double("t_ratio", 0.05, "tempering/island: ladder span T_cold/T_hot");
   cli.add_int("exchange_interval", 25,
-              "tempering: QUBO computations between exchange barriers");
+              "tempering/island: QUBO computations between exchange barriers");
+  cli.add_int("islands", 5, "island: replica-exchange islands per archipelago");
+  cli.add_int("migration_interval", 25,
+              "island: QUBO computations between migration barriers");
   cli.add_int("seed", 2024, "suite base seed");
   cli.add_string("csv", "fig10_normalized_values.csv", "scatter CSV path");
   cli.add_string("json", "BENCH_fig10.json", "machine-readable results path");
@@ -136,12 +144,13 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   const std::string strategy = cli.get_string("strategy");
-  if (strategy != "sa" && strategy != "tempering") {
+  if (strategy != "sa" && strategy != "tempering" && strategy != "island") {
     std::cerr << "unknown --strategy '" << strategy
-              << "' (expected sa | tempering)\n";
+              << "' (expected sa | tempering | island)\n";
     return 2;
   }
   const bool tempering = strategy == "tempering";
+  const bool island = strategy == "island";
   const std::string kernel_flag = cli.get_string("kernel");
   qubo::Kernel kernel_choice;
   if (kernel_flag == "auto") {
@@ -161,18 +170,30 @@ int main(int argc, char** argv) {
   tempering_params.t_ratio = cli.get_double("t_ratio");
   tempering_params.exchange_interval =
       static_cast<std::size_t>(cli.get_int("exchange_interval"));
-  // Equal-budget restart fan: R-replica ensembles each cost R walks, so
-  // the division must be exact or the comparison is silently biased.
-  if (tempering && runs % tempering_params.replicas != 0) {
-    std::cerr << "--strategy tempering needs --runs divisible by --replicas "
-                 "(the equal-QUBO-budget comparison replaces every "
-              << tempering_params.replicas << " SA walks by one ensemble); "
-              << "got --runs " << runs << " --replicas "
-              << tempering_params.replicas << "\n";
+  // --strategy island: every island runs the same replica-exchange ladder
+  // (the tempering knobs), coupled by ring migration — so the island run
+  // isolates the archipelago machinery against plain tempering at the same
+  // ladder shape.
+  anneal::ArchipelagoParams island_params;
+  island_params.islands = static_cast<std::size_t>(cli.get_int("islands"));
+  island_params.roster = {tempering_params};
+  island_params.migration_interval =
+      static_cast<std::size_t>(cli.get_int("migration_interval"));
+  island_params.stagnation_epochs = 2;
+  // Equal-budget restart fan: R-replica ensembles (or N×R-replica
+  // archipelagos) each cost that many walks, so the division must be exact
+  // or the comparison is silently biased.
+  const std::size_t walks_per_restart =
+      island ? anneal::total_replicas(island_params)
+             : (tempering ? tempering_params.replicas : 1);
+  if (runs % walks_per_restart != 0) {
+    std::cerr << "--strategy " << strategy << " needs --runs divisible by "
+              << walks_per_restart << " (the equal-QUBO-budget comparison "
+                 "replaces that many SA walks by one restart); got --runs "
+              << runs << "\n";
     return 2;
   }
-  const std::size_t hycim_restarts =
-      tempering ? runs / tempering_params.replicas : runs;
+  const std::size_t hycim_restarts = runs / walks_per_restart;
 
   std::cout << "Fig. 10 reproduction: " << suite.size() << " instances x "
             << inits << " inits x " << runs << " runs x " << iterations
@@ -180,6 +201,11 @@ int main(int argc, char** argv) {
             << "HyCiM strategy: " << strategy;
   if (tempering) {
     std::cout << " (" << hycim_restarts << " ensembles x "
+              << tempering_params.replicas << " replicas per init — equal "
+              << "QUBO budget)";
+  } else if (island) {
+    std::cout << " (" << hycim_restarts << " archipelagos x "
+              << island_params.islands << " islands x "
               << tempering_params.replicas << " replicas per init — equal "
               << "QUBO budget)";
   }
@@ -221,6 +247,7 @@ int main(int argc, char** argv) {
     hconfig.filter.fab_seed = 33 + idx;
     hconfig.kernel = kernel_choice;
     if (tempering) hconfig.search = tempering_params;
+    if (island) hconfig.search = island_params;
 
     core::DquboConfig dconfig;
     dconfig.sa.iterations = iterations;
@@ -263,6 +290,8 @@ int main(int argc, char** argv) {
       out.hycim.proposals += h_batch.total_proposed;
       out.hycim.wall_seconds += h_batch.wall_seconds;
       out.exchanges_accepted += h_batch.total_exchanges_accepted;
+      out.migrations_accepted += h_batch.total_migrations_accepted;
+      out.resamples += h_batch.total_resamples;
       out.kernel = h_batch.kernel;
 
       // D-QUBO: the plain SA fan through the generic runner (the solver is
@@ -337,6 +366,9 @@ int main(int argc, char** argv) {
   json.key("t_ratio").value(tempering_params.t_ratio);
   json.key("exchange_interval")
       .value(static_cast<long long>(tempering_params.exchange_interval));
+  json.key("islands").value(static_cast<long long>(island_params.islands));
+  json.key("migration_interval")
+      .value(static_cast<long long>(island_params.migration_interval));
   json.key("seed").value(cli.get_int("seed"));
   json.key("threads").value(static_cast<long long>(threads));
   json.end();
@@ -346,6 +378,7 @@ int main(int argc, char** argv) {
   util::OnlineStats hycim_norm, dqubo_norm;
   double hycim_wall_total = 0.0, dqubo_wall_total = 0.0;
   std::size_t exchanges_total = 0;
+  std::size_t migrations_total = 0, resamples_total = 0;
   for (std::size_t idx = 0; idx < outcomes.size(); ++idx) {
     const InstanceOutcome& out = outcomes[idx];
     for (std::size_t init = 0; init < out.rows.size(); ++init) {
@@ -362,6 +395,8 @@ int main(int argc, char** argv) {
     hycim_wall_total += out.hycim.wall_seconds;
     dqubo_wall_total += out.dqubo.wall_seconds;
     exchanges_total += out.exchanges_accepted;
+    migrations_total += out.migrations_accepted;
+    resamples_total += out.resamples;
     table.add_row({out.name, util::Table::num(out.reference),
                    util::Table::num(out.hycim.success_rate, 1),
                    util::Table::num(out.dqubo.success_rate, 1),
@@ -381,6 +416,8 @@ int main(int argc, char** argv) {
       json.key("wall_seconds").value(entry->wall_seconds);
       if (entry == &out.hycim) {
         json.key("exchanges_accepted").value(out.exchanges_accepted);
+        json.key("migrations_accepted").value(out.migrations_accepted);
+        json.key("resamples").value(out.resamples);
         json.key("kernel").value(qubo::kernel_name(out.kernel));
       }
       json.end();
@@ -410,6 +447,11 @@ int main(int argc, char** argv) {
   if (tempering) {
     std::cout << "Tempering: " << exchanges_total
               << " accepted ladder exchanges across the sweep.\n";
+  } else if (island) {
+    std::cout << "Islands: " << exchanges_total
+              << " accepted ladder exchanges, " << migrations_total
+              << " adopted migrants, " << resamples_total
+              << " stagnant islands reseeded across the sweep.\n";
   }
 
   json.key("summary").begin_object();
@@ -421,6 +463,8 @@ int main(int argc, char** argv) {
   json.key("hycim_wall_seconds").value(hycim_wall_total);
   json.key("dqubo_wall_seconds").value(dqubo_wall_total);
   json.key("hycim_exchanges_accepted").value(exchanges_total);
+  json.key("hycim_migrations_accepted").value(migrations_total);
+  json.key("hycim_resamples").value(resamples_total);
   json.key("chip_cache_hits").value(cache.hits);
   json.key("chip_cache_misses").value(cache.misses);
   json.end();

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "anneal/archipelago.hpp"
 #include "anneal/index_sampler.hpp"
 #include "anneal/moves.hpp"
 #include "anneal/replica_batch.hpp"
@@ -521,6 +522,50 @@ BENCHMARK(BM_ExchangeStep)->Arg(4)->Arg(16)->Arg(64);
 constexpr std::size_t kFanTasks = 8;
 constexpr unsigned kFanWidth = 4;
 
+void BM_MigrationStep(benchmark::State& state) {
+  // One archipelago migration barrier over N islands: a serial
+  // ascending-destination sweep with at most one rng draw per destination
+  // (fully-connected donor pick; the ring draws nothing).  O(islands) —
+  // this pins the epoch-barrier overhead against the O(interval · n)
+  // island segments it separates.
+  const auto islands = static_cast<std::size_t>(state.range(0));
+  const auto topology = state.range(1)
+                            ? anneal::MigrationTopology::kFullyConnected
+                            : anneal::MigrationTopology::kRing;
+  std::vector<double> best(islands), worst(islands);
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < islands; ++i) {
+    best[i] = rng.uniform(-100.0, -50.0);
+    worst[i] = best[i] + rng.uniform(0.0, 60.0);
+  }
+  std::vector<std::size_t> accepted_source(islands);
+  std::size_t epoch = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anneal::migration_step(
+        epoch++, topology, best, worst, rng, accepted_source, nullptr));
+  }
+}
+BENCHMARK(BM_MigrationStep)
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({64, 1});
+
+void BM_LadderRespace(benchmark::State& state) {
+  // The adaptive-ladder update: a pure function of the measured exchange
+  // acceptance (log/exp + clamps, no rng) — priced here so the per-epoch
+  // respace decision stays visibly negligible next to the walk segments.
+  util::Rng rng(10);
+  double t_ratio = 0.05;
+  for (auto _ : state) {
+    t_ratio = anneal::respace_t_ratio(t_ratio, rng.uniform(0.0, 1.0), 0.3);
+    benchmark::DoNotOptimize(t_ratio);
+  }
+}
+BENCHMARK(BM_LadderRespace);
+
 void BM_ThreadSpawnJoin(benchmark::State& state) {
   // The pre-pool run_batch scheduler: construct a thread vector per call,
   // join, destroy — one clone/spawn/teardown cycle per batch even when the
@@ -747,6 +792,63 @@ void report_pool_dispatch_ratio() {
       1e9 * pool / kRounds);
 }
 
+/// Head-to-head timing of one archipelago epoch's halves: the walk work an
+/// epoch advances (islands × migration_interval committed flips at n=800)
+/// vs the serial barrier that separates epochs (migration sweep + one
+/// ladder respace per island).  This is the acceptance number for the
+/// island runtime — the barrier must stay a rounding error, expect the
+/// walk/barrier ratio >= 50x.
+void report_migration_barrier_ratio() {
+  constexpr std::size_t kN = 800;
+  constexpr std::size_t kIslands = 8;
+  constexpr std::size_t kInterval = 100;
+  constexpr std::size_t kEpochs = 1000;
+  const auto inst = instance(kN);
+  const auto form = core::to_inequality_qubo(inst);
+  util::Rng rng(14);
+  qubo::IncrementalEvaluator eval(form.q, rng.random_bits(kN),
+                                  qubo::Kernel::kDense);
+  const auto start_walk = std::chrono::steady_clock::now();
+  {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < kEpochs * kIslands * kInterval; ++i) {
+      eval.flip(k);
+      k = (k + 1) % kN;
+    }
+    benchmark::DoNotOptimize(eval.energy());
+  }
+  const auto mid = std::chrono::steady_clock::now();
+  {
+    std::vector<double> best(kIslands), worst(kIslands);
+    std::vector<double> ratios(kIslands, 0.05);
+    for (std::size_t i = 0; i < kIslands; ++i) {
+      best[i] = rng.uniform(-100.0, -50.0);
+      worst[i] = best[i] + rng.uniform(0.0, 60.0);
+    }
+    std::vector<std::size_t> accepted_source(kIslands);
+    double sink = 0.0;
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      sink += static_cast<double>(anneal::migration_step(
+          epoch, anneal::MigrationTopology::kFullyConnected, best, worst, rng,
+          accepted_source, nullptr));
+      for (std::size_t i = 0; i < kIslands; ++i) {
+        ratios[i] = anneal::respace_t_ratio(
+            ratios[i], rng.uniform(0.0, 1.0), 0.3);
+        sink += ratios[i];
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double walk = std::chrono::duration<double>(mid - start_walk).count();
+  const double barrier = std::chrono::duration<double>(end - mid).count();
+  std::printf(
+      "[archipelago] walk/barrier epoch-overhead ratio at n=%zu islands=%zu "
+      "interval=%zu: %.0fx (walk %.0f ns/epoch, barrier %.0f ns/epoch)\n",
+      kN, kIslands, kInterval, walk / barrier, 1e9 * walk / kEpochs,
+      1e9 * barrier / kEpochs);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -758,5 +860,6 @@ int main(int argc, char** argv) {
   report_word_flip_ratio();
   report_batched_replica_ratio();
   report_pool_dispatch_ratio();
+  report_migration_barrier_ratio();
   return 0;
 }

@@ -90,6 +90,18 @@ double SaWalk::temperature() const {
                    : fixed_temperature_;
 }
 
+void SaWalk::reseed(const qubo::BitVector& x) {
+  if (x.size() != problem_.num_bits()) {
+    throw std::invalid_argument("SaWalk::reseed: x size mismatch");
+  }
+  current_ = problem_.reset(x);
+  if (current_ < result_.best_energy) {
+    result_.best_energy = current_;
+    result_.best_x = x;
+  }
+  if (swaps_enabled_) sampler_.reset(problem_.state());
+}
+
 bool SaWalk::exhausted() const { return result_.proposed >= proposal_cap_; }
 
 void SaWalk::run_to(std::size_t evaluated_target) {

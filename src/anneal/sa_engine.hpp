@@ -156,6 +156,13 @@ class SaWalk {
   void set_temperature(double temperature);
   double temperature() const;
 
+  /// Reseats the walk on a migrant configuration (archipelago migration /
+  /// population-annealing resampling): the problem state becomes `x`, the
+  /// best-so-far updates if the migrant improves on it, and the swap
+  /// sampler rebinds.  Counters, the rng stream, and the temperature are
+  /// untouched — the walk continues from the new state.
+  void reseed(const qubo::BitVector& x);
+
   /// Advances the walk until `evaluated() >= evaluated_target` or the
   /// total-proposal cap is reached.  Idempotent once either bound is hit.
   void run_to(std::size_t evaluated_target);

@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "anneal/archipelago.hpp"
+
 namespace hycim::anneal {
 
 namespace {
@@ -142,6 +144,11 @@ SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
   util::Rng exchange_rng = util::fork_stream(seed, kExchangeStream);
   SearchResult out;
   std::vector<double> replica_energy(replica_count);
+  // Per-barrier scratch: counters are attributed from it every barrier, so
+  // they stay exact even when the trace itself is not recorded
+  // (record_trace bounds memory, never accuracy).
+  std::vector<ExchangeEvent> barrier_events;
+  std::vector<std::size_t> replica_exchanges(replica_count, 0);
   std::size_t barrier = 0;
   for (;;) {
     const std::size_t target = std::min(
@@ -158,11 +165,20 @@ SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
     // additional barriers would only shuffle temperature labels.
     if (all_exhausted) break;
 
-    const std::size_t before = out.exchange_trace.size();
+    barrier_events.clear();
     out.exchanges_accepted +=
         exchange_step(barrier, slot_beta, replica_energy, replica_at_slot,
-                      exchange_rng, &out.exchange_trace);
-    out.exchanges_proposed += out.exchange_trace.size() - before;
+                      exchange_rng, &barrier_events);
+    out.exchanges_proposed += barrier_events.size();
+    for (const ExchangeEvent& e : barrier_events) {
+      if (!e.accepted) continue;
+      ++replica_exchanges[e.replica_lo];
+      ++replica_exchanges[e.replica_hi];
+    }
+    if (params_.record_trace) {
+      out.exchange_trace.insert(out.exchange_trace.end(),
+                                barrier_events.begin(), barrier_events.end());
+    }
     // Re-point every walk at its (possibly new) slot temperature.
     for (std::size_t s = 0; s < replica_count; ++s) {
       walks[replica_at_slot[s]]->set_temperature(slot_temperature[s]);
@@ -184,6 +200,7 @@ SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
     counters.rejected_metropolis = walk.rejected_metropolis;
     counters.best_energy = walk.best_energy;
     counters.final_energy = walks[r]->current_energy();
+    counters.exchanges_accepted = replica_exchanges[r];
     out.sa.evaluated += walk.evaluated;
     out.sa.proposed += walk.proposed;
     out.sa.accepted += walk.accepted;
@@ -192,11 +209,6 @@ SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
     if (walk.best_energy < walks[best_replica]->result().best_energy) {
       best_replica = r;
     }
-  }
-  for (const ExchangeEvent& e : out.exchange_trace) {
-    if (!e.accepted) continue;
-    ++out.replicas[e.replica_lo].exchanges_accepted;
-    ++out.replicas[e.replica_hi].exchanges_accepted;
   }
   out.sa.best_x = walks[best_replica]->result().best_x;
   out.sa.best_energy = walks[best_replica]->result().best_energy;
@@ -211,6 +223,9 @@ SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
 std::unique_ptr<Strategy> make_strategy(const SearchParams& search) {
   if (const auto* tempering = std::get_if<TemperingParams>(&search)) {
     return std::make_unique<ReplicaExchange>(*tempering);
+  }
+  if (const auto* archipelago = std::get_if<ArchipelagoParams>(&search)) {
+    return std::make_unique<Archipelago>(*archipelago);
   }
   return std::make_unique<SingleSa>();
 }

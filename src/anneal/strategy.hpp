@@ -53,17 +53,87 @@ struct TemperingParams {
   /// (>= 1).  Smaller intervals couple the ladder tighter at the cost of
   /// more frequent synchronization.
   std::size_t exchange_interval = 25;
+  /// Whether to record the per-pair ExchangeEvent trace.  The counters
+  /// (exchanges_proposed / exchanges_accepted, including the per-replica
+  /// attribution) stay exact either way — the flag only bounds the memory
+  /// of long runs, where iterations/exchange_interval × replicas/2 events
+  /// would otherwise grow without limit.  The exchange stream draws the
+  /// same uniforms regardless, so results are bit-identical modulo the
+  /// trace itself.
+  bool record_trace = true;
 
   bool operator==(const TemperingParams&) const = default;
 };
 
+/// How islands exchange elites in the archipelago (pagmo-style topology).
+enum class MigrationTopology : std::uint8_t {
+  kRing = 0,            ///< island i receives from island (i−1) mod N
+  kFullyConnected = 1,  ///< donor drawn uniformly among the other islands
+  kNone = 2,            ///< no migration (independent islands)
+};
+
+/// Human-readable topology name ("ring" / "fully_connected" / "none").
+const char* topology_name(MigrationTopology topology);
+
+/// The per-island strategy selection: any non-island search kind.
+using IslandSearch = std::variant<SaSearch, TemperingParams>;
+
+/// Island-model (archipelago) knobs.  N islands each run an independent
+/// sub-strategy — single-walk SA or a replica-exchange ladder, assigned
+/// round-robin from `roster` — on clones of one programmed chip, and
+/// synchronize every `migration_interval` QUBO computations per replica:
+/// best-solution migration over `topology`, population-annealing
+/// resampling of stagnant islands from the global elite, and adaptive
+/// respacing of tempering ladders toward `target_acceptance`.
+struct ArchipelagoParams {
+  /// Number of islands (>= 2).  Total replica cost per solve is the sum of
+  /// each island's replica count × SaParams.iterations QUBO computations.
+  std::size_t islands = 4;
+  /// Per-island search kinds, cycled: island i runs roster[i % size].
+  /// Empty selects default-parameter replica exchange on every island.
+  std::vector<IslandSearch> roster;
+  /// Elite-exchange pattern at migration barriers.
+  MigrationTopology topology = MigrationTopology::kRing;
+  /// QUBO computations each replica performs between migration barriers
+  /// (>= 1).  Tempering islands keep their own (typically shorter)
+  /// exchange cadence between barriers.
+  std::size_t migration_interval = 100;
+  /// Population annealing: an island whose best has not improved for this
+  /// many consecutive migration barriers is killed and every replica
+  /// reseeded from the archipelago's best configuration.  0 disables
+  /// resampling.  The global-best island itself is never resampled.
+  std::size_t stagnation_epochs = 4;
+  /// Adaptive ladders: at each migration barrier, respace every tempering
+  /// island's geometric ladder from its measured exchange-acceptance rate
+  /// (see respace_t_ratio); a pure function of the counters, so the
+  /// determinism contract is untouched.
+  bool adapt_ladder = true;
+  /// The exchange-acceptance rate adaptive ladders steer toward (in
+  /// (0, 1); ~0.3 is the standard parallel-tempering sweet spot).
+  double target_acceptance = 0.3;
+  /// Whether to record migration / resample / exchange traces.  Counters
+  /// stay exact either way (same contract as TemperingParams::record_trace).
+  bool record_trace = true;
+
+  bool operator==(const ArchipelagoParams&) const = default;
+};
+
 /// The search-strategy selector carried by core::HyCimConfig.
-using SearchParams = std::variant<SaSearch, TemperingParams>;
+using SearchParams = std::variant<SaSearch, TemperingParams, ArchipelagoParams>;
 
 /// Rejects out-of-domain tempering parameters (`replicas` < 2,
 /// `exchange_interval` == 0, `t_ratio` outside (0, 1]) with
 /// std::invalid_argument.
 void validate(const TemperingParams& params);
+
+/// Rejects out-of-domain archipelago parameters (`islands` < 2,
+/// `migration_interval` == 0, unknown `topology`, `target_acceptance`
+/// outside (0, 1), invalid roster entries) with std::invalid_argument.
+void validate(const ArchipelagoParams& params);
+
+/// Sum of per-island replica counts — the number of chip clones an
+/// archipelago solve binds, and the factor a batch's QUBO budget scales by.
+std::size_t total_replicas(const ArchipelagoParams& params);
 
 /// One proposed ladder exchange: at barrier `barrier`, the replicas holding
 /// slots `slot` and `slot + 1` ({replica_lo, replica_hi}) were offered a
@@ -93,17 +163,73 @@ struct ReplicaCounters {
   bool operator==(const ReplicaCounters&) const = default;
 };
 
+/// One proposed elite migration: at migration barrier `epoch`, island
+/// `from_island`'s best configuration (energy `migrant_energy`) was offered
+/// to `to_island`, whose worst replica then held `displaced_energy`.
+/// Accepted iff the migrant strictly improves on the displaced replica.
+struct MigrationEvent {
+  std::size_t epoch = 0;
+  std::size_t from_island = 0;
+  std::size_t to_island = 0;
+  double migrant_energy = 0.0;
+  double displaced_energy = 0.0;
+  bool accepted = false;
+
+  bool operator==(const MigrationEvent&) const = default;
+};
+
+/// One population-annealing resample: at barrier `epoch`, stagnant island
+/// `island` (best `stagnant_best`, unimproved for the configured number of
+/// epochs) had every replica reseeded from `source_island`'s elite
+/// configuration (energy `elite_energy`).
+struct ResampleEvent {
+  std::size_t epoch = 0;
+  std::size_t island = 0;
+  std::size_t source_island = 0;
+  double stagnant_best = 0.0;
+  double elite_energy = 0.0;
+
+  bool operator==(const ResampleEvent&) const = default;
+};
+
+/// Per-island aggregate statistics (Reply/RunRecord observability).
+struct IslandStats {
+  std::size_t replicas = 1;       ///< replica slots this island drives
+  std::size_t search_kind = 0;    ///< IslandSearch variant index (0=SA, 1=PT)
+  std::size_t evaluated = 0;      ///< QUBO computations on this island
+  std::size_t proposed = 0;
+  std::size_t accepted = 0;
+  double best_energy = 0.0;       ///< island best over the whole run
+  std::size_t exchanges_proposed = 0;  ///< island-local ladder barriers
+  std::size_t exchanges_accepted = 0;
+  std::size_t migrants_in = 0;    ///< accepted migrations into the island
+  std::size_t migrants_out = 0;   ///< this island's elite adopted elsewhere
+  std::size_t resamples = 0;      ///< times killed and reseeded
+  std::size_t respaces = 0;       ///< adaptive ladder respacings applied
+  double t_ratio = 0.0;           ///< final ladder ratio (tempering islands)
+
+  bool operator==(const IslandStats&) const = default;
+};
+
 /// Outcome of one strategy run.  `sa` aggregates the ensemble: counters are
 /// sums over replicas, best_x/best_energy the ensemble best (ties break to
 /// the lowest replica index), final_x/final_energy the state of the replica
 /// holding the coldest ladder slot at the end.  Single-walk runs leave the
-/// replica/exchange fields empty.
+/// replica/exchange fields empty; only archipelago runs fill the island
+/// fields (per-island stats, migration/resample traces and counters).
 struct SearchResult {
   SaResult sa;
   std::vector<ReplicaCounters> replicas;
   std::vector<ExchangeEvent> exchange_trace;
   std::size_t exchanges_proposed = 0;
   std::size_t exchanges_accepted = 0;
+  std::vector<IslandStats> islands;
+  std::vector<MigrationEvent> migration_trace;
+  std::vector<ResampleEvent> resample_trace;
+  std::size_t migrations_proposed = 0;
+  std::size_t migrations_accepted = 0;
+  std::size_t resamples = 0;
+  std::size_t respaces = 0;
 };
 
 /// One unit of replica work dispatched by a strategy.

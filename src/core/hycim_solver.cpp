@@ -503,6 +503,13 @@ SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
   result.exchange_trace = std::move(search.exchange_trace);
   result.exchanges_proposed = search.exchanges_proposed;
   result.exchanges_accepted = search.exchanges_accepted;
+  result.islands = std::move(search.islands);
+  result.migration_trace = std::move(search.migration_trace);
+  result.resample_trace = std::move(search.resample_trace);
+  result.migrations_proposed = search.migrations_proposed;
+  result.migrations_accepted = search.migrations_accepted;
+  result.resamples = search.resamples;
+  result.respaces = search.respaces;
   result.best_x = result.sa.best_x;
   result.best_energy = result.sa.best_energy;
   result.feasible = form_.feasible(result.best_x);

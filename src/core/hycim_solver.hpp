@@ -97,6 +97,15 @@ struct SolveResult {
   std::vector<anneal::ExchangeEvent> exchange_trace;
   std::size_t exchanges_proposed = 0;
   std::size_t exchanges_accepted = 0;
+  /// Archipelago observability (empty otherwise): per-island stats and the
+  /// deterministic migration/resample traces with their exact counters.
+  std::vector<anneal::IslandStats> islands;
+  std::vector<anneal::MigrationEvent> migration_trace;
+  std::vector<anneal::ResampleEvent> resample_trace;
+  std::size_t migrations_proposed = 0;
+  std::size_t migrations_accepted = 0;
+  std::size_t resamples = 0;
+  std::size_t respaces = 0;
   /// The per-flip kernel that ran (resolved from HyCimConfig::kernel at
   /// fabrication: kDense or kSparse) — recorded so benches and the perf
   /// trajectory know which kernel produced a timing.

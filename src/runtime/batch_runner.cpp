@@ -33,6 +33,13 @@ RunRecord record_of(core::SolveResult&& r) {
   record.exchange_trace = std::move(r.exchange_trace);
   record.exchanges_proposed = r.exchanges_proposed;
   record.exchanges_accepted = r.exchanges_accepted;
+  record.islands = std::move(r.islands);
+  record.migration_trace = std::move(r.migration_trace);
+  record.resample_trace = std::move(r.resample_trace);
+  record.migrations_proposed = r.migrations_proposed;
+  record.migrations_accepted = r.migrations_accepted;
+  record.resamples = r.resamples;
+  record.respaces = r.respaces;
   record.kernel = r.kernel;
   return record;
 }
@@ -85,6 +92,10 @@ BatchResult run_batch_impl(const BatchParams& params, const RunFn& fn,
     result.total_infeasible += r.infeasible;
     result.total_exchanges_proposed += r.exchanges_proposed;
     result.total_exchanges_accepted += r.exchanges_accepted;
+    result.total_migrations_proposed += r.migrations_proposed;
+    result.total_migrations_accepted += r.migrations_accepted;
+    result.total_resamples += r.resamples;
+    result.total_respaces += r.respaces;
     result.run_seconds_sum += r.seconds;
     if (score_success && r.feasible &&
         r.best_energy <= params.success_energy) {
@@ -161,14 +172,21 @@ BatchResult solve_batch(const core::ConstrainedQuboForm& form,
 BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
                         const BatchParams& params) {
   if (!init) throw std::invalid_argument("solve_batch: null init function");
-  // The mirror of solve_tempered's guard: silently running each "restart"
-  // as a serial R-replica ensemble would cost R× the expected budget with
-  // none of the replica-level parallelism the tempered runner provides.
+  // The mirror of the ensemble runners' guards: silently running each
+  // "restart" as a serial multi-replica ensemble would cost replicas× the
+  // expected budget with none of the replica-level parallelism the
+  // dedicated runners provide.
   if (std::holds_alternative<anneal::TemperingParams>(
           prototype.config().search)) {
     throw std::invalid_argument(
         "solve_batch: prototype config.search selects tempering — use "
         "solve_tempered (or set HyCimConfig::search to SaSearch)");
+  }
+  if (std::holds_alternative<anneal::ArchipelagoParams>(
+          prototype.config().search)) {
+    throw std::invalid_argument(
+        "solve_batch: prototype config.search selects an archipelago — use "
+        "solve_archipelago (or set HyCimConfig::search to SaSearch)");
   }
   return run_batch(params, [&](std::size_t, util::Rng& rng) {
     // Same fabricated chip every run (fab_seed untouched), but an
@@ -189,8 +207,9 @@ BatchResult solve_tempered(const core::HyCimSolver& prototype,
       &prototype.config().search);
   if (tempering == nullptr) {
     throw std::invalid_argument(
-        "solve_tempered: prototype config.search selects single-walk SA — "
-        "use solve_batch, or set HyCimConfig::search to TemperingParams");
+        "solve_tempered: prototype config.search does not select replica "
+        "exchange — use solve_batch (SA) or solve_archipelago (islands), or "
+        "set HyCimConfig::search to TemperingParams");
   }
   anneal::validate(*tempering);
 
@@ -227,6 +246,56 @@ BatchResult solve_tempered(const core::ConstrainedQuboForm& form,
   if (!init) throw std::invalid_argument("solve_tempered: null init function");
   const core::HyCimSolver prototype(form, config);
   return solve_tempered(prototype, init, params);
+}
+
+BatchResult solve_archipelago(const core::HyCimSolver& prototype,
+                              const InitFn& init, const BatchParams& params) {
+  if (!init) {
+    throw std::invalid_argument("solve_archipelago: null init function");
+  }
+  const auto* archipelago = std::get_if<anneal::ArchipelagoParams>(
+      &prototype.config().search);
+  if (archipelago == nullptr) {
+    throw std::invalid_argument(
+        "solve_archipelago: prototype config.search does not select an "
+        "archipelago — use solve_batch (SA) or solve_tempered (replica "
+        "exchange), or set HyCimConfig::search to ArchipelagoParams");
+  }
+  anneal::validate(*archipelago);
+
+  // Three-level scheduling: runs are top-level pool tasks; each run fans
+  // its islands, and each island fans its replica segments between
+  // exchange/migration barriers — all child groups of one task tree, so
+  // the width budgets restarts × total replicas of schedulable work while
+  // the nested executors (width 0 = "inherit the tree's budget") keep the
+  // whole batch under one cap.  Scheduling is invisible to results (every
+  // segment is a pure function of its forked stream), so any width
+  // reproduces the serial batch bit for bit, traces included.
+  const unsigned width = resolve_thread_count(
+      params.threads, params.restarts * anneal::total_replicas(*archipelago));
+  const anneal::Executor island_fan = ExecutorPool::global().executor(0);
+  return run_batch_impl(
+      params,
+      [&](std::size_t, util::Rng& rng) {
+        // The same per-run stream discipline as solve_batch/solve_tempered:
+        // decision-seed root first, then x0, then the run seed.
+        std::uint64_t decision_seed = rng.next_u64();
+        if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
+        core::HyCimSolver solver(prototype, decision_seed);
+        const qubo::BitVector x0 = init(rng);
+        return record_of(solver.solve(x0, rng.next_u64(), island_fan));
+      },
+      width, nullptr);
+}
+
+BatchResult solve_archipelago(const core::ConstrainedQuboForm& form,
+                              const core::HyCimConfig& config,
+                              const InitFn& init, const BatchParams& params) {
+  if (!init) {
+    throw std::invalid_argument("solve_archipelago: null init function");
+  }
+  const core::HyCimSolver prototype(form, config);
+  return solve_archipelago(prototype, init, params);
 }
 
 }  // namespace hycim::runtime

@@ -67,6 +67,15 @@ struct RunRecord {
   std::vector<anneal::ExchangeEvent> exchange_trace;
   std::size_t exchanges_proposed = 0;
   std::size_t exchanges_accepted = 0;
+  /// Archipelago observability (empty otherwise): per-island statistics
+  /// and the deterministic migration/resample traces with exact counters.
+  std::vector<anneal::IslandStats> islands;
+  std::vector<anneal::MigrationEvent> migration_trace;
+  std::vector<anneal::ResampleEvent> resample_trace;
+  std::size_t migrations_proposed = 0;
+  std::size_t migrations_accepted = 0;
+  std::size_t resamples = 0;
+  std::size_t respaces = 0;
   /// The per-flip kernel the solver ran (resolved at fabrication; see
   /// HyCimConfig::kernel).  kDense for non-solver runs.
   qubo::Kernel kernel = qubo::Kernel::kDense;
@@ -87,6 +96,10 @@ struct BatchResult {
   std::size_t total_infeasible = 0;  ///< filter rejections across the batch
   std::size_t total_exchanges_proposed = 0;  ///< tempering barrier proposals
   std::size_t total_exchanges_accepted = 0;  ///< accepted ladder swaps
+  std::size_t total_migrations_proposed = 0;  ///< archipelago elite offers
+  std::size_t total_migrations_accepted = 0;  ///< adopted migrants
+  std::size_t total_resamples = 0;  ///< stagnant islands killed and reseeded
+  std::size_t total_respaces = 0;   ///< adaptive ladder respacings
   double wall_seconds = 0.0;      ///< elapsed wall time of the whole batch
   double run_seconds_sum = 0.0;   ///< Σ per-run seconds (the serial cost)
   /// The per-flip kernel of the batch's runs (all runs share one
@@ -163,5 +176,28 @@ BatchResult solve_tempered(const core::HyCimSolver& prototype,
 BatchResult solve_tempered(const core::ConstrainedQuboForm& form,
                            const core::HyCimConfig& config, const InitFn& init,
                            const BatchParams& params);
+
+/// The island-model sibling: `prototype.config().search` must select an
+/// archipelago (std::invalid_argument otherwise).  Each of the
+/// `params.restarts` runs is one archipelago — N islands over
+/// total_replicas clones of the prototype, with migration, resampling, and
+/// adaptive ladders between epochs.  Scheduling is the full three-level
+/// task tree on the shared ExecutorPool: runs are top-level tasks, each
+/// run fans its islands, and each island fans its replica segments —
+/// `params.threads` budgets the whole tree (0 = core::thread_budget(),
+/// capped by restarts × total replicas), so one batch (or one service
+/// submission) saturates the machine.
+///
+/// Determinism: the run_batch contract plus the Archipelago one — per-run
+/// best_x, per-island stats, and the migration/resample traces are
+/// bit-identical for any thread count and any executor schedule.
+BatchResult solve_archipelago(const core::HyCimSolver& prototype,
+                              const InitFn& init, const BatchParams& params);
+
+/// Fabricates the prototype from (form, config) and delegates to the
+/// prototype overload.
+BatchResult solve_archipelago(const core::ConstrainedQuboForm& form,
+                              const core::HyCimConfig& config,
+                              const InitFn& init, const BatchParams& params);
 
 }  // namespace hycim::runtime

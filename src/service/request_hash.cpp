@@ -142,14 +142,36 @@ ChipKey solve_key(const core::HyCimConfig& config) {
   h.absorb(config.sa.seed);
   h.absorb(config.sa.record_trace);
   h.absorb(config.sa.swap_probability);
-  // The search strategy: variant index first so sa-vs-tempering can never
-  // alias, then the tempering knobs when selected.
+  // The search strategy: variant index first so the three kinds can never
+  // alias, then the selected kind's knobs.
   h.absorb(config.search.index());
   if (const auto* tempering =
           std::get_if<anneal::TemperingParams>(&config.search)) {
     h.absorb(tempering->replicas);
     h.absorb(tempering->t_ratio);
     h.absorb(tempering->exchange_interval);
+    h.absorb(tempering->record_trace);
+  }
+  if (const auto* archipelago =
+          std::get_if<anneal::ArchipelagoParams>(&config.search)) {
+    h.absorb(archipelago->islands);
+    h.absorb(archipelago->roster.size());
+    for (const anneal::IslandSearch& entry : archipelago->roster) {
+      h.absorb(entry.index());
+      if (const auto* tempering =
+              std::get_if<anneal::TemperingParams>(&entry)) {
+        h.absorb(tempering->replicas);
+        h.absorb(tempering->t_ratio);
+        h.absorb(tempering->exchange_interval);
+        h.absorb(tempering->record_trace);
+      }
+    }
+    h.absorb(archipelago->topology);
+    h.absorb(archipelago->migration_interval);
+    h.absorb(archipelago->stagnation_epochs);
+    h.absorb(archipelago->adapt_ladder);
+    h.absorb(archipelago->target_acceptance);
+    h.absorb(archipelago->record_trace);
   }
   h.absorb(config.check_incremental);
   return h.key();

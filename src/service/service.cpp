@@ -21,15 +21,46 @@ void validate_batch(const runtime::BatchParams& batch) {
 }
 
 /// Routes the batch protocol by the request's search strategy: one chip,
-/// two schedulers — restart-level fan-out for single-walk SA, two-level
-/// run×replica fan-out with exchange barriers for tempering.
+/// three schedulers — restart-level fan-out for single-walk SA, two-level
+/// run×replica fan-out with exchange barriers for tempering, and the
+/// three-level run×island×replica tree for archipelagos.
 runtime::BatchResult run_on_chip(const core::HyCimSolver& chip,
                                  const runtime::InitFn& init,
                                  const runtime::BatchParams& batch) {
   if (std::holds_alternative<anneal::TemperingParams>(chip.config().search)) {
     return runtime::solve_tempered(chip, init, batch);
   }
+  if (std::holds_alternative<anneal::ArchipelagoParams>(chip.config().search)) {
+    return runtime::solve_archipelago(chip, init, batch);
+  }
   return runtime::solve_batch(chip, init, batch);
+}
+
+/// Ladder events one replica-exchange run records: barriers × pairs.
+std::size_t ladder_trace_events(const anneal::TemperingParams& tempering,
+                                std::size_t iterations) {
+  return (iterations / tempering.exchange_interval) * (tempering.replicas / 2);
+}
+
+/// The request config with its trace guard applied: past the event bound,
+/// the strategy's record_trace flips off (counters stay exact — replies
+/// just stop carrying the per-event history).
+core::HyCimConfig bounded_config(const core::HyCimConfig& config,
+                                 std::size_t restarts,
+                                 std::size_t max_trace_events) {
+  if (max_trace_events == 0) return config;
+  if (estimated_trace_events(config, restarts) <= max_trace_events) {
+    return config;
+  }
+  core::HyCimConfig bounded = config;
+  if (auto* tempering =
+          std::get_if<anneal::TemperingParams>(&bounded.search)) {
+    tempering->record_trace = false;
+  } else if (auto* archipelago =
+                 std::get_if<anneal::ArchipelagoParams>(&bounded.search)) {
+    archipelago->record_trace = false;
+  }
+  return bounded;
 }
 
 /// RAII in-flight counter: every executing request (sync or async) holds
@@ -55,6 +86,35 @@ unsigned effective_batch_threads(unsigned resolved, unsigned budget,
   const unsigned share = std::max(
       1u, static_cast<unsigned>(budget / in_flight));
   return std::min(resolved == 0 ? 1u : resolved, share);
+}
+
+std::size_t estimated_trace_events(const core::HyCimConfig& config,
+                                   std::size_t restarts) {
+  const std::size_t iterations = config.sa.iterations;
+  std::size_t per_run = 0;
+  if (const auto* tempering =
+          std::get_if<anneal::TemperingParams>(&config.search)) {
+    per_run = ladder_trace_events(*tempering, iterations);
+  } else if (const auto* archipelago =
+                 std::get_if<anneal::ArchipelagoParams>(&config.search)) {
+    // One migration proposal per island per epoch, plus each tempering
+    // island's own ladder (roster entries cycle; empty selects default
+    // replica exchange everywhere — mirroring anneal::Archipelago).
+    per_run = (iterations / archipelago->migration_interval) *
+              archipelago->islands;
+    const anneal::TemperingParams default_island;
+    for (std::size_t i = 0; i < archipelago->islands; ++i) {
+      const anneal::TemperingParams* island = &default_island;
+      if (!archipelago->roster.empty()) {
+        island = std::get_if<anneal::TemperingParams>(
+            &archipelago->roster[i % archipelago->roster.size()]);
+      }
+      if (island != nullptr) {
+        per_run += ladder_trace_events(*island, iterations);
+      }
+    }
+  }
+  return per_run * restarts;
 }
 
 Service::Service(const ServiceConfig& config) : config_(config) {
@@ -135,6 +195,10 @@ void Service::run_clamped(const core::HyCimSolver& prototype,
   if (const auto* tempering = std::get_if<anneal::TemperingParams>(
           &prototype.config().search)) {
     tasks *= tempering->replicas;
+  } else if (const auto* archipelago =
+                 std::get_if<anneal::ArchipelagoParams>(
+                     &prototype.config().search)) {
+    tasks *= anneal::total_replicas(*archipelago);
   }
   const unsigned resolved = runtime::resolve_thread_count(batch.threads, tasks);
   // Clamped to its fair share of the budget across in-flight requests —
@@ -165,10 +229,12 @@ Reply Service::solve(const Request& request) {
       programmed_chip(lowered.form, request.config, key, &reply.cache_hit);
   // The cached prototype may have been programmed under a different
   // schedule; clone it (decision streams kept — bit-identical to the
-  // proto) and retarget the solve-time knobs to this request.  Copy cost
-  // is O(cells) against the fabrication's device simulation — noise.
+  // proto) and retarget the solve-time knobs to this request — with the
+  // trace guard applied, so oversized requests solve with record_trace
+  // off.  Copy cost is O(cells) against the device simulation — noise.
   core::HyCimSolver prototype(*chip, 0);
-  prototype.retarget_solve(request.config);
+  prototype.retarget_solve(bounded_config(
+      request.config, request.batch.restarts, config_.max_trace_events));
   const runtime::InitFn& init = request.init ? request.init : lowered.init;
   run_clamped(prototype, init, request.batch, &reply);
   reply.problem = lowered.score(reply.batch.best_x);
@@ -193,7 +259,8 @@ Reply Service::solve_form(const core::ConstrainedQuboForm& form,
   Reply reply;
   const auto chip = programmed_chip(form, config, key, &reply.cache_hit);
   core::HyCimSolver prototype(*chip, 0);
-  prototype.retarget_solve(config);
+  prototype.retarget_solve(
+      bounded_config(config, batch.restarts, config_.max_trace_events));
   run_clamped(prototype, init, batch, &reply);
   reply.problem.kind = "form";
   reply.problem.metric = "qubo_energy";

@@ -71,6 +71,15 @@ struct ServiceConfig {
   /// request at a time; the request's batch fans out on the same pool
   /// below it, within the shared thread budget.  0 is treated as 1.
   unsigned workers = 2;
+  /// Trace-memory guard: when a request's estimated exchange + migration
+  /// trace size (see estimated_trace_events) exceeds this many events, the
+  /// service flips the strategy's record_trace off before solving — the
+  /// reply's exchange/migration/resample traces come back empty while
+  /// every counter stays exact (the TemperingParams::record_trace
+  /// contract), so a long tempered or archipelago submission cannot grow
+  /// its reply without bound.  0 disables the guard (traces always honor
+  /// the request).
+  std::size_t max_trace_events = 1u << 16;
 };
 
 /// One solve request: the uniform front-door shape for every COP.
@@ -128,6 +137,15 @@ struct ServiceStats {
 /// merely serial, never starved.  Pure — exposed for unit tests.
 unsigned effective_batch_threads(unsigned resolved, unsigned budget,
                                  std::size_t in_flight);
+
+/// Upper bound on the trace events a request would record with tracing
+/// on: per run, ladder barriers × pairs for replica exchange, and — for an
+/// archipelago — one migration event per island per epoch plus each
+/// tempering island's own ladder events; times `restarts`.  Walks that
+/// exhaust early record fewer.  Pure — exposed for unit tests; the service
+/// compares it against ServiceConfig::max_trace_events.
+std::size_t estimated_trace_events(const core::HyCimConfig& config,
+                                   std::size_t restarts);
 
 /// A long-lived solver session.  All public methods are thread-safe; one
 /// Service instance is meant to be shared by every caller in the process.

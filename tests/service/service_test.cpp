@@ -491,5 +491,167 @@ TEST(Service, ManyConcurrentSubmissionsMatchSerialAndShareTheBudget) {
   core::set_thread_budget(saved);
 }
 
+TEST(Service, ArchipelagoRequestMatchesDirectSolveAndCarriesIslandStats) {
+  // The front door routes archipelago configs through solve_archipelago,
+  // and the island observability (stats + migration trace) survives the
+  // trip into the Reply.
+  const auto inst = qkp_instance(93, 16);
+  Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 250;
+  anneal::ArchipelagoParams ap;
+  ap.islands = 2;
+  anneal::TemperingParams ladder;
+  ladder.replicas = 2;
+  ladder.exchange_interval = 10;
+  ap.roster = {ladder, anneal::SaSearch{}};
+  ap.migration_interval = 25;
+  request.config.search = ap;
+  request.batch.restarts = 3;
+  request.batch.seed = 21;
+
+  Service service;
+  const Reply reply = service.solve(request);
+  const Reply async = service.submit(request).get();
+  expect_batches_equal(reply.batch, async.batch);
+  EXPECT_GT(reply.batch.total_migrations_proposed, 0u);
+  for (std::size_t r = 0; r < reply.batch.runs.size(); ++r) {
+    const auto& run = reply.batch.runs[r];
+    ASSERT_EQ(run.islands.size(), 2u);
+    EXPECT_EQ(run.islands[0].replicas, 2u);  // the tempering island
+    EXPECT_EQ(run.islands[1].replicas, 1u);  // the SA island
+    EXPECT_FALSE(run.migration_trace.empty());
+    EXPECT_EQ(run.islands, async.batch.runs[r].islands) << "run " << r;
+    EXPECT_EQ(run.migration_trace, async.batch.runs[r].migration_trace);
+  }
+
+  const auto direct = runtime::solve_archipelago(
+      cop::to_constrained_form(inst), request.config,
+      [&inst](util::Rng& rng) { return cop::random_feasible(inst, rng); },
+      request.batch);
+  EXPECT_EQ(reply.batch.best_x, direct.best_x);
+  EXPECT_EQ(reply.batch.best_energy, direct.best_energy);
+  EXPECT_EQ(reply.batch.total_migrations_accepted,
+            direct.total_migrations_accepted);
+  EXPECT_EQ(reply.batch.total_resamples, direct.total_resamples);
+}
+
+TEST(ChipKey, SolveKeySensitiveToArchipelagoKnobs) {
+  // Every island knob moves the solve key (strategy routing + dedupe
+  // depend on it) and none of them moves the fabrication key (the chip
+  // is reusable across island schedules).
+  const auto form = cop::to_constrained_form(qkp_instance(94, 12));
+  core::HyCimConfig base;
+  anneal::ArchipelagoParams ap;
+  ap.islands = 3;
+  base.search = ap;
+
+  const auto knobs = [&](auto mutate) {
+    core::HyCimConfig other = base;
+    auto& params = std::get<anneal::ArchipelagoParams>(other.search);
+    mutate(params);
+    EXPECT_NE(solve_key(base), solve_key(other));
+    EXPECT_EQ(fabrication_key(form, base), fabrication_key(form, other));
+  };
+  knobs([](anneal::ArchipelagoParams& p) { p.islands = 4; });
+  knobs([](anneal::ArchipelagoParams& p) { p.migration_interval += 1; });
+  knobs([](anneal::ArchipelagoParams& p) {
+    p.topology = anneal::MigrationTopology::kFullyConnected;
+  });
+  knobs([](anneal::ArchipelagoParams& p) { p.stagnation_epochs += 1; });
+  knobs([](anneal::ArchipelagoParams& p) { p.adapt_ladder = false; });
+  knobs([](anneal::ArchipelagoParams& p) { p.target_acceptance = 0.4; });
+  knobs([](anneal::ArchipelagoParams& p) { p.record_trace = false; });
+  knobs([](anneal::ArchipelagoParams& p) {
+    anneal::TemperingParams ladder;
+    ladder.replicas = 3;
+    p.roster = {ladder};
+  });
+  // And the strategy kinds can never alias each other: an archipelago of
+  // one default ladder hashes apart from the plain tempering config.
+  core::HyCimConfig tempered = base;
+  tempered.search = anneal::TemperingParams{};
+  EXPECT_NE(solve_key(base), solve_key(tempered));
+}
+
+TEST(Service, TraceGuardBoundsLongRequestsWithExactCounters) {
+  // A long tempered/archipelago submission whose estimated trace exceeds
+  // ServiceConfig::max_trace_events comes back with empty traces but
+  // bit-identical results and exact counters — the record_trace contract
+  // applied at the front door.
+  const auto inst = qkp_instance(95, 14);
+  Request request;
+  request.instance = inst;
+  request.config.sa.iterations = 300;
+  anneal::TemperingParams tempering;
+  tempering.replicas = 4;
+  tempering.exchange_interval = 10;
+  request.config.search = tempering;
+  request.batch.restarts = 4;
+  request.batch.seed = 33;
+
+  // The estimate is a pure function: barriers × pairs × restarts.
+  const std::size_t per_run = (300 / 10) * (4 / 2);
+  EXPECT_EQ(estimated_trace_events(request.config, 4), per_run * 4);
+
+  Service unguarded(ServiceConfig{.max_trace_events = 0});
+  Service guarded(ServiceConfig{.max_trace_events = 8});
+  const Reply traced = unguarded.solve(request);
+  const Reply bounded = guarded.solve(request);
+  expect_batches_equal(traced.batch, bounded.batch);
+  EXPECT_EQ(traced.batch.total_exchanges_proposed,
+            bounded.batch.total_exchanges_proposed);
+  EXPECT_EQ(traced.batch.total_exchanges_accepted,
+            bounded.batch.total_exchanges_accepted);
+  for (const auto& run : traced.batch.runs) {
+    EXPECT_FALSE(run.exchange_trace.empty());
+  }
+  for (const auto& run : bounded.batch.runs) {
+    EXPECT_TRUE(run.exchange_trace.empty());
+  }
+
+  // A short request stays under the guard and keeps its trace.
+  Request short_request = request;
+  short_request.config.sa.iterations = 30;
+  short_request.batch.restarts = 1;
+  const Reply under = guarded.solve(short_request);
+  EXPECT_FALSE(under.batch.runs.front().exchange_trace.empty());
+
+  // Same contract for an archipelago request: migration + resample traces
+  // clamp too, with the migration counters untouched.
+  Request island_request;
+  island_request.instance = inst;
+  island_request.config.sa.iterations = 300;
+  anneal::ArchipelagoParams ap;
+  ap.islands = 2;
+  anneal::TemperingParams ladder;
+  ladder.replicas = 2;
+  ladder.exchange_interval = 10;
+  ap.roster = {ladder};
+  ap.migration_interval = 30;
+  island_request.config.search = ap;
+  island_request.batch.restarts = 2;
+  island_request.batch.seed = 5;
+  EXPECT_GT(estimated_trace_events(island_request.config, 2), 8u);
+
+  const Reply island_traced = unguarded.solve(island_request);
+  const Reply island_bounded = guarded.solve(island_request);
+  expect_batches_equal(island_traced.batch, island_bounded.batch);
+  EXPECT_EQ(island_traced.batch.total_migrations_proposed,
+            island_bounded.batch.total_migrations_proposed);
+  EXPECT_EQ(island_traced.batch.total_migrations_accepted,
+            island_bounded.batch.total_migrations_accepted);
+  EXPECT_GT(island_traced.batch.total_migrations_proposed, 0u);
+  for (const auto& run : island_traced.batch.runs) {
+    EXPECT_FALSE(run.migration_trace.empty());
+    EXPECT_EQ(run.islands.size(), 2u);  // stats always survive the guard
+  }
+  for (const auto& run : island_bounded.batch.runs) {
+    EXPECT_TRUE(run.migration_trace.empty());
+    EXPECT_TRUE(run.exchange_trace.empty());
+    EXPECT_EQ(run.islands.size(), 2u);
+  }
+}
+
 }  // namespace
 }  // namespace hycim::service

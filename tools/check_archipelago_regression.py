@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_archipelago.json against the committed baseline.
+
+Fails (exit 1) when the island runtime's determinism contract breaks — any
+width reporting identical_to_serial=false, a deterministic counter (pool
+tasks, migrations proposed/accepted, resamples, respaces) drifting from
+the baseline, a protocol flag drifting, or the equal-budget quality gate
+(island cumulative profit >= SA and >= tempering) regressing — and reports
+per-width wall-clock deltas without failing on them: CI machines differ,
+and the per-commit trajectory is what the scheduled job archives.
+
+The pinned fields are schedule-independent by construction: identity flags
+and migration/resample/respace counters because every island epoch is a
+pure function of its forked rng streams, tasks_executed because the
+three-level task-tree shape (runs x islands x replica segments) is a pure
+function of the batch protocol, and the gate profits because the panel is
+fully seeded.  Pool dispatch/steal counters and wall clocks are machine-
+and timing-dependent, so they are reported only.
+
+Usage: check_archipelago_regression.py BASELINE FRESH
+"""
+import argparse
+import json
+import sys
+
+PINNED_COUNTERS = (
+    "tasks_executed",
+    "migrations_proposed",
+    "migrations_accepted",
+    "resamples",
+    "respaces",
+)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    # A flag-drifted run must not pass silently.  New fields the baseline
+    # predates are tolerated with a note (adding observability should not
+    # force a same-commit baseline regen); dropped keys or changed values
+    # fail.
+    base_proto, fresh_proto = base["protocol"], fresh["protocol"]
+    added = sorted(set(fresh_proto) - set(base_proto))
+    if added:
+        print(f"note: fresh protocol adds new field(s) {added} "
+              "(absent from the baseline; tolerated)")
+    dropped = sorted(set(base_proto) - set(fresh_proto))
+    if dropped:
+        failures.append(f"protocol dropped field(s) {dropped} — align the "
+                        "bench flags or regenerate the baseline")
+    drifted = {k for k in base_proto
+               if k in fresh_proto and base_proto[k] != fresh_proto[k]}
+    if drifted:
+        failures.append(
+            "protocol mismatch on "
+            f"{ {k: (base_proto[k], fresh_proto[k]) for k in sorted(drifted)} }"
+            " — align the bench flags or regenerate the baseline")
+
+    base_rows = {m["label"]: m for m in base["measurements"]}
+    fresh_rows = {m["label"]: m for m in fresh["measurements"]}
+    if sorted(base_rows) != sorted(fresh_rows):
+        failures.append(f"measurement set mismatch: baseline "
+                        f"{sorted(base_rows)} vs fresh {sorted(fresh_rows)}")
+
+    for label in sorted(base_rows):
+        ref, cur = base_rows[label], fresh_rows.get(label)
+        if cur is None:
+            continue  # already reported by the set check
+        if not cur["identical_to_serial"]:
+            failures.append(
+                f"{label}: batch NOT bit-identical to the width-1 batch — "
+                "the scheduler changed island results (determinism contract "
+                "broken)")
+        for key in PINNED_COUNTERS:
+            bv, fv = ref[key], cur[key]
+            if bv != fv:
+                failures.append(
+                    f"{label}: {key} changed {bv} -> {fv} (the island "
+                    "schedule is deterministic; regenerate the baseline if "
+                    "intentional)")
+        bw, fw = ref["wall_seconds"], cur["wall_seconds"]
+        ratio = fw / bw if bw > 0 else float("inf")
+        print(f"{label}: {bw:.4f}s -> {fw:.4f}s ({ratio:.2f}x baseline; "
+              f"{cur['tasks_executed']} tasks, "
+              f"{cur['migrations_accepted']}/{cur['migrations_proposed']} "
+              "migrations; informational only)")
+
+    base_gate, fresh_gate = base["gate"], fresh["gate"]
+    for key in ("island_beats_sa", "island_beats_tempering"):
+        if not fresh_gate[key]:
+            failures.append(
+                f"gate: {key} is false — the island model no longer pays "
+                "for itself at equal QUBO budget")
+    for key in ("sa_profit", "tempering_profit", "island_profit"):
+        bv, fv = base_gate[key], fresh_gate[key]
+        marker = "" if bv == fv else "  (CHANGED — seeded panel drifted?)"
+        print(f"gate {key}: {bv} -> {fv}{marker}")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: island determinism, task-tree shape, and equal-budget "
+          "gate unchanged.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
