@@ -1,0 +1,349 @@
+// Serving load harness — the robustness trajectory (BENCH_serving.json).
+//
+// Drives service::Service through its failure envelope in four phases:
+//
+//   * admission: a paused-drain burst of mixed-priority submissions
+//     against a bounded queue with the shed-lowest-priority policy.  The
+//     queue evolves sequentially on the submitting thread, so the
+//     accepted / rejected / shed split is a pure function of the burst —
+//     CI-pinned by tools/check_serving_regression.py;
+//   * fast_fail: already-expired deadlines must reply deadline_exceeded
+//     without fabricating anything (zero cache misses) — pinned;
+//   * faults: seeded transient fabrication faults plus persistent
+//     chip-health failures over distinct instances, solved sequentially —
+//     the per-request ok / degraded / faulted split, the injected-fault
+//     count (the burn-set size), and the retry total are pure functions
+//     of the fault seed — pinned;
+//   * load: an open-loop arrival process (deterministic exponential
+//     inter-arrival draws) with a priority/deadline mix and a low
+//     injected fault rate, reporting p50/p99 latency, throughput, and
+//     deadline-miss/shed/retry counts — machine-dependent, reported for
+//     the trajectory, never failed on.
+//
+// Console emits one `[serving]` line per phase for the CI smoke grep,
+// mirroring sched_scaling's `[executor-pool]` convention.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cop/adapters.hpp"
+#include "cop/qkp.hpp"
+#include "runtime/fault_injector.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hycim;
+using namespace std::chrono_literals;
+
+cop::QkpInstance qkp_instance(std::uint64_t seed, std::size_t n) {
+  cop::QkpGeneratorParams params;
+  params.n = n;
+  params.density_percent = 50;
+  return cop::generate_qkp(params, seed);
+}
+
+service::Request make_request(const cop::QkpInstance& inst,
+                              std::size_t iterations, std::size_t restarts,
+                              std::uint64_t batch_seed) {
+  service::Request request;
+  request.instance = inst;
+  request.config.sa.iterations = iterations;
+  request.config.filter_mode = core::FilterMode::kHardware;
+  request.batch.restarts = restarts;
+  request.batch.seed = batch_seed;
+  return request;
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli("serving_load",
+                "service robustness: admission, deadlines, faults, latency");
+  cli.add_int("items", 24, "QKP items per instance");
+  cli.add_int("iterations", 400, "SA iterations per request");
+  cli.add_int("restarts", 2, "restarts per request");
+  cli.add_int("burst", 12, "admission-phase submissions");
+  cli.add_int("queue_depth", 4, "admission-phase queue bound");
+  cli.add_int("fault_instances", 12, "fault-phase distinct instances");
+  cli.add_int("load_requests", 40, "load-phase submissions");
+  cli.add_int("arrival_us", 2000, "load-phase mean inter-arrival (us)");
+  cli.add_int("seed", 2024, "instance + batch seed");
+  cli.add_int("fault_seed", 77, "fault-plan seed");
+  cli.add_string("json", "BENCH_serving.json", "machine-readable results path");
+  cli.add_string("out", "", "output directory (empty = path as given)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::filesystem::path json_path = cli.get_string("json");
+  if (!cli.get_string("out").empty()) {
+    const std::filesystem::path out_dir = cli.get_string("out");
+    std::filesystem::create_directories(out_dir);
+    json_path = out_dir / json_path.filename();
+  }
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto fault_seed = static_cast<std::uint64_t>(cli.get_int("fault_seed"));
+  const auto items = static_cast<std::size_t>(cli.get_int("items"));
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations"));
+  const auto restarts = static_cast<std::size_t>(cli.get_int("restarts"));
+  util::fault_injector().disarm();
+
+  // -------------------------------------------------------------- admission
+  // Paused drain makes the queue evolution a pure function of the burst:
+  // the accepted/rejected/shed split is deterministic and CI-pinned.
+  std::size_t adm_rejected = 0, adm_shed = 0, adm_ok = 0;
+  const auto burst = static_cast<std::size_t>(cli.get_int("burst"));
+  {
+    service::ServiceConfig config;
+    config.workers = 1;
+    config.max_queue_depth =
+        static_cast<std::size_t>(cli.get_int("queue_depth"));
+    config.overflow_policy = service::OverflowPolicy::kShedLowestPriority;
+    service::Service svc(config);
+    svc.set_drain_paused(true);
+    const auto inst = qkp_instance(seed, items);
+    std::vector<std::future<service::Reply>> futures;
+    for (std::size_t i = 0; i < burst; ++i) {
+      service::Request request =
+          make_request(inst, iterations, restarts, seed + i);
+      request.priority = static_cast<int>(i % 3);
+      futures.push_back(svc.submit(std::move(request)));
+    }
+    svc.set_drain_paused(false);
+    for (auto& future : futures) {
+      switch (future.get().status) {
+        case core::SolveStatus::kOk:
+          ++adm_ok;
+          break;
+        case core::SolveStatus::kRejected:
+          break;
+        default:
+          break;
+      }
+    }
+    const service::ServiceStats stats = svc.stats();
+    adm_rejected = stats.rejected;
+    adm_shed = stats.shed;
+  }
+  std::cout << "[serving] admission: burst=" << burst << " ok=" << adm_ok
+            << " shed=" << adm_shed << " rejected=" << adm_rejected << "\n";
+
+  // -------------------------------------------------------------- fast_fail
+  // Expired deadlines reply immediately and must never fabricate.
+  std::size_t ff_deadline = 0, ff_misses = 0;
+  const std::size_t ff_requests = 8;
+  {
+    service::Service svc;
+    const auto inst = qkp_instance(seed + 1, items);
+    for (std::size_t i = 0; i < ff_requests; ++i) {
+      service::Request request =
+          make_request(inst, iterations, restarts, seed + i);
+      request.timeout = std::chrono::nanoseconds(-1);
+      if (svc.solve(request).status ==
+          core::SolveStatus::kDeadlineExceeded) {
+        ++ff_deadline;
+      }
+    }
+    ff_misses = svc.cache_stats().misses;
+  }
+  std::cout << "[serving] fast_fail: requests=" << ff_requests
+            << " deadline_exceeded=" << ff_deadline
+            << " fabrications=" << ff_misses << "\n";
+
+  // ----------------------------------------------------------------- faults
+  // Seeded fabrication faults (transient, retried) + chip-health failures
+  // (persistent, degraded to the software path) over distinct instances,
+  // solved sequentially: every count below is a pure function of the
+  // fault seed and the instance set.
+  std::size_t fl_ok = 0, fl_degraded = 0, fl_faulted = 0;
+  std::size_t fl_retries = 0, fl_injected = 0;
+  const auto fault_instances =
+      static_cast<std::size_t>(cli.get_int("fault_instances"));
+  {
+    util::FaultPlan plan;
+    plan.seed = fault_seed;
+    plan.fabrication_rate = 0.35;
+    plan.health_rate = 0.3;
+    util::fault_injector().arm(plan);
+    service::ServiceConfig config;
+    config.max_retries = 2;
+    config.retry_backoff_base = {};  // burn-once makes sleeping pointless
+    service::Service svc(config);
+    for (std::size_t i = 0; i < fault_instances; ++i) {
+      const auto inst = qkp_instance(seed + 100 + i, items);
+      const service::Reply reply =
+          svc.solve(make_request(inst, iterations, restarts, seed + i));
+      switch (reply.status) {
+        case core::SolveStatus::kOk:
+          ++fl_ok;
+          break;
+        case core::SolveStatus::kDegraded:
+          ++fl_degraded;
+          break;
+        case core::SolveStatus::kFaulted:
+          ++fl_faulted;
+          break;
+        default:
+          break;
+      }
+    }
+    fl_retries = svc.stats().retries;
+    fl_injected = util::fault_injector().stats().injected;
+    util::fault_injector().disarm();
+  }
+  std::cout << "[serving] faults: instances=" << fault_instances
+            << " ok=" << fl_ok << " degraded=" << fl_degraded
+            << " faulted=" << fl_faulted << " injected=" << fl_injected
+            << " retries=" << fl_retries << "\n";
+
+  // ------------------------------------------------------------------- load
+  // Open-loop arrivals (deterministic exponential draws), mixed
+  // priorities, generous deadlines, a low injected fault rate.  Latency
+  // and miss counts are machine/timing-dependent: informational only.
+  const auto load_requests =
+      static_cast<std::size_t>(cli.get_int("load_requests"));
+  const double mean_arrival_us =
+      static_cast<double>(cli.get_int("arrival_us"));
+  std::vector<double> latencies_ms;
+  double load_wall = 0.0;
+  std::size_t load_ok = 0, load_deadline = 0, load_other = 0;
+  std::size_t load_retries = 0;
+  {
+    util::FaultPlan plan;
+    plan.seed = fault_seed + 1;
+    plan.fabrication_rate = 0.05;
+    util::fault_injector().arm(plan);
+    service::ServiceConfig config;
+    config.workers = 4;
+    config.retry_backoff_base = 100us;
+    config.retry_backoff_cap = 1ms;
+    service::Service svc(config);
+    // Four distinct instances keep the chip cache warm but not trivial.
+    std::vector<cop::QkpInstance> pool;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      pool.push_back(qkp_instance(seed + 200 + i, items));
+    }
+    util::Rng arrivals = util::fork_stream(seed, 0x4C4F4144ULL);  // "LOAD"
+    using Clock = std::chrono::steady_clock;
+    std::vector<std::pair<Clock::time_point, std::future<service::Reply>>>
+        in_flight;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < load_requests; ++i) {
+      service::Request request = make_request(
+          pool[i % pool.size()], iterations, restarts, seed + 300 + i);
+      request.priority = static_cast<int>(i % 3);
+      request.timeout = std::chrono::milliseconds(250);
+      in_flight.emplace_back(Clock::now(), svc.submit(std::move(request)));
+      const double u = arrivals.uniform();
+      const auto gap = std::chrono::microseconds(static_cast<long long>(
+          -mean_arrival_us * std::log(1.0 - u)));
+      if (gap.count() > 0) std::this_thread::sleep_for(gap);
+    }
+    for (auto& [submitted, future] : in_flight) {
+      const service::Reply reply = future.get();
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - submitted)
+              .count());
+      if (reply.status == core::SolveStatus::kOk) {
+        ++load_ok;
+      } else if (reply.status == core::SolveStatus::kDeadlineExceeded) {
+        ++load_deadline;
+      } else {
+        ++load_other;
+      }
+    }
+    load_wall = std::chrono::duration<double>(Clock::now() - start).count();
+    load_retries = svc.stats().retries;
+    util::fault_injector().disarm();
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = percentile(latencies_ms, 0.50);
+  const double p99 = percentile(latencies_ms, 0.99);
+  const double qps =
+      load_wall > 0.0 ? static_cast<double>(load_requests) / load_wall : 0.0;
+  std::cout << "[serving] load: requests=" << load_requests << " qps=" << qps
+            << " p50_ms=" << p50 << " p99_ms=" << p99
+            << " ok=" << load_ok << " deadline_misses=" << load_deadline
+            << " other=" << load_other << " retries=" << load_retries
+            << "\n";
+
+  // ------------------------------------------------------------------- json
+  std::ofstream json_out(json_path);
+  util::JsonWriter json(json_out);
+  json.begin_object();
+  json.key("bench").value("serving_load");
+  json.key("protocol").begin_object();
+  json.key("items").value(cli.get_int("items"));
+  json.key("iterations").value(cli.get_int("iterations"));
+  json.key("restarts").value(cli.get_int("restarts"));
+  json.key("burst").value(cli.get_int("burst"));
+  json.key("queue_depth").value(cli.get_int("queue_depth"));
+  json.key("fault_instances").value(cli.get_int("fault_instances"));
+  json.key("load_requests").value(cli.get_int("load_requests"));
+  json.key("arrival_us").value(cli.get_int("arrival_us"));
+  json.key("seed").value(cli.get_int("seed"));
+  json.key("fault_seed").value(cli.get_int("fault_seed"));
+  json.end();
+  json.key("deterministic").begin_object();
+  json.key("admission").begin_object();
+  json.key("submitted").value(burst);
+  json.key("completed_ok").value(adm_ok);
+  json.key("shed").value(adm_shed);
+  json.key("rejected").value(adm_rejected);
+  json.end();
+  json.key("fast_fail").begin_object();
+  json.key("requests").value(ff_requests);
+  json.key("deadline_exceeded").value(ff_deadline);
+  json.key("fabrications").value(ff_misses);
+  json.end();
+  json.key("faults").begin_object();
+  json.key("instances").value(fault_instances);
+  json.key("ok").value(fl_ok);
+  json.key("degraded").value(fl_degraded);
+  json.key("faulted").value(fl_faulted);
+  json.key("injected").value(fl_injected);
+  json.key("retries").value(fl_retries);
+  json.end();
+  json.end();  // deterministic
+  json.key("informational").begin_object();
+  json.key("load").begin_object();
+  json.key("requests").value(load_requests);
+  json.key("wall_seconds").value(load_wall);
+  json.key("qps").value(qps);
+  json.key("p50_ms").value(p50);
+  json.key("p99_ms").value(p99);
+  json.key("completed_ok").value(load_ok);
+  json.key("deadline_misses").value(load_deadline);
+  json.key("other_statuses").value(load_other);
+  json.key("retries").value(load_retries);
+  json.end();
+  json.end();  // informational
+  json.end();  // root
+
+  std::cout << "Machine-readable results in " << json_path.string() << ".\n";
+  // Shape check: the deterministic phases must behave — every fast-fail
+  // request missed its (expired) deadline without a fabrication, and the
+  // fault phase left no request unaccounted.
+  const bool sane = ff_deadline == ff_requests && ff_misses == 0 &&
+                    fl_ok + fl_degraded + fl_faulted == fault_instances;
+  return sane ? 0 : 1;
+}

@@ -7,6 +7,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/fault_injector.hpp"
+
 namespace hycim::anneal {
 
 namespace {
@@ -148,8 +150,8 @@ std::size_t Archipelago::replicas() const { return island_offset_.back(); }
 
 SearchResult Archipelago::run(std::span<SaProblem* const> problems,
                               const qubo::BitVector& x0, const SaParams& sa,
-                              std::uint64_t seed,
-                              const Executor& executor) const {
+                              std::uint64_t seed, const Executor& executor,
+                              const util::CancelToken& cancel) const {
   validate(params_);
   validate(sa);
   const std::size_t island_count = island_search_.size();
@@ -311,8 +313,21 @@ SearchResult Archipelago::run(std::span<SaProblem* const> problems,
   std::vector<MigrationEvent> epoch_events;
   std::vector<qubo::BitVector> migrant_x(island_count);
 
+  util::FaultInjector& faults = util::fault_injector();
   std::size_t epoch = 0;
   for (;;) {
+    // Migration barriers double as cancellation checkpoints: stopping here
+    // leaves every island at a consistent epoch boundary, so the partial
+    // aggregate below is the archipelago's any-time best.  Neither the
+    // token nor the fault seam draws walk randomness, so an armed-but-
+    // silent run is bit-identical to an unarmed one.
+    if (cancel.armed()) {
+      const util::StopReason reason = cancel.should_stop();
+      if (reason != util::StopReason::kNone) {
+        out.stopped = reason;
+        break;
+      }
+    }
     const std::size_t target =
         std::min(sa.iterations, (epoch + 1) * params_.migration_interval);
     executor(island_count,
@@ -325,6 +340,9 @@ SearchResult Archipelago::run(std::span<SaProblem* const> problems,
     // Every walk hit its proposal cap: no further moves are possible, so
     // additional barriers would only shuffle configurations around.
     if (all_exhausted) break;
+    if (faults.armed()) {
+      faults.maybe_fault(util::FaultSite::kMigrationBarrier, seed, epoch);
+    }
 
     // --- The serial migration barrier, in island order. ---
     for (std::size_t i = 0; i < island_count; ++i) {

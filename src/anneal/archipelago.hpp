@@ -82,12 +82,15 @@ double respace_t_ratio(double t_ratio, double acceptance,
 /// (which keeps the SoA QuboReplicaBatch fast path working unchanged).
 class Archipelago final : public Strategy {
  public:
+  using Strategy::run;
+
   explicit Archipelago(const ArchipelagoParams& params);
 
   std::size_t replicas() const override;
   SearchResult run(std::span<SaProblem* const> problems,
                    const qubo::BitVector& x0, const SaParams& sa,
-                   std::uint64_t seed, const Executor& executor) const override;
+                   std::uint64_t seed, const Executor& executor,
+                   const util::CancelToken& cancel) const override;
 
   const ArchipelagoParams& params() const { return params_; }
   /// The resolved search kind island `island` runs (roster cycled).

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "anneal/archipelago.hpp"
+#include "util/fault_injector.hpp"
 
 namespace hycim::anneal {
 
@@ -15,6 +16,12 @@ namespace {
 // above any realistic replica count so the streams can never collide.
 constexpr std::uint64_t kExchangeStream = 0x45584348ULL;     // "EXCH"
 constexpr std::uint64_t kCalibrationStream = 0x43414C42ULL;  // "CALB"
+
+// Cancellation checkpoint granularity (QUBO computations) for the
+// single-walk path, which has no exchange barriers of its own.  SaWalk is
+// resumable, so segmenting a run this way is bit-identical to one
+// run_to() call.
+constexpr std::size_t kCancelSegment = 256;
 
 }  // namespace
 
@@ -39,15 +46,40 @@ void run_serial(std::size_t count, const Task& task) {
 
 SearchResult SingleSa::run(std::span<SaProblem* const> problems,
                            const qubo::BitVector& x0, const SaParams& sa,
-                           std::uint64_t seed,
-                           const Executor& /*executor*/) const {
+                           std::uint64_t seed, const Executor& /*executor*/,
+                           const util::CancelToken& cancel) const {
   if (problems.size() != 1 || problems[0] == nullptr) {
     throw std::invalid_argument("SingleSa: expected exactly one problem");
   }
   SaParams params = sa;
   params.seed = seed;
   SearchResult out;
-  out.sa = simulated_annealing(*problems[0], x0, params);
+  util::FaultInjector& faults = util::fault_injector();
+  if (!cancel.armed() && !faults.armed()) {
+    out.sa = simulated_annealing(*problems[0], x0, params);
+    return out;
+  }
+  // Checkpointed path: same walk, run in resumable segments so the token
+  // (and the fault seam) get a say between them.  run_to() is idempotent
+  // and resumable, so an armed-but-never-firing token produces exactly
+  // the bits simulated_annealing() would.
+  if (x0.size() != problems[0]->num_bits()) {
+    throw std::invalid_argument("simulated_annealing: x0 size mismatch");
+  }
+  SaWalk walk(*problems[0], x0, params, util::Rng(params.seed));
+  std::size_t segment = 0;
+  for (;;) {
+    const util::StopReason reason = cancel.should_stop();
+    if (reason != util::StopReason::kNone) {
+      out.stopped = reason;
+      break;
+    }
+    if (walk.evaluated() >= params.iterations || walk.exhausted()) break;
+    faults.maybe_fault(util::FaultSite::kReplicaSegment, seed, 0, segment);
+    walk.run_to(std::min(params.iterations, walk.evaluated() + kCancelSegment));
+    ++segment;
+  }
+  out.sa = walk.take_result();
   return out;
 }
 
@@ -87,7 +119,8 @@ std::size_t exchange_step(std::size_t barrier,
 SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
                                   const qubo::BitVector& x0,
                                   const SaParams& sa, std::uint64_t seed,
-                                  const Executor& executor) const {
+                                  const Executor& executor,
+                                  const util::CancelToken& cancel) const {
   validate(params_);
   validate(sa);
   const std::size_t replica_count = params_.replicas;
@@ -149,12 +182,30 @@ SearchResult ReplicaExchange::run(std::span<SaProblem* const> problems,
   // (record_trace bounds memory, never accuracy).
   std::vector<ExchangeEvent> barrier_events;
   std::vector<std::size_t> replica_exchanges(replica_count, 0);
+  util::FaultInjector& faults = util::fault_injector();
+  const bool faults_armed = faults.armed();
   std::size_t barrier = 0;
   for (;;) {
+    // Exchange barriers double as cancellation checkpoints: stopping here
+    // leaves every walk at a consistent segment boundary, so the partial
+    // aggregate below is the ensemble's any-time best.  The token and the
+    // fault seam draw no walk randomness, so an armed-but-silent run is
+    // bit-identical to an unarmed one.
+    if (cancel.armed()) {
+      const util::StopReason reason = cancel.should_stop();
+      if (reason != util::StopReason::kNone) {
+        out.stopped = reason;
+        break;
+      }
+    }
     const std::size_t target = std::min(
         sa.iterations, (barrier + 1) * params_.exchange_interval);
-    executor(replica_count,
-             [&](std::size_t r) { walks[r]->run_to(target); });
+    executor(replica_count, [&](std::size_t r) {
+      if (faults_armed) {
+        faults.maybe_fault(util::FaultSite::kReplicaSegment, seed, r, barrier);
+      }
+      walks[r]->run_to(target);
+    });
     if (target >= sa.iterations) break;
     bool all_exhausted = true;
     for (std::size_t r = 0; r < replica_count; ++r) {

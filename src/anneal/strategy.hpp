@@ -26,6 +26,7 @@
 
 #include "anneal/sa_engine.hpp"
 #include "qubo/qubo_matrix.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace hycim::anneal {
@@ -219,6 +220,11 @@ struct IslandStats {
 /// fields (per-island stats, migration/resample traces and counters).
 struct SearchResult {
   SaResult sa;
+  /// kNone for a run that completed its full budget; kCancelled /
+  /// kDeadlineExceeded when a cancel token stopped the search early at a
+  /// segment or migration-barrier checkpoint — `sa` then holds the
+  /// any-time best-so-far (a valid partial result, not garbage).
+  util::StopReason stopped = util::StopReason::kNone;
   std::vector<ReplicaCounters> replicas;
   std::vector<ExchangeEvent> exchange_trace;
   std::size_t exchanges_proposed = 0;
@@ -255,20 +261,36 @@ class Strategy {
 
   /// Runs the search.  `problems.size()` must equal replicas(); `seed`
   /// overrides SaParams.seed and roots every stream the strategy forks.
+  /// `cancel` is polled at segment / exchange / migration boundaries: when
+  /// it fires, the strategy stops early and returns its any-time
+  /// best-so-far with SearchResult::stopped set.  An unarmed (default)
+  /// token costs one null check — results stay bit-identical to the
+  /// pre-cancellation code, and an armed token that never fires does not
+  /// perturb any stream either.
   virtual SearchResult run(std::span<SaProblem* const> problems,
                            const qubo::BitVector& x0, const SaParams& sa,
-                           std::uint64_t seed,
-                           const Executor& executor) const = 0;
+                           std::uint64_t seed, const Executor& executor,
+                           const util::CancelToken& cancel) const = 0;
+
+  /// Convenience overload: no cancellation.
+  SearchResult run(std::span<SaProblem* const> problems,
+                   const qubo::BitVector& x0, const SaParams& sa,
+                   std::uint64_t seed, const Executor& executor) const {
+    return run(problems, x0, sa, seed, executor, util::CancelToken{});
+  }
 };
 
 /// The classic single cooled walk — simulated_annealing() behind the
 /// Strategy interface, bit-identical to calling it directly.
 class SingleSa final : public Strategy {
  public:
+  using Strategy::run;
+
   std::size_t replicas() const override { return 1; }
   SearchResult run(std::span<SaProblem* const> problems,
                    const qubo::BitVector& x0, const SaParams& sa,
-                   std::uint64_t seed, const Executor& executor) const override;
+                   std::uint64_t seed, const Executor& executor,
+                   const util::CancelToken& cancel) const override;
 };
 
 /// Replica exchange over a static geometric temperature ladder.
@@ -283,12 +305,15 @@ class SingleSa final : public Strategy {
 /// independent of how the Executor schedules replica segments.
 class ReplicaExchange final : public Strategy {
  public:
+  using Strategy::run;
+
   explicit ReplicaExchange(const TemperingParams& params);
 
   std::size_t replicas() const override { return params_.replicas; }
   SearchResult run(std::span<SaProblem* const> problems,
                    const qubo::BitVector& x0, const SaParams& sa,
-                   std::uint64_t seed, const Executor& executor) const override;
+                   std::uint64_t seed, const Executor& executor,
+                   const util::CancelToken& cancel) const override;
 
   const TemperingParams& params() const { return params_; }
 

@@ -64,7 +64,13 @@ QkpInstance read_qkp(std::istream& in) {
 QkpInstance read_qkp_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_qkp_file: cannot open " + path);
-  return read_qkp(in);
+  // Parse errors (truncated files, non-numeric fields, bad markers) carry
+  // the offending path — a suite load must fail loudly and debuggably.
+  try {
+    return read_qkp(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " (in " + path + ")");
+  }
 }
 
 void write_qkp(std::ostream& out, const QkpInstance& inst) {
@@ -99,15 +105,18 @@ std::vector<QkpInstance> load_qkp_directory(const std::string& dir) {
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.is_regular_file()) paths.push_back(entry.path().string());
   }
+  if (paths.empty()) {
+    // An empty suite is a misconfigured benchmark, not a valid sweep of
+    // zero instances — fail with the path instead of returning nothing.
+    throw std::runtime_error("load_qkp_directory: no instance files in " +
+                             dir);
+  }
   std::sort(paths.begin(), paths.end());
   std::vector<QkpInstance> suite;
   suite.reserve(paths.size());
   for (const auto& path : paths) {
-    try {
-      suite.push_back(read_qkp_file(path));
-    } catch (const std::runtime_error& e) {
-      throw std::runtime_error(std::string(e.what()) + " (in " + path + ")");
-    }
+    // read_qkp_file already stamps the path into parse errors.
+    suite.push_back(read_qkp_file(path));
   }
   return suite;
 }

@@ -28,7 +28,8 @@ namespace hycim::cop {
 /// std::runtime_error on malformed input.
 QkpInstance read_qkp(std::istream& in);
 
-/// Loads an instance from a file path.
+/// Loads an instance from a file path.  Parse errors (truncated files,
+/// non-numeric fields) rethrow with the path appended.
 QkpInstance read_qkp_file(const std::string& path);
 
 /// Writes an instance in the CNAM format (inverse of read_qkp).
@@ -41,7 +42,9 @@ void write_qkp_file(const std::string& path, const QkpInstance& inst);
 /// name (deterministic suite order).  Files that fail to parse raise, so a
 /// directory of published instances either loads whole or fails loudly —
 /// benches citing real instances must not silently drop half the suite.
-/// Throws std::runtime_error if `dir` is not a directory.
+/// Throws std::runtime_error if `dir` is not a directory or contains no
+/// instance files (an empty suite is a misconfiguration, not a sweep of
+/// zero instances); every error message carries the offending path.
 std::vector<QkpInstance> load_qkp_directory(const std::string& dir);
 
 }  // namespace hycim::cop

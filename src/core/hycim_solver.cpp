@@ -445,6 +445,13 @@ SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
 SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
                                std::uint64_t run_seed,
                                const anneal::Executor& executor) {
+  return solve(x0, run_seed, executor, util::CancelToken{});
+}
+
+SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
+                               std::uint64_t run_seed,
+                               const anneal::Executor& executor,
+                               const util::CancelToken& cancel) {
   if (x0.size() != form_.size()) {
     throw std::invalid_argument("HyCimSolver::solve: x0 size mismatch");
   }
@@ -496,8 +503,9 @@ SolveResult HyCimSolver::solve(const qubo::BitVector& x0,
   for (const auto& p : problems) problem_ptrs.push_back(p.get());
 
   anneal::SearchResult search =
-      strategy->run(problem_ptrs, x0, config_.sa, run_seed, executor);
+      strategy->run(problem_ptrs, x0, config_.sa, run_seed, executor, cancel);
   SolveResult result;
+  result.status = status_of(search.stopped);
   result.sa = std::move(search.sa);
   result.replicas = std::move(search.replicas);
   result.exchange_trace = std::move(search.exchange_trace);

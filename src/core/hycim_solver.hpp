@@ -29,6 +29,7 @@
 #include "cim/filter/filter_bank.hpp"
 #include "cim/filter/inequality_filter.hpp"
 #include "core/constrained_form.hpp"
+#include "core/solve_status.hpp"
 #include "qubo/neighbor_index.hpp"
 
 namespace hycim::core {
@@ -89,6 +90,10 @@ struct SolveResult {
   qubo::BitVector best_x;    ///< best configuration found
   double best_energy = 0.0;  ///< its QUBO energy (eval-path units)
   bool feasible = false;     ///< exact feasibility of best_x (all constraints)
+  /// kOk for a full-budget run; kCancelled / kDeadlineExceeded when a
+  /// cancel token stopped the search at a checkpoint — best_x and the
+  /// counters then describe the any-time best-so-far partial result.
+  SolveStatus status = SolveStatus::kOk;
   anneal::SaResult sa;       ///< walk counters (summed over replicas when
                              ///< tempering) and optional single-walk trace
   /// Tempering observability (empty under single-walk SA): per-replica
@@ -146,6 +151,15 @@ class HyCimSolver {
   /// its forked stream.  Single-walk SA ignores the executor.
   SolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed,
                     const anneal::Executor& executor);
+
+  /// Same solve with a cooperative cancel token polled at the strategy's
+  /// segment / exchange / migration checkpoints.  When it fires, the
+  /// result is the any-time best-so-far with SolveResult::status set to
+  /// kCancelled or kDeadlineExceeded; an unarmed or never-firing token
+  /// leaves the result bit-identical to the overloads above.
+  SolveResult solve(const qubo::BitVector& x0, std::uint64_t run_seed,
+                    const anneal::Executor& executor,
+                    const util::CancelToken& cancel);
 
   /// The configuration this chip was fabricated with.
   const HyCimConfig& config() const { return config_; }

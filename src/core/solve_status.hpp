@@ -1,0 +1,67 @@
+#pragma once
+// Solve outcome classification, carried on SolveResult / RunRecord /
+// BatchResult / service::Reply.  Standalone header (no core deps) so the
+// runtime and service layers can speak status without pulling in the
+// solver.
+//
+// Enum order is severity order: merge_status() of a tree of outcomes is
+// simply the max, so a batch whose runs are {ok, ok, cancelled} reports
+// cancelled while still carrying the any-time best of the finished runs.
+
+#include <cstdint>
+
+#include "util/cancel.hpp"
+
+namespace hycim::core {
+
+enum class SolveStatus : std::uint8_t {
+  kOk = 0,
+  // Hardware-path chip failed health validation; the request was served
+  // by the software-filter fallback.  The answer is still complete.
+  kDegraded = 1,
+  // Deadline hit mid-solve (or before it started): partial any-time
+  // result.
+  kDeadlineExceeded = 2,
+  // Cooperatively cancelled: partial any-time result.
+  kCancelled = 3,
+  // A fault (injected or real) exhausted the retry budget.
+  kFaulted = 4,
+  // Admission control refused the request; no work was done.
+  kRejected = 5,
+};
+
+constexpr SolveStatus merge_status(SolveStatus a, SolveStatus b) {
+  return a < b ? b : a;
+}
+
+constexpr SolveStatus status_of(util::StopReason reason) {
+  switch (reason) {
+    case util::StopReason::kCancelled:
+      return SolveStatus::kCancelled;
+    case util::StopReason::kDeadlineExceeded:
+      return SolveStatus::kDeadlineExceeded;
+    case util::StopReason::kNone:
+      break;
+  }
+  return SolveStatus::kOk;
+}
+
+constexpr const char* status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kDegraded:
+      return "degraded";
+    case SolveStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case SolveStatus::kCancelled:
+      return "cancelled";
+    case SolveStatus::kFaulted:
+      return "faulted";
+    case SolveStatus::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace hycim::core

@@ -26,6 +26,7 @@ RunRecord record_of(core::SolveResult&& r) {
   record.best_x = std::move(r.best_x);
   record.best_energy = r.best_energy;
   record.feasible = r.feasible;
+  record.status = r.status;
   record.evaluated = r.sa.evaluated;
   record.proposed = r.sa.proposed;
   record.infeasible = r.sa.rejected_infeasible;
@@ -66,6 +67,20 @@ BatchResult run_batch_impl(const BatchParams& params, const RunFn& fn,
   // run's randomness comes from its own forked stream and records are
   // stored by index.
   const anneal::Task task = [&](std::size_t run) {
+    // A fired token skips not-yet-started runs outright: the placeholder's
+    // +inf energy and empty best_x can never win the aggregation below, so
+    // sibling runs that finished are untouched.
+    if (params.cancel.armed()) {
+      const StopReason reason = params.cancel.should_stop();
+      if (reason != StopReason::kNone) {
+        RunRecord skipped;
+        skipped.run = run;
+        skipped.status = core::status_of(reason);
+        skipped.best_energy = std::numeric_limits<double>::infinity();
+        records[run] = std::move(skipped);
+        return;
+      }
+    }
     util::Rng rng = util::fork_stream(params.seed, run);
     const auto run_start = std::chrono::steady_clock::now();
     RunRecord record = fn(run, rng);
@@ -85,8 +100,17 @@ BatchResult run_batch_impl(const BatchParams& params, const RunFn& fn,
   result.wall_seconds = seconds_since(batch_start);
   const bool score_success = !std::isnan(params.success_energy);
   bool have_best = false;
-  if (!result.runs.empty()) result.kernel = result.runs.front().kernel;
+  // The batch kernel comes from the first run that actually solved —
+  // skipped placeholders carry the default and must not speak for the
+  // fabrication.
   for (const RunRecord& r : result.runs) {
+    if (r.best_x.empty()) continue;
+    result.kernel = r.kernel;
+    break;
+  }
+  for (const RunRecord& r : result.runs) {
+    result.status = core::merge_status(result.status, r.status);
+    if (r.status != core::SolveStatus::kOk) ++result.runs_stopped;
     result.total_evaluated += r.evaluated;
     result.total_proposed += r.proposed;
     result.total_infeasible += r.infeasible;
@@ -196,7 +220,8 @@ BatchResult solve_batch(const core::HyCimSolver& prototype, const InitFn& init,
     if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
     core::HyCimSolver solver(prototype, decision_seed);
     const qubo::BitVector x0 = init(rng);
-    return record_of(solver.solve(x0, rng.next_u64()));
+    return record_of(
+        solver.solve(x0, rng.next_u64(), anneal::run_serial, params.cancel));
   });
 }
 
@@ -235,7 +260,8 @@ BatchResult solve_tempered(const core::HyCimSolver& prototype,
         if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
         core::HyCimSolver solver(prototype, decision_seed);
         const qubo::BitVector x0 = init(rng);
-        return record_of(solver.solve(x0, rng.next_u64(), replica_fan));
+        return record_of(
+            solver.solve(x0, rng.next_u64(), replica_fan, params.cancel));
       },
       width, nullptr);
 }
@@ -283,7 +309,8 @@ BatchResult solve_archipelago(const core::HyCimSolver& prototype,
         if (decision_seed == 0) decision_seed = 1;  // 0 means "keep proto's"
         core::HyCimSolver solver(prototype, decision_seed);
         const qubo::BitVector x0 = init(rng);
-        return record_of(solver.solve(x0, rng.next_u64(), island_fan));
+        return record_of(
+            solver.solve(x0, rng.next_u64(), island_fan, params.cancel));
       },
       width, nullptr);
 }

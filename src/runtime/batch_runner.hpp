@@ -26,6 +26,7 @@
 #include "core/constrained_form.hpp"
 #include "core/hycim_solver.hpp"
 #include "qubo/qubo_matrix.hpp"
+#include "runtime/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace hycim::runtime {
@@ -48,6 +49,13 @@ struct BatchParams {
   /// Runs with best_energy <= success_energy (and feasible) count as
   /// successes; NaN disables success accounting.
   double success_energy = std::numeric_limits<double>::quiet_NaN();
+  /// Cooperative cancellation / deadline for the whole batch.  Polled
+  /// before each run starts and at every solver checkpoint inside runs:
+  /// when it fires, in-flight runs return their any-time best-so-far,
+  /// not-yet-started runs are skipped with a placeholder record, and
+  /// finished runs are untouched (bit-identical to an uncancelled batch).
+  /// The default (unarmed) token costs one null check per run.
+  CancelToken cancel{};
 };
 
 /// Outcome of one restart (one tempered ensemble when the config selects
@@ -57,6 +65,11 @@ struct RunRecord {
   qubo::BitVector best_x;     ///< best configuration of this run
   double best_energy = 0.0;
   bool feasible = false;
+  /// kOk for a full-budget run; kCancelled / kDeadlineExceeded when the
+  /// batch token stopped it — mid-run (partial any-time result) or before
+  /// it started (placeholder: empty best_x, best_energy = +inf, so it can
+  /// never win the batch aggregation).
+  core::SolveStatus status = core::SolveStatus::kOk;
   std::size_t evaluated = 0;  ///< QUBO computations (feasible proposals)
   std::size_t proposed = 0;   ///< all generated configurations
   std::size_t infeasible = 0; ///< proposals rejected by the filters
@@ -88,6 +101,11 @@ struct BatchResult {
   bool feasible = false;      ///< true iff any run ended feasible
   std::size_t best_run = 0;   ///< winning run (lowest energy, ties → lowest
                               ///< index — deterministic)
+  /// Severity-max merge over the per-run statuses: kOk iff every run ran
+  /// its full budget; kCancelled / kDeadlineExceeded when the token fired
+  /// — the batch is then a partial any-time result (finished runs intact).
+  core::SolveStatus status = core::SolveStatus::kOk;
+  std::size_t runs_stopped = 0;  ///< runs with status != kOk
   std::vector<RunRecord> runs;  ///< per-run records, ordered by run index
   std::size_t successes = 0;  ///< runs reaching success_energy (0 if disabled)
   double success_rate = 0.0;  ///< successes / restarts (0 if disabled)

@@ -1,0 +1,16 @@
+#pragma once
+// Runtime-layer spelling of the cancellation primitive.  The actual
+// types live in util/ so the anneal strategy drivers (below runtime in
+// the layer order) can poll tokens at their segment and migration
+// barriers without an upward include; runtime and service code uses
+// these aliases.
+
+#include "util/cancel.hpp"
+
+namespace hycim::runtime {
+
+using StopReason = util::StopReason;
+using CancelToken = util::CancelToken;
+using CancelSource = util::CancelSource;
+
+}  // namespace hycim::runtime

@@ -107,6 +107,7 @@ struct ExecutorPool::Impl {
   std::atomic<std::size_t> steals{0};
   std::atomic<std::size_t> parks{0};
   std::atomic<std::size_t> posted{0};
+  std::atomic<std::size_t> suppressed_exceptions{0};
   std::atomic<std::size_t> queue_depth{0};
   std::atomic<std::int64_t> busy_ns{0};
   std::atomic<bool> started{false};
@@ -165,11 +166,21 @@ struct ExecutorPool::Impl {
       try {
         (*group.task)(index);
       } catch (...) {
+        bool stored = false;
         {
           const std::lock_guard<std::mutex> lock(group.mutex);
-          if (!group.failure) group.failure = std::current_exception();
+          if (!group.failure) {
+            group.failure = std::current_exception();
+            stored = true;
+          }
         }
         group.cancelled.store(true, std::memory_order_relaxed);
+        // Only the first failure reaches the group's join; count the ones
+        // the protocol drops so they are visible in PoolStats instead of
+        // vanishing.
+        if (!stored) {
+          suppressed_exceptions.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       if (timed) {
         busy_ns.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -532,6 +543,8 @@ PoolStats ExecutorPool::stats() const {
   out.steals = impl.steals.load(std::memory_order_relaxed);
   out.parks = impl.parks.load(std::memory_order_relaxed);
   out.posted = impl.posted.load(std::memory_order_relaxed);
+  out.suppressed_exceptions =
+      impl.suppressed_exceptions.load(std::memory_order_relaxed);
   out.queue_depth = impl.queue_depth.load(std::memory_order_relaxed);
   out.busy_seconds =
       static_cast<double>(impl.busy_ns.load(std::memory_order_relaxed)) * 1e-9;

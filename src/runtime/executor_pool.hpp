@@ -58,6 +58,12 @@ struct PoolStats {
   std::size_t steals = 0;  ///< tasks executed via a foreign deque / injection
   std::size_t parks = 0;   ///< worker idle-park events
   std::size_t posted = 0;  ///< one-shot jobs accepted via post()
+  /// Secondary task exceptions dropped by the first-exception protocol: a
+  /// group rethrows only the first failure at its join, so a second task
+  /// failing in the same (already-cancelled) group would otherwise vanish
+  /// without a trace.  A nonzero delta across a solve means a real error
+  /// was masked by the one that got reported.
+  std::size_t suppressed_exceptions = 0;
   std::size_t queue_depth = 0;  ///< group tokens currently enqueued
   double busy_seconds = 0.0;    ///< Σ worker time spent inside tasks
   double up_seconds = 0.0;      ///< wall clock since the first worker spawn

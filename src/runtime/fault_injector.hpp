@@ -1,0 +1,19 @@
+#pragma once
+// Runtime-layer spelling of the fault-injection seam (see
+// util/fault_injector.hpp for the semantics; it lives in util/ so the
+// anneal strategy drivers can consult it at replica segments and
+// migration barriers without an upward include).
+
+#include "util/fault_injector.hpp"
+
+namespace hycim::runtime {
+
+using FaultSite = util::FaultSite;
+using FaultPlan = util::FaultPlan;
+using FaultError = util::FaultError;
+using FaultStats = util::FaultStats;
+using FaultInjector = util::FaultInjector;
+using util::fault_injector;
+using util::fault_site_name;
+
+}  // namespace hycim::runtime

@@ -1,0 +1,107 @@
+#include "util/fault_injector.hpp"
+
+#include "util/rng.hpp"
+
+namespace hycim::util {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFabrication:
+      return "fabrication";
+    case FaultSite::kReplicaSegment:
+      return "replica_segment";
+    case FaultSite::kMigrationBarrier:
+      return "migration_barrier";
+    case FaultSite::kChipHealth:
+      return "chip_health";
+  }
+  return "unknown";
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  burned_.clear();
+  stats_ = FaultStats{};
+  armed_.store(plan.any_armed(), std::memory_order_relaxed);
+}
+
+FaultPlan FaultInjector::plan() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plan_;
+}
+
+double FaultInjector::rate_for(FaultSite site, const FaultPlan& plan) const {
+  switch (site) {
+    case FaultSite::kFabrication:
+      return plan.fabrication_rate;
+    case FaultSite::kReplicaSegment:
+      return plan.segment_rate;
+    case FaultSite::kMigrationBarrier:
+      return plan.barrier_rate;
+    case FaultSite::kChipHealth:
+      return plan.health_rate;
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Pure decision hash: (seed, site, a, b, c) -> u64.  Stateless, so every
+// observer of the same coordinate agrees on fire/no-fire.
+std::uint64_t decision_hash(std::uint64_t seed, FaultSite site,
+                            std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  std::uint64_t h = fork_seed(seed, static_cast<std::uint64_t>(site) + 1);
+  h = fork_seed(h, a);
+  h = fork_seed(h, b);
+  h = fork_seed(h, c);
+  return h;
+}
+
+bool clears_rate(std::uint64_t hash, double rate) {
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(hash >> 11) * (1.0 / 9007199254740992.0);
+  return u < rate;
+}
+
+}  // namespace
+
+void FaultInjector::maybe_fault(FaultSite site, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t c) {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.queries;
+  const double rate = rate_for(site, plan_);
+  if (rate <= 0.0) return;
+  const std::uint64_t hash = decision_hash(plan_.seed, site, a, b, c);
+  if (!clears_rate(hash, rate)) return;
+  // Burn the coordinate: the retry of this exact work succeeds.
+  if (!burned_.insert(hash).second) return;
+  ++stats_.injected;
+  ++stats_.injected_by_site[static_cast<std::size_t>(site)];
+  throw FaultError(site, /*transient=*/true,
+                   std::string("injected transient fault at ") +
+                       fault_site_name(site));
+}
+
+bool FaultInjector::persistent_fault(FaultSite site, std::uint64_t key) const {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double rate = rate_for(site, plan_);
+  if (rate <= 0.0) return false;
+  return clears_rate(decision_hash(plan_.seed, site, key, 0, 0), rate);
+}
+
+FaultStats FaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+FaultInjector& fault_injector() {
+  static FaultInjector injector;
+  return injector;
+}
+
+}  // namespace hycim::util

@@ -1,0 +1,112 @@
+#pragma once
+// Deterministic, seeded fault injection for the solve tree.
+//
+// The paper's CiM chips are faulty/drifting devices, so the production
+// path treats hardware failure as an input: tests and the serving bench
+// arm a FaultPlan and the plumbed-through seams (chip fabrication,
+// replica segments, migration barriers, chip health validation) consult
+// the global injector.  Two semantics:
+//
+//  * Transient sites (fabrication / replica segment / migration barrier)
+//    fire at most ONCE per unique coordinate: the fire/no-fire decision
+//    is a pure hash of (plan seed, site, coordinates) compared against
+//    the site's rate, and fired coordinates are burned so a retry of the
+//    same work deterministically succeeds.  On eventual success the
+//    total number of injected faults equals the fixed size of the firing
+//    coordinate set, regardless of scheduling.
+//  * Persistent sites (chip health) are a stateless hash — a chip that
+//    fails health validation fails it every time, which is what drives
+//    the hardware -> software degradation ladder instead of a retry.
+//
+// Disarmed (all rates zero, the default) the hot-path cost is a single
+// relaxed atomic load.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace hycim::util {
+
+enum class FaultSite : std::uint8_t {
+  kFabrication = 0,
+  kReplicaSegment = 1,
+  kMigrationBarrier = 2,
+  kChipHealth = 3,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+const char* fault_site_name(FaultSite site);
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double fabrication_rate = 0.0;
+  double segment_rate = 0.0;
+  double barrier_rate = 0.0;
+  double health_rate = 0.0;
+
+  bool any_armed() const {
+    return fabrication_rate > 0.0 || segment_rate > 0.0 ||
+           barrier_rate > 0.0 || health_rate > 0.0;
+  }
+};
+
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultSite site, bool transient, const std::string& what)
+      : std::runtime_error(what), site_(site), transient_(transient) {}
+
+  FaultSite site() const { return site_; }
+  bool transient() const { return transient_; }
+
+ private:
+  FaultSite site_;
+  bool transient_;
+};
+
+struct FaultStats {
+  std::uint64_t queries = 0;
+  std::uint64_t injected = 0;
+  std::array<std::uint64_t, kFaultSiteCount> injected_by_site{};
+};
+
+class FaultInjector {
+ public:
+  // Installs a plan, clearing the burn set and counters.  arm({})
+  // disarms.
+  void arm(const FaultPlan& plan);
+  void disarm() { arm(FaultPlan{}); }
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  FaultPlan plan() const;
+
+  // Transient seam: throws FaultError(site, transient=true) iff the pure
+  // hash of (seed, site, a, b, c) clears the site's rate and this
+  // coordinate has not already fired.  No-op when disarmed.
+  void maybe_fault(FaultSite site, std::uint64_t a, std::uint64_t b = 0,
+                   std::uint64_t c = 0);
+
+  // Persistent seam: stateless — the same key answers the same way for
+  // the life of the plan.  False when disarmed.
+  bool persistent_fault(FaultSite site, std::uint64_t key) const;
+
+  FaultStats stats() const;
+
+ private:
+  double rate_for(FaultSite site, const FaultPlan& plan) const;
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_;
+  std::unordered_set<std::uint64_t> burned_;
+  FaultStats stats_;
+};
+
+// Process-wide injector consulted by every seam.
+FaultInjector& fault_injector();
+
+}  // namespace hycim::util

@@ -164,5 +164,63 @@ TEST(QkpIo, LoadDirectoryRejectsNonDirectories) {
                std::runtime_error);
 }
 
+TEST(QkpIo, TruncatedFileErrorCarriesThePath) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "qkp_io_truncated.txt";
+  {
+    std::ofstream out(path);
+    out << "truncated\n3\n1 2\n";  // profits cut short
+  }
+  try {
+    read_qkp_file(path.string());
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing"), std::string::npos) << what;
+    EXPECT_NE(what.find("qkp_io_truncated.txt"), std::string::npos) << what;
+  }
+  fs::remove(path);
+}
+
+TEST(QkpIo, NonNumericCapacityErrorCarriesThePath) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::path(::testing::TempDir()) / "qkp_io_bad_capacity.txt";
+  {
+    std::ofstream out(path);
+    // Valid up to the constraint marker, then a word where the numeric
+    // capacity belongs.
+    out << "bad_capacity\n2\n10 20\n5\n\n0\nbanana\n4 7\n";
+  }
+  try {
+    read_qkp_file(path.string());
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("capacity"), std::string::npos) << what;
+    EXPECT_NE(what.find("qkp_io_bad_capacity.txt"), std::string::npos)
+        << what;
+  }
+  fs::remove(path);
+}
+
+TEST(QkpIo, EmptyDirectoryFailsLoudlyWithThePath) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "qkp_io_empty_suite";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  try {
+    load_qkp_directory(dir.string());
+    FAIL() << "expected an empty-suite error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no instance files"), std::string::npos) << what;
+    EXPECT_NE(what.find("qkp_io_empty_suite"), std::string::npos) << what;
+  }
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace hycim::cop

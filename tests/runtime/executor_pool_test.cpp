@@ -249,6 +249,33 @@ TEST(ExecutorPool, ExceptionPropagatesAndCancelsRemainingTasks) {
   EXPECT_EQ(after.load(), 8);
 }
 
+TEST(ExecutorPool, SuppressedSecondaryExceptionsAreCounted) {
+  // The first-exception protocol rethrows one failure per group; any
+  // concurrent second failure used to vanish without a trace.  Two tasks
+  // rendezvous on a barrier so BOTH are guaranteed in flight before
+  // either throws — exactly one lands in the group, the other must show
+  // up in suppressed_exceptions.
+  ExecutorPool pool(2);
+  std::atomic<int> arrived{0};
+  EXPECT_THROW(
+      pool.run(2,
+               [&](std::size_t i) {
+                 arrived.fetch_add(1, std::memory_order_relaxed);
+                 // Bounded spin: both claimants are live (budget 2, two
+                 // tasks), so the rendezvous resolves immediately; the cap
+                 // only guards against a scheduler stall turning into a
+                 // hang.
+                 for (long spin = 0;
+                      arrived.load(std::memory_order_relaxed) < 2 &&
+                      spin < 200'000'000L;
+                      ++spin) {
+                 }
+                 throw std::runtime_error("task " + std::to_string(i));
+               }),
+      std::runtime_error);
+  EXPECT_EQ(pool.stats().suppressed_exceptions, 1u);
+}
+
 TEST(ExecutorPool, PostRunsJobsOnWorkersEvenAtBudgetOne) {
   ExecutorPool pool(1);
   std::promise<std::thread::id> ran;

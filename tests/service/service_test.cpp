@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/fault_injector.hpp"
 
 #include "core/thread_budget.hpp"
 #include "cop/adapters.hpp"
@@ -651,6 +655,255 @@ TEST(Service, TraceGuardBoundsLongRequestsWithExactCounters) {
     EXPECT_TRUE(run.exchange_trace.empty());
     EXPECT_EQ(run.islands.size(), 2u);
   }
+}
+
+/// Disarms the global fault injector on scope exit (tests share it).
+struct FaultGuard {
+  FaultGuard() { util::fault_injector().disarm(); }
+  ~FaultGuard() { util::fault_injector().disarm(); }
+};
+
+TEST(ServiceRobustness, SubmitAfterShutdownIsRejectedNotThrown) {
+  for (const ShutdownMode mode : {ShutdownMode::kDrain, ShutdownMode::kAbort}) {
+    Service service(ServiceConfig{.workers = 1});
+    service.shutdown(mode);
+    std::future<Reply> future = service.submit(qkp_request(100, 10, 100));
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const Reply reply = future.get();
+    EXPECT_EQ(reply.status, core::SolveStatus::kRejected);
+    EXPECT_EQ(reply.attempts, 0u);
+    EXPECT_TRUE(reply.batch.runs.empty());
+    EXPECT_EQ(service.stats().rejected, 1u);
+  }
+}
+
+TEST(ServiceRobustness, DrainShutdownCompletesQueuedSubmissions) {
+  Service service(ServiceConfig{.workers = 1});
+  service.set_drain_paused(true);
+  auto a = service.submit(qkp_request(101, 12, 150, 3));
+  auto b = service.submit(qkp_request(101, 12, 150, 4));
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+  service.shutdown(ShutdownMode::kDrain);
+  const Reply reply_a = a.get();
+  const Reply reply_b = b.get();
+  EXPECT_EQ(reply_a.status, core::SolveStatus::kOk);
+  EXPECT_EQ(reply_b.status, core::SolveStatus::kOk);
+  EXPECT_FALSE(reply_a.batch.runs.empty());
+  EXPECT_EQ(service.stats().drained, 2u);
+  EXPECT_EQ(service.stats().queue_depth, 0u);
+}
+
+TEST(ServiceRobustness, AbortShutdownCancelsQueuedSubmissions) {
+  Service service(ServiceConfig{.workers = 1});
+  service.set_drain_paused(true);
+  std::vector<std::future<Reply>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(service.submit(qkp_request(102, 12, 150, i + 1)));
+  }
+  service.shutdown(ShutdownMode::kAbort);
+  for (auto& future : futures) {
+    const Reply reply = future.get();
+    EXPECT_EQ(reply.status, core::SolveStatus::kCancelled);
+    EXPECT_EQ(reply.attempts, 0u);
+    EXPECT_TRUE(reply.batch.runs.empty());
+  }
+  EXPECT_EQ(service.stats().cancelled, 3u);
+  // The abort token stays fired: sync solves reply cancelled too.
+  EXPECT_EQ(service.solve(qkp_request(102, 12, 150)).status,
+            core::SolveStatus::kCancelled);
+}
+
+TEST(ServiceRobustness, ExpiredDeadlineFastFailsWithZeroFabrication) {
+  Service service;
+  Request request = qkp_request(103, 12, 200);
+  request.timeout = std::chrono::nanoseconds(-1);
+  const Reply reply = service.solve(request);
+  EXPECT_EQ(reply.status, core::SolveStatus::kDeadlineExceeded);
+  EXPECT_EQ(reply.attempts, 0u);
+  EXPECT_TRUE(reply.batch.runs.empty());
+  // Nothing was lowered or fabricated: the chip cache is untouched.
+  const CacheStats cache = service.cache_stats();
+  EXPECT_EQ(cache.misses, 0u);
+  EXPECT_EQ(cache.entries, 0u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.fast_fails, 1u);
+}
+
+TEST(ServiceRobustness, PreCancelledRequestTokenYieldsCancelledReply) {
+  Service service;
+  runtime::CancelSource source;
+  source.cancel();
+  Request request = qkp_request(104, 12, 200);
+  request.cancel = source.token();
+  const Reply reply = service.solve(request);
+  EXPECT_EQ(reply.status, core::SolveStatus::kCancelled);
+  EXPECT_EQ(reply.attempts, 0u);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  EXPECT_EQ(service.cache_stats().misses, 0u);
+}
+
+TEST(ServiceRobustness, AdmissionControlRejectsWhenQueueIsFull) {
+  Service service(ServiceConfig{.workers = 1, .max_queue_depth = 2});
+  service.set_drain_paused(true);
+  auto a = service.submit(qkp_request(105, 12, 100, 1));
+  auto b = service.submit(qkp_request(105, 12, 100, 2));
+  auto c = service.submit(qkp_request(105, 12, 100, 3));
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Reply rejected = c.get();
+  EXPECT_EQ(rejected.status, core::SolveStatus::kRejected);
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+  service.set_drain_paused(false);
+  EXPECT_EQ(a.get().status, core::SolveStatus::kOk);
+  EXPECT_EQ(b.get().status, core::SolveStatus::kOk);
+}
+
+TEST(ServiceRobustness, AdmissionControlShedsLowestPriority) {
+  Service service(ServiceConfig{
+      .workers = 1,
+      .max_queue_depth = 2,
+      .overflow_policy = OverflowPolicy::kShedLowestPriority});
+  service.set_drain_paused(true);
+  Request low = qkp_request(106, 12, 100, 1);
+  low.priority = 0;
+  Request mid = qkp_request(106, 12, 100, 2);
+  mid.priority = 1;
+  Request high = qkp_request(106, 12, 100, 3);
+  high.priority = 2;
+  auto low_future = service.submit(low);
+  auto mid_future = service.submit(mid);
+  // The queue is full: the high-priority submission displaces the lowest.
+  auto high_future = service.submit(high);
+  ASSERT_EQ(low_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const Reply shed = low_future.get();
+  EXPECT_EQ(shed.status, core::SolveStatus::kRejected);
+  EXPECT_NE(shed.message.find("shed"), std::string::npos);
+  EXPECT_EQ(service.stats().shed, 1u);
+  // A new lowest-priority submission cannot displace anyone: rejected.
+  Request low2 = qkp_request(106, 12, 100, 4);
+  low2.priority = 0;
+  auto low2_future = service.submit(low2);
+  EXPECT_EQ(low2_future.get().status, core::SolveStatus::kRejected);
+  EXPECT_EQ(service.stats().rejected, 1u);
+  service.set_drain_paused(false);
+  EXPECT_EQ(mid_future.get().status, core::SolveStatus::kOk);
+  EXPECT_EQ(high_future.get().status, core::SolveStatus::kOk);
+}
+
+TEST(ServiceRobustness, HigherPriorityDrainsFirst) {
+  Service service(ServiceConfig{.workers = 1});
+  service.set_drain_paused(true);
+  std::mutex order_mutex;
+  std::vector<int> order;
+  const auto tagged = [&](int tag, int priority) {
+    Request request = qkp_request(107, 10, 50, tag + 1, /*restarts=*/1);
+    request.priority = priority;
+    request.init = [&order, &order_mutex, tag, inst = qkp_instance(107, 10)](
+                       util::Rng& rng) {
+      {
+        const std::lock_guard<std::mutex> lock(order_mutex);
+        order.push_back(tag);
+      }
+      return cop::random_feasible(inst, rng);
+    };
+    return request;
+  };
+  // Submitted 0 (pri 0), 1 (pri 5), 2 (pri 1), 3 (pri 5): the single
+  // drainer must serve 1, 3 (FIFO within priority 5), then 2, then 0.
+  std::vector<std::future<Reply>> futures;
+  futures.push_back(service.submit(tagged(0, 0)));
+  futures.push_back(service.submit(tagged(1, 5)));
+  futures.push_back(service.submit(tagged(2, 1)));
+  futures.push_back(service.submit(tagged(3, 5)));
+  service.set_drain_paused(false);
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(ServiceRobustness, TransientFabricationFaultIsRetriedToSuccess) {
+  const FaultGuard guard;
+  util::FaultPlan plan;
+  plan.seed = 7;
+  plan.fabrication_rate = 1.0;
+  util::fault_injector().arm(plan);
+
+  Service service(ServiceConfig{.retry_backoff_base = {}});
+  const Request request = qkp_request(108, 12, 200);
+  const Reply reply = service.solve(request);
+  // The first fabrication faulted, burned its coordinate, and the retry
+  // deterministically succeeded.
+  EXPECT_EQ(reply.status, core::SolveStatus::kOk);
+  EXPECT_EQ(reply.attempts, 2u);
+  EXPECT_FALSE(reply.batch.runs.empty());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.faults, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(util::fault_injector().stats().injected, 1u);
+
+  // The faulted reply is bit-identical to an undisturbed solve: retries
+  // never perturb the randomness.
+  util::fault_injector().disarm();
+  Service clean;
+  expect_batches_equal(reply.batch, clean.solve(request).batch);
+}
+
+TEST(ServiceRobustness, ExhaustedRetryBudgetRepliesFaultedThenRecovers) {
+  const FaultGuard guard;
+  util::FaultPlan plan;
+  plan.seed = 9;
+  plan.fabrication_rate = 1.0;
+  util::fault_injector().arm(plan);
+
+  Service service(
+      ServiceConfig{.max_retries = 0, .retry_backoff_base = {}});
+  const Request request = qkp_request(109, 12, 200);
+  const Reply faulted = service.solve(request);
+  EXPECT_EQ(faulted.status, core::SolveStatus::kFaulted);
+  EXPECT_EQ(faulted.attempts, 1u);
+  EXPECT_NE(faulted.message.find("fabrication"), std::string::npos);
+  EXPECT_TRUE(faulted.batch.runs.empty());
+  // The coordinate is burned: resubmitting the same request succeeds.
+  const Reply recovered = service.solve(request);
+  EXPECT_EQ(recovered.status, core::SolveStatus::kOk);
+  EXPECT_EQ(recovered.attempts, 1u);
+}
+
+TEST(ServiceRobustness, UnhealthyHardwareChipDegradesToSoftwarePath) {
+  const FaultGuard guard;
+  util::FaultPlan plan;
+  plan.seed = 5;
+  plan.health_rate = 1.0;  // every hardware chip fails health validation
+  util::fault_injector().arm(plan);
+
+  Service service;
+  Request request = qkp_request(110, 12, 200);
+  request.config.filter_mode = core::FilterMode::kHardware;
+  const Reply degraded = service.solve(request);
+  EXPECT_EQ(degraded.status, core::SolveStatus::kDegraded);
+  EXPECT_NE(degraded.message.find("software"), std::string::npos);
+  EXPECT_EQ(degraded.attempts, 1u);
+  EXPECT_EQ(service.stats().degraded, 1u);
+
+  // The degraded reply is exactly the software-filter solve of the same
+  // request — the ladder swaps the path, not the protocol.
+  util::fault_injector().disarm();
+  Request software = request;
+  software.config.filter_mode = core::FilterMode::kSoftware;
+  Service clean;
+  const Reply direct = clean.solve(software);
+  expect_batches_equal(degraded.batch, direct.batch);
+  EXPECT_EQ(direct.status, core::SolveStatus::kOk);
+}
+
+TEST(ServiceRobustness, StatsExposePoolSuppressedExceptions) {
+  // The pool-level counter rides into ServiceStats wholesale.
+  Service service;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.pool.suppressed_exceptions,
+            runtime::ExecutorPool::global().stats().suppressed_exceptions);
 }
 
 }  // namespace

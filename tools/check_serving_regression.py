@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_serving.json against the committed baseline.
+
+Fails (exit 1) when the service's robustness contract breaks — the
+admission split (accepted/shed/rejected) of the paused-drain burst, the
+fast-fail guarantee (every expired deadline replies without a single
+fabrication), or the seeded fault trajectory (ok/degraded/faulted split,
+injected-fault count, retry total) drifting from the baseline — and
+reports the open-loop latency figures without failing on them: p50/p99
+and deadline misses are machine- and timing-dependent, and the
+per-commit trajectory is what the scheduled job archives.
+
+The pinned fields are timing-independent by construction: the admission
+queue evolves sequentially on the submitting thread while drain is
+paused, expired deadlines are rejected before the chip cache is touched,
+and every fault decision is a pure hash of (plan seed, site, coordinates)
+with burn-once transient semantics — so the counts depend only on the
+bench protocol, never on how fast the machine drained the queue.
+
+Usage: check_serving_regression.py BASELINE FRESH
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def diff_block(name, base, fresh, failures):
+    """Pins one deterministic sub-block: added fields tolerated, dropped or
+    drifted fields fail."""
+    added = sorted(set(fresh) - set(base))
+    if added:
+        print(f"note: fresh {name} adds new field(s) {added} "
+              "(absent from the baseline; tolerated)")
+    dropped = sorted(set(base) - set(fresh))
+    if dropped:
+        failures.append(f"{name} dropped field(s) {dropped} — align the "
+                        "bench or regenerate the baseline")
+    drifted = {k for k in base if k in fresh and base[k] != fresh[k]}
+    if drifted:
+        failures.append(
+            f"{name} mismatch on "
+            f"{ {k: (base[k], fresh[k]) for k in sorted(drifted)} }"
+            " — the robustness contract changed; regenerate the baseline "
+            "only if the change is intentional")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+
+    diff_block("protocol", base["protocol"], fresh["protocol"], failures)
+
+    base_det, fresh_det = base["deterministic"], fresh["deterministic"]
+    missing = sorted(set(base_det) - set(fresh_det))
+    if missing:
+        failures.append(f"deterministic phase(s) {missing} missing from the "
+                        "fresh run")
+    for phase in sorted(set(base_det) & set(fresh_det)):
+        diff_block(f"deterministic.{phase}", base_det[phase],
+                   fresh_det[phase], failures)
+
+    info = fresh.get("informational", {}).get("load", {})
+    ref = base.get("informational", {}).get("load", {})
+    if info:
+        bw, fw = ref.get("wall_seconds", 0.0), info.get("wall_seconds", 0.0)
+        ratio = fw / bw if bw > 0 else float("inf")
+        print(f"load: {bw:.4f}s -> {fw:.4f}s ({ratio:.2f}x baseline; "
+              f"qps={info.get('qps', 0.0):.1f}, "
+              f"p50={info.get('p50_ms', 0.0):.2f}ms, "
+              f"p99={info.get('p99_ms', 0.0):.2f}ms, "
+              f"deadline_misses={info.get('deadline_misses', 0)}, "
+              f"retries={info.get('retries', 0)}; informational only)")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nOK: admission, fast-fail, and fault trajectories unchanged.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
